@@ -1,0 +1,38 @@
+/// \file fig15_main.cpp
+/// Regenerates Fig. 15: six panels showing extension performance with and
+/// without DP on Table II cases 1, 5 and 6.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baseline/fixed_track.hpp"
+#include "core/trace_extender.hpp"
+#include "viz/render.hpp"
+#include "workload/table2_cases.hpp"
+
+int main() {
+  std::filesystem::create_directories("out");
+  for (const int k : {1, 5, 6}) {
+    {
+      auto c = lmr::workload::table2_case(k);
+      lmr::core::TraceExtender ext(c.rules, c.area);
+      lmr::core::ExtenderConfig cfg;
+      cfg.max_width_steps = 24;
+      ext.maximize(c.trace, cfg);
+      const std::string path = "out/fig15_case" + std::to_string(k) + "_with_dp.svg";
+      lmr::viz::render_trace_panel(c.trace, c.area, path);
+      std::printf("fig15 case %d with DP:    len %.1f -> %s\n", k, c.trace.path.length(),
+                  path.c_str());
+    }
+    {
+      auto c = lmr::workload::table2_case(k);
+      lmr::baseline::FixedTrackMeanderer base(c.rules, c.area);
+      base.maximize(c.trace);
+      const std::string path = "out/fig15_case" + std::to_string(k) + "_without_dp.svg";
+      lmr::viz::render_trace_panel(c.trace, c.area, path);
+      std::printf("fig15 case %d without DP: len %.1f -> %s\n", k, c.trace.path.length(),
+                  path.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// \file micro_dtw.cpp
+/// Microbenchmarks for DTW (O(I*J), Eq. 17) and the MSDTW multi-scale
+/// recursion on synthetic sub-trace node sequences.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dtw/msdtw.hpp"
+
+namespace {
+
+std::vector<lmr::geom::Point> sub_trace(std::size_t n, double y, double jitter_phase) {
+  std::vector<lmr::geom::Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) * 2.0;
+    pts.push_back({x, y + 0.1 * std::sin(0.7 * x + jitter_phase)});
+  }
+  return pts;
+}
+
+void BM_Dtw(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto p = sub_trace(n, +0.4, 0.0);
+  const auto q = sub_trace(n, -0.4, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lmr::dtw::dtw_match(p, q));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Dtw)->RangeMultiplier(2)->Range(16, 512)->Complexity(benchmark::oNSquared);
+
+void BM_MsdtwTwoScales(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto p = sub_trace(n, +0.4, 0.0);
+  const auto q = sub_trace(n, -0.4, 0.3);
+  const std::vector<double> rules{0.8, 2.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lmr::dtw::msdtw_match(p, q, rules));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MsdtwTwoScales)->RangeMultiplier(2)->Range(16, 512)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

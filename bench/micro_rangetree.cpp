@@ -1,0 +1,57 @@
+/// \file micro_rangetree.cpp
+/// Microbenchmark for the range tree of §IV-D: O(N log N) build and
+/// O(log^2 N + k) window queries, the accelerator behind Alg. 2's P_check.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "index/range_tree.hpp"
+
+namespace {
+
+std::vector<lmr::index::RangeTree2D::Entry> random_entries(std::size_t n) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> u(0.0, 1000.0);
+  std::vector<lmr::index::RangeTree2D::Entry> entries;
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    entries.push_back({{u(rng), u(rng)}, i});
+  }
+  return entries;
+}
+
+void BM_RangeTreeBuild(benchmark::State& state) {
+  const auto entries = random_entries(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    lmr::index::RangeTree2D tree{entries};
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RangeTreeBuild)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+
+void BM_RangeTreeQuerySmallWindow(benchmark::State& state) {
+  const auto entries = random_entries(static_cast<std::size_t>(state.range(0)));
+  const lmr::index::RangeTree2D tree{entries};
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(0.0, 980.0);
+  for (auto _ : state) {
+    const double x = u(rng), y = u(rng);
+    std::size_t count = 0;
+    tree.visit({{x, y}, {x + 20.0, y + 20.0}}, [&](const auto&) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RangeTreeQuerySmallWindow)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/// \file any_direction.cpp
+/// The headline capability: length matching of traces routed at arbitrary
+/// angles, preserving the original routing. A three-leg trace runs at 30,
+/// -20 and 75 degrees through a rotated corridor with vias; the extender
+/// meanders each leg in its own local frame.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/trace_extender.hpp"
+#include "layout/drc_checker.hpp"
+#include "viz/render.hpp"
+
+namespace {
+
+lmr::geom::Vec2 polar(double deg) {
+  const double a = deg * M_PI / 180.0;
+  return {std::cos(a), std::sin(a)};
+}
+
+}  // namespace
+
+int main() {
+  lmr::drc::DesignRules rules;
+  rules.gap = 0.8;
+  rules.obs = 0.4;
+  rules.protect = 0.4;
+  rules.trace_width = 0.15;
+
+  // Any-direction trace: three legs at 30, -20 and 75 degrees.
+  const lmr::geom::Point a{0, 0};
+  const lmr::geom::Point b = a + polar(30) * 22.0;
+  const lmr::geom::Point c = b + polar(-20) * 18.0;
+  const lmr::geom::Point d = c + polar(75) * 16.0;
+  lmr::layout::Trace trace;
+  trace.name = "slant";
+  trace.width = rules.trace_width;
+  trace.path = lmr::geom::Polyline{{a, b, c, d}};
+
+  // Generous board area with a few vias near the path.
+  lmr::layout::RoutableArea area;
+  area.outline = lmr::geom::Polygon::rect({{-8, -12}, {50, 32}});
+  area.holes.push_back(lmr::geom::Polygon::regular(b + polar(120) * 3.0, 0.8, 8));
+  area.holes.push_back(lmr::geom::Polygon::regular(c + polar(90) * 3.5, 0.8, 8));
+  area.holes.push_back(lmr::geom::Polygon::regular({18.0, -3.0}, 0.8, 8));
+
+  const double initial = trace.length();
+  const double target = initial * 1.8;
+  lmr::core::TraceExtender ext(rules, area);
+  const auto stats = ext.extend(trace, target);
+  std::printf("any-direction trace: %.3f -> %.3f (target %.3f, %s)\n", initial,
+              stats.final_length, target, stats.reached ? "matched" : "short");
+
+  // The original corners must survive (preserved original routing).
+  int corners_kept = 0;
+  for (const auto& p : trace.path.points()) {
+    for (const auto& q : {a, b, c, d}) {
+      if (lmr::geom::almost_equal(p, q, 1e-6)) ++corners_kept;
+    }
+  }
+  std::printf("original route nodes preserved: %d / 4\n", corners_kept);
+
+  lmr::layout::DrcChecker checker;
+  const auto violations = checker.check_trace(trace, rules);
+  std::printf("DRC violations: %zu\n", violations.size());
+
+  std::filesystem::create_directories("out");
+  lmr::layout::Layout l;
+  const auto id = l.add_trace(trace);
+  l.set_routable_area(id, area);
+  for (const auto& h : area.holes) l.add_obstacle({h, "via"});
+  lmr::viz::render_layout(l, "out/any_direction.svg");
+  std::printf("wrote out/any_direction.svg\n");
+  return stats.reached && violations.empty() && corners_kept == 4 ? 0 : 1;
+}

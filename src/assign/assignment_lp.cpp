@@ -1,0 +1,75 @@
+#include "assign/assignment_lp.hpp"
+
+#include <stdexcept>
+
+#include "lp/simplex.hpp"
+
+namespace lmr::assign {
+
+AssignmentResult solve_assignment(const AssignmentInput& in) {
+  const std::size_t R = in.capacity.size();
+  const std::size_t T = in.requirement.size();
+  if (in.neighbor.size() != R) {
+    throw std::invalid_argument("solve_assignment: neighbor rows != regions");
+  }
+  for (const auto& row : in.neighbor) {
+    if (row.size() != T) {
+      throw std::invalid_argument("solve_assignment: neighbor cols != traces");
+    }
+  }
+
+  // Variables only for neighbor pairs (Eq. 1 by construction).
+  std::vector<std::vector<std::size_t>> var_of(R, std::vector<std::size_t>(T, SIZE_MAX));
+  std::size_t nv = 0;
+  for (std::size_t i = 0; i < R; ++i) {
+    for (std::size_t j = 0; j < T; ++j) {
+      if (in.neighbor[i][j]) var_of[i][j] = nv++;
+    }
+  }
+
+  AssignmentResult out;
+  out.x.assign(R, std::vector<double>(T, 0.0));
+  if (nv == 0) {
+    // Feasible iff nobody needs anything.
+    out.feasible = true;
+    for (double req : in.requirement) out.feasible &= req <= 0.0;
+    return out;
+  }
+
+  lp::SimplexSolver solver(nv);
+  for (std::size_t i = 0; i < R; ++i) {  // Eq. 2
+    std::vector<double> row(nv, 0.0);
+    bool any = false;
+    for (std::size_t j = 0; j < T; ++j) {
+      if (var_of[i][j] != SIZE_MAX) {
+        row[var_of[i][j]] = 1.0;
+        any = true;
+      }
+    }
+    if (any) solver.add_less_eq(std::move(row), in.capacity[i]);
+  }
+  for (std::size_t j = 0; j < T; ++j) {  // Eq. 3
+    std::vector<double> row(nv, 0.0);
+    bool any = false;
+    for (std::size_t i = 0; i < R; ++i) {
+      if (var_of[i][j] != SIZE_MAX) {
+        row[var_of[i][j]] = 1.0;
+        any = true;
+      }
+    }
+    if (!any && in.requirement[j] > 0.0) return out;  // isolated needy trace
+    if (any) solver.add_greater_eq(std::move(row), in.requirement[j]);
+  }
+
+  const lp::LpResult r = solver.solve();
+  if (r.status != lp::LpStatus::Optimal) return out;
+  out.feasible = true;
+  for (std::size_t i = 0; i < R; ++i) {
+    for (std::size_t j = 0; j < T; ++j) {
+      if (var_of[i][j] != SIZE_MAX) out.x[i][j] = r.x[var_of[i][j]];
+    }
+  }
+  return out;
+}
+
+}  // namespace lmr::assign

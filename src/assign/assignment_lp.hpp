@@ -1,0 +1,33 @@
+#pragma once
+/// \file assignment_lp.hpp
+/// The region-assignment feasibility LP (§III, Eq. 4).
+///
+/// Variables x_ij = space of region i given to trace j, subject to
+///   neighbor validity: x_ij = 0 when region i is not a neighbor of trace j
+///                      (Eq. 1 — realized by simply omitting the variable),
+///   feasibility:       sum_j x_ij <= Cap_i, x_ij >= 0 (Eq. 2),
+///   sufficiency:       sum_i x_ij >= Req_j (Eq. 3).
+
+#include <cstddef>
+#include <vector>
+
+namespace lmr::assign {
+
+/// LP input. `neighbor[i][j]` marks region i adjacent to trace j.
+struct AssignmentInput {
+  std::vector<double> capacity;              ///< Cap_i per region
+  std::vector<double> requirement;           ///< Req_j per trace
+  std::vector<std::vector<bool>> neighbor;   ///< [region][trace]
+};
+
+/// LP output: x[i][j] (zero where not a neighbor).
+struct AssignmentResult {
+  bool feasible = false;
+  std::vector<std::vector<double>> x;
+};
+
+/// Solve Eq. (4) with the in-repo simplex. Pure feasibility (zero
+/// objective); any feasible assignment is returned.
+[[nodiscard]] AssignmentResult solve_assignment(const AssignmentInput& in);
+
+}  // namespace lmr::assign

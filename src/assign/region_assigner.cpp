@@ -1,0 +1,132 @@
+#include "assign/region_assigner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lmr::assign {
+
+double space_requirement(double extra, const drc::DesignRules& rules) {
+  if (extra <= 0.0) return 0.0;
+  // A meander of total extra length L is a row of legs; each unit of gained
+  // length occupies roughly (d_gap + w)/2 of area (one leg of height h gains
+  // 2h and claims h * (gap + w) of strip area).
+  return extra * (rules.effective_gap()) / 2.0;
+}
+
+CorridorAssignment assign_corridors(const CorridorSpec& spec) {
+  const std::size_t T = spec.traces.size();
+  if (spec.targets.size() != T) {
+    throw std::invalid_argument("assign_corridors: targets size mismatch");
+  }
+  CorridorAssignment out;
+
+  const std::vector<Slab> slabs =
+      decompose_slabs(spec.bundle, spec.obstacles, spec.rules.effective_obs());
+  const std::size_t R = slabs.size();
+
+  // Requirements (Eq. 3 rhs).
+  out.requirements.resize(T);
+  for (std::size_t j = 0; j < T; ++j) {
+    const double extra = spec.targets[j] - spec.traces[j]->path.length();
+    out.requirements[j] = spec.safety_factor * space_requirement(extra, spec.rules);
+  }
+
+  // Trace centerline y at a given x (piecewise linear sample).
+  const auto trace_y_at = [&](const layout::Trace& t, double x) {
+    const auto& pts = t.path.points();
+    for (std::size_t k = 0; k + 1 < pts.size(); ++k) {
+      const double x0 = std::min(pts[k].x, pts[k + 1].x);
+      const double x1 = std::max(pts[k].x, pts[k + 1].x);
+      if (x >= x0 - 1e-9 && x <= x1 + 1e-9) {
+        if (std::abs(pts[k + 1].x - pts[k].x) < 1e-12) return pts[k].y;
+        const double u = (x - pts[k].x) / (pts[k + 1].x - pts[k].x);
+        return pts[k].y + u * (pts[k + 1].y - pts[k].y);
+      }
+    }
+    return pts.front().y;
+  };
+
+  // Neighbor matrix (Eq. 1): region i neighbors trace j when the trace
+  // passes through one of its free spans.
+  AssignmentInput lp_in;
+  lp_in.capacity.resize(R);
+  lp_in.requirement = out.requirements;
+  lp_in.neighbor.assign(R, std::vector<bool>(T, false));
+  for (std::size_t i = 0; i < R; ++i) {
+    lp_in.capacity[i] = slabs[i].free_area();
+    const double xm = (slabs[i].x0 + slabs[i].x1) / 2.0;
+    for (std::size_t j = 0; j < T; ++j) {
+      const double y = trace_y_at(*spec.traces[j], xm);
+      lp_in.neighbor[i][j] = slabs[i].free_span_at(y) != nullptr;
+    }
+  }
+  out.lp = solve_assignment(lp_in);
+  out.feasible = out.lp.feasible;
+
+  // Build disjoint per-trace areas: per slab, split each free span between
+  // the traces inside it at the midlines weighted by assigned share; stitch
+  // the slab rectangles into one rectilinear outline per trace.
+  std::vector<std::vector<geom::Box>> rects(T);
+  for (std::size_t i = 0; i < R; ++i) {
+    const Slab& slab = slabs[i];
+    const double xm = (slab.x0 + slab.x1) / 2.0;
+    for (const index::Interval& span : slab.free_y) {
+      // Traces inside this span, sorted by y.
+      std::vector<std::pair<double, std::size_t>> inside;
+      for (std::size_t j = 0; j < T; ++j) {
+        const double y = trace_y_at(*spec.traces[j], xm);
+        if (y >= span.lo && y <= span.hi) inside.push_back({y, j});
+      }
+      if (inside.empty()) continue;
+      std::sort(inside.begin(), inside.end());
+      // Split boundaries: between consecutive traces, weighted by share.
+      double lo = span.lo;
+      for (std::size_t k = 0; k < inside.size(); ++k) {
+        double hi;
+        if (k + 1 == inside.size()) {
+          hi = span.hi;
+        } else {
+          const std::size_t ja = inside[k].second;
+          const std::size_t jb = inside[k + 1].second;
+          const double share_a = out.feasible ? std::max(out.lp.x[i][ja], 1e-9) : 1.0;
+          const double share_b = out.feasible ? std::max(out.lp.x[i][jb], 1e-9) : 1.0;
+          const double w = share_a / (share_a + share_b);
+          hi = inside[k].first + (inside[k + 1].first - inside[k].first) * w;
+        }
+        rects[inside[k].second].push_back({{slab.x0, lo}, {slab.x1, hi}});
+        lo = hi;
+      }
+    }
+  }
+
+  out.areas.resize(T);
+  for (std::size_t j = 0; j < T; ++j) {
+    if (rects[j].empty()) continue;
+    // Stitch slab rectangles (already in ascending x) into a rectilinear
+    // outline: top boundary left-to-right, bottom boundary right-to-left.
+    std::vector<geom::Point> top, bottom;
+    for (const geom::Box& b : rects[j]) {
+      top.push_back({b.lo.x, b.hi.y});
+      top.push_back({b.hi.x, b.hi.y});
+      bottom.push_back({b.lo.x, b.lo.y});
+      bottom.push_back({b.hi.x, b.lo.y});
+    }
+    std::vector<geom::Point> loop;
+    loop.insert(loop.end(), bottom.begin(), bottom.end());
+    loop.insert(loop.end(), top.rbegin(), top.rend());
+    // Drop consecutive duplicates.
+    std::vector<geom::Point> clean;
+    for (const geom::Point& p : loop) {
+      if (clean.empty() || !geom::almost_equal(clean.back(), p, 1e-9)) clean.push_back(p);
+    }
+    out.areas[j].outline = geom::Polygon{std::move(clean)};
+    out.areas[j].outline.make_ccw();
+    // Note: obstacles never end up as holes here — the slab decomposition
+    // already carves their (inflated) footprints out of every free span, so
+    // they lie outside all assigned rectangles by construction.
+  }
+  return out;
+}
+
+}  // namespace lmr::assign

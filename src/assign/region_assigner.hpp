@@ -1,0 +1,56 @@
+#pragma once
+/// \file region_assigner.hpp
+/// End-to-end region assignment for corridor bundles.
+///
+/// Specialization of §III for the common "parallel bus through a corridor"
+/// topology used by every Table I case: traces run roughly left-to-right,
+/// stacked in y. The assigner
+///  1. decomposes the bundle into slabs (regions),
+///  2. computes per-trace space requirements from the BSG length-space
+///     relation Req_j ≈ safety * (l_target - l_j) * (d_gap + w)/2,
+///  3. marks a region a neighbor of a trace when the trace's centerline
+///     passes through (or adjacent to) one of its free spans,
+///  4. solves the feasibility LP (Eq. 4),
+///  5. converts the assignment into disjoint per-trace RoutableAreas by
+///     splitting each slab's free span between the traces inside it,
+///     proportionally to their assigned share.
+///
+/// For general topologies users can run the pieces individually; only the
+/// final polygon construction assumes the corridor stacking.
+
+#include <vector>
+
+#include "assign/assignment_lp.hpp"
+#include "assign/slab_decomposition.hpp"
+#include "drc/rules.hpp"
+#include "layout/routable_area.hpp"
+#include "layout/trace.hpp"
+
+namespace lmr::assign {
+
+/// Input bundle.
+struct CorridorSpec {
+  geom::Box bundle;                              ///< overall corridor region
+  std::vector<const layout::Trace*> traces;      ///< stacked in ascending y
+  std::vector<double> targets;                   ///< per-trace target length
+  std::vector<geom::Polygon> obstacles;          ///< vias etc. inside the bundle
+  drc::DesignRules rules;
+  double safety_factor = 1.2;                    ///< requirement head-room
+};
+
+/// Result: per-trace areas (same order as spec.traces).
+struct CorridorAssignment {
+  bool feasible = false;
+  std::vector<double> requirements;              ///< Req_j actually used
+  std::vector<layout::RoutableArea> areas;
+  AssignmentResult lp;                           ///< raw x_ij for inspection
+};
+
+/// Space needed to meander `extra` additional length under `rules` (the
+/// length-space relation of BSG-route [8] as used in DESIGN.md §5).
+[[nodiscard]] double space_requirement(double extra, const drc::DesignRules& rules);
+
+/// Run the corridor assignment.
+[[nodiscard]] CorridorAssignment assign_corridors(const CorridorSpec& spec);
+
+}  // namespace lmr::assign

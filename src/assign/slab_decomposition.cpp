@@ -1,0 +1,44 @@
+#include "assign/slab_decomposition.hpp"
+
+#include <algorithm>
+
+namespace lmr::assign {
+
+std::vector<Slab> decompose_slabs(const geom::Box& bundle,
+                                  const std::vector<geom::Polygon>& obstacles,
+                                  double clearance) {
+  std::vector<geom::Box> footprints;
+  footprints.reserve(obstacles.size());
+  std::vector<double> cuts{bundle.lo.x, bundle.hi.x};
+  for (const geom::Polygon& o : obstacles) {
+    geom::Box b = o.bbox().inflated(clearance);
+    if (!b.intersects(bundle)) continue;
+    b.lo.x = std::max(b.lo.x, bundle.lo.x);
+    b.hi.x = std::min(b.hi.x, bundle.hi.x);
+    footprints.push_back(b);
+    cuts.push_back(b.lo.x);
+    cuts.push_back(b.hi.x);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end(),
+                         [](double a, double b) { return std::abs(a - b) < 1e-9; }),
+             cuts.end());
+
+  std::vector<Slab> slabs;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    Slab s;
+    s.x0 = cuts[i];
+    s.x1 = cuts[i + 1];
+    if (s.width() <= 1e-9) continue;
+    const double xm = (s.x0 + s.x1) / 2.0;
+    index::IntervalSet blocked;
+    for (const geom::Box& b : footprints) {
+      if (xm >= b.lo.x && xm <= b.hi.x) blocked.insert(b.lo.y, b.hi.y);
+    }
+    s.free_y = blocked.gaps(bundle.lo.y, bundle.hi.y);
+    slabs.push_back(std::move(s));
+  }
+  return slabs;
+}
+
+}  // namespace lmr::assign

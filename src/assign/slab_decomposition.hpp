@@ -1,0 +1,47 @@
+#pragma once
+/// \file slab_decomposition.hpp
+/// Vertical slab decomposition of a routing bundle (§III: "we divide the
+/// design according to its layout to compose several regions").
+///
+/// The bundle box is cut at every obstacle x-extent; inside each slab the
+/// free space is the y-interval complement of the obstacle spans. Slabs are
+/// the "regions" of the assignment LP; their free areas are the capacities
+/// Cap_i of Eq. (2).
+
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/polygon.hpp"
+#include "index/interval_set.hpp"
+
+namespace lmr::assign {
+
+/// One vertical slab with its free y-intervals.
+struct Slab {
+  double x0 = 0.0;
+  double x1 = 0.0;
+  std::vector<index::Interval> free_y;  ///< free spans inside [bundle.lo.y, hi.y]
+
+  [[nodiscard]] double width() const { return x1 - x0; }
+  [[nodiscard]] double free_area() const {
+    double a = 0.0;
+    for (const auto& iv : free_y) a += iv.length();
+    return a * width();
+  }
+  /// The free interval containing y, if any.
+  [[nodiscard]] const index::Interval* free_span_at(double y) const {
+    for (const auto& iv : free_y) {
+      if (y >= iv.lo && y <= iv.hi) return &iv;
+    }
+    return nullptr;
+  }
+};
+
+/// Decompose `bundle` against `obstacles` (clipped to the bundle). Obstacle
+/// footprints are taken as their bounding boxes inflated by `clearance`
+/// (conservative, like the DRC conversion of obstacles in §II).
+[[nodiscard]] std::vector<Slab> decompose_slabs(const geom::Box& bundle,
+                                                const std::vector<geom::Polygon>& obstacles,
+                                                double clearance);
+
+}  // namespace lmr::assign

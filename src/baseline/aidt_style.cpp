@@ -1,0 +1,40 @@
+#include "baseline/aidt_style.hpp"
+
+#include <cmath>
+
+namespace lmr::baseline {
+
+AidtStyleTuner::AidtStyleTuner(drc::DesignRules rules, const layout::RoutableArea& area,
+                               std::vector<geom::Polygon> extra_obstacles)
+    : rules_(rules), area_(area), extra_(std::move(extra_obstacles)) {
+  rules_.validate();
+}
+
+AidtStats AidtStyleTuner::tune(layout::Trace& trace, double target) {
+  AidtStats stats;
+  stats.initial_length = trace.path.length();
+  stats.target = target;
+
+  // Pass 1: canonical serpentine geometry (pitch = width = effective gap).
+  {
+    FixedTrackMeanderer m(rules_, area_, extra_);
+    FixedTrackConfig cfg;
+    ++stats.passes;
+    m.extend(trace, target, cfg);
+  }
+  // Pass 2 ("interactive retry"): if short, re-run with the foot grid offset
+  // by half a pitch — tracks that were blocked may now be free.
+  if (target - trace.path.length() > 1e-6) {
+    FixedTrackMeanderer m(rules_, area_, extra_);
+    FixedTrackConfig cfg;
+    cfg.track_pitch = rules_.effective_gap() * 1.5;  // offset grid
+    ++stats.passes;
+    m.extend(trace, target, cfg);
+  }
+
+  stats.final_length = trace.path.length();
+  stats.reached = std::abs(stats.final_length - target) <= 1e-5;
+  return stats;
+}
+
+}  // namespace lmr::baseline

@@ -1,0 +1,46 @@
+#pragma once
+/// \file aidt_style.hpp
+/// AiDT-style greedy tuner — the Table I comparator.
+///
+/// Allegro's Auto-interactive Delay Tune is closed source; this class
+/// reproduces the *behavioural class* the paper compares against (see
+/// DESIGN.md §3): a greedy, fixed-geometry serpentine tuner that
+///  * processes straight runs longest-first (largest free span first, as an
+///    interactive user would),
+///  * uses fixed amplitude steps and a fixed meander pitch,
+///  * performs a refinement pass at half pitch offset when the first pass
+///    falls short (the "interactive" retry),
+///  * never adapts pattern width, never connects patterns, never routes
+///    around obstacles.
+/// Strong in open space; loses achievable length in obstacle-dense or
+/// tight-DRC regions — the comparison axis of Table I.
+
+#include "baseline/fixed_track.hpp"
+
+namespace lmr::baseline {
+
+/// Tuning report.
+struct AidtStats {
+  double initial_length = 0.0;
+  double final_length = 0.0;
+  double target = 0.0;
+  int passes = 0;
+  bool reached = false;
+};
+
+/// Greedy two-pass tuner built on the fixed-track machinery.
+class AidtStyleTuner {
+ public:
+  AidtStyleTuner(drc::DesignRules rules, const layout::RoutableArea& area,
+                 std::vector<geom::Polygon> extra_obstacles = {});
+
+  /// Tune `trace` toward `target`.
+  AidtStats tune(layout::Trace& trace, double target);
+
+ private:
+  drc::DesignRules rules_;
+  const layout::RoutableArea& area_;
+  std::vector<geom::Polygon> extra_;
+};
+
+}  // namespace lmr::baseline

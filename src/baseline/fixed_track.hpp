@@ -1,0 +1,64 @@
+#pragma once
+/// \file fixed_track.hpp
+/// The "without DP" ablation baseline of Table II.
+///
+/// Represents the class of gridded meanderers the paper compares against:
+/// pattern feet sit on *fixed tracks* (multiples of a fixed pitch along the
+/// segment), the pattern width is *constant*, patterns never connect, never
+/// route around obstacles (an obstacle inside the URA always caps the
+/// height), and each original segment is processed exactly once — no
+/// meandering on meanders. Everything else (URA clearance model, trace
+/// splicing) matches the DP engine, so Table II isolates exactly the DP's
+/// flexibility: foot choice, width adaptation, connection, and obstacle
+/// circumnavigation.
+
+#include <vector>
+
+#include "core/environment.hpp"
+#include "drc/rules.hpp"
+#include "layout/routable_area.hpp"
+#include "layout/trace.hpp"
+
+namespace lmr::baseline {
+
+/// Baseline knobs. Zeros mean "derive from the rules" (pitch = width =
+/// effective gap, the classic serpentine geometry).
+struct FixedTrackConfig {
+  double track_pitch = 0.0;    ///< foot grid spacing
+  double pattern_width = 0.0;  ///< constant pattern width
+  double tolerance = 1e-6;
+};
+
+/// Outcome report (mirrors core::ExtendStats where meaningful).
+struct FixedTrackStats {
+  double initial_length = 0.0;
+  double final_length = 0.0;
+  double target = 0.0;
+  int patterns_inserted = 0;
+  bool reached = false;
+};
+
+/// Fixed-track meanderer over one trace in its routable area.
+class FixedTrackMeanderer {
+ public:
+  FixedTrackMeanderer(drc::DesignRules rules, const layout::RoutableArea& area,
+                      std::vector<geom::Polygon> extra_obstacles = {});
+
+  /// Meander toward `target`; stops early when the target is met and trims
+  /// the final pattern for an exact match where possible.
+  FixedTrackStats extend(layout::Trace& trace, double target,
+                         const FixedTrackConfig& cfg = {});
+
+  /// Insert as much length as the fixed tracks allow (Table II protocol).
+  FixedTrackStats maximize(layout::Trace& trace, const FixedTrackConfig& cfg = {});
+
+ private:
+  FixedTrackStats run(layout::Trace& trace, double target, bool bounded,
+                      const FixedTrackConfig& cfg);
+
+  drc::DesignRules rules_;
+  core::Environment env_;
+  double area_reach_ = 0.0;
+};
+
+}  // namespace lmr::baseline

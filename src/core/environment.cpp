@@ -1,0 +1,48 @@
+#include "core/environment.hpp"
+
+namespace lmr::core {
+
+void Environment::add_static(geom::Polygon poly, EnvKind kind) {
+  EnvPolygon e;
+  e.bbox = poly.bbox();
+  e.kind = kind;
+  e.poly = std::move(poly);
+  statics_.push_back(std::move(e));
+}
+
+void Environment::build_index() {
+  std::vector<index::RangeTree2D::Entry> entries;
+  total_nodes_ = 0;
+  for (std::size_t i = 0; i < statics_.size(); ++i) {
+    for (const geom::Point& p : statics_[i].poly.points()) {
+      entries.push_back({p, static_cast<std::uint32_t>(i)});
+      ++total_nodes_;
+    }
+  }
+  tree_ = index::RangeTree2D{std::move(entries)};
+}
+
+void Environment::set_dynamic(std::vector<geom::Polygon> uras) {
+  dynamics_.clear();
+  dynamics_.reserve(uras.size());
+  for (auto& p : uras) {
+    EnvPolygon e;
+    e.bbox = p.bbox();
+    e.kind = EnvKind::SelfUra;
+    e.poly = std::move(p);
+    dynamics_.push_back(std::move(e));
+  }
+}
+
+std::vector<const EnvPolygon*> Environment::collect(const geom::Box& query) const {
+  std::vector<const EnvPolygon*> out;
+  for (const EnvPolygon& e : statics_) {
+    if (e.bbox.intersects(query)) out.push_back(&e);
+  }
+  for (const EnvPolygon& e : dynamics_) {
+    if (e.bbox.intersects(query)) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace lmr::core

@@ -1,0 +1,69 @@
+#pragma once
+/// \file environment.hpp
+/// The extension environment: every polygon a candidate pattern's URA must be
+/// checked against — the routable-area outline, obstacle holes (inflated for
+/// d_obs), and the URAs of the other segments of the trace under extension.
+///
+/// Static polygons (area + obstacles) are indexed once: their node points go
+/// into the 2-D range tree the paper prescribes for Alg. 2 (§IV-D), and their
+/// bounding boxes into a flat list for edge-level prefiltering. Dynamic
+/// polygons (the trace's self-URAs, which change after every insertion) are
+/// swapped per segment and scanned linearly — there are at most a few dozen.
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/polygon.hpp"
+#include "index/range_tree.hpp"
+
+namespace lmr::core {
+
+/// Role of an environment polygon; the height solver treats walls (area
+/// outlines) as never-enclosable, while obstacles fully inside a pattern's
+/// inner border are legal (the pattern routes around them).
+enum class EnvKind : std::uint8_t {
+  Obstacle,     ///< solid polygon the trace must clear (enclosable)
+  AreaOutline,  ///< routable-area boundary (the trace lives inside it)
+  SelfUra,      ///< URA of another segment of the same trace (not enclosable)
+};
+
+/// One polygon with its role and cached bbox.
+struct EnvPolygon {
+  geom::Polygon poly;
+  EnvKind kind = EnvKind::Obstacle;
+  geom::Box bbox;
+};
+
+/// Immutable-after-build static environment plus swappable dynamic overlay.
+class Environment {
+ public:
+  Environment() = default;
+
+  /// Add a static polygon (before build_index()).
+  void add_static(geom::Polygon poly, EnvKind kind);
+
+  /// Build the node range tree over all static polygons.
+  void build_index();
+
+  /// Replace the dynamic overlay (self-URAs of the current trace).
+  void set_dynamic(std::vector<geom::Polygon> uras);
+
+  /// Collect every environment polygon whose bbox intersects `query`
+  /// (static + dynamic). Pointers remain valid until the next mutation.
+  [[nodiscard]] std::vector<const EnvPolygon*> collect(const geom::Box& query) const;
+
+  [[nodiscard]] const std::vector<EnvPolygon>& statics() const { return statics_; }
+  [[nodiscard]] const std::vector<EnvPolygon>& dynamics() const { return dynamics_; }
+  [[nodiscard]] const index::RangeTree2D& node_tree() const { return tree_; }
+
+  [[nodiscard]] std::size_t total_nodes() const { return total_nodes_; }
+
+ private:
+  std::vector<EnvPolygon> statics_;
+  std::vector<EnvPolygon> dynamics_;
+  index::RangeTree2D tree_;  ///< nodes of static polygons, payload = index
+  std::size_t total_nodes_ = 0;
+};
+
+}  // namespace lmr::core

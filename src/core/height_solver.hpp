@@ -1,0 +1,88 @@
+#pragma once
+/// \file height_solver.hpp
+/// Maximum valid pattern height by URA shrinking (§IV-B).
+///
+/// One solver is built per (segment, direction) pass: the environment
+/// polygons near the segment are transformed into the segment-local frame
+/// (base on y = 0, pattern side +y) once, and `max_height` is then queried
+/// for every candidate foot pair of the DP.
+///
+/// The shrinking pipeline follows the paper:
+///  1. create the URA with hob = requested height + half (Eq. 10 inverse);
+///  2. shrink by the "sides" AB / CD: every polygon-edge intersection with a
+///     side caps hob at the intersection's y (Eq. 11) — single pass, since
+///     shrinking only shortens the sides;
+///  3. shrink by the "hat" via node-position checking (Alg. 2): polygons with
+///     node points both inside and outside the outer border cap hob at their
+///     lowest inside node (Eq. 12); iterated to a fixpoint because each
+///     shrink can expose new partially-inside polygons. The inside-node query
+///     is served by a range tree over the local node set, exactly the
+///     accelerator of §IV-D;
+///  4. shrink by the inner border: polygons entirely inside the outer border
+///     must lie entirely inside the inner border (then the pattern legally
+///     routes around them) or the hat is pushed below the whole polygon
+///     (Eq. 13). Walls (routable-area outlines) and self-URAs are never
+///     enclosable. Interleaved with step 3 to a joint fixpoint.
+///
+/// Heights are *not* monotone in validity when obstacles can be enclosed
+/// (the paper's argument against binary search), which is why shrinking
+/// always restarts from the requested height and why `max_height` must be
+/// re-run instead of scaled when a different request is made.
+
+#include <vector>
+
+#include "core/environment.hpp"
+#include "core/ura.hpp"
+#include "geom/frame.hpp"
+#include "geom/polygon.hpp"
+#include "index/range_tree.hpp"
+
+namespace lmr::core {
+
+/// Environment polygon transformed into the solver's local frame.
+struct LocalPoly {
+  geom::Polygon poly;
+  EnvKind kind = EnvKind::Obstacle;
+  geom::Box bbox;
+  double min_y = 0.0;  ///< lowest node ordinate (Eq. 13 shrink target)
+};
+
+class HeightSolver {
+ public:
+  /// `half` is the URA half-width (effective_gap / 2).
+  HeightSolver(std::vector<LocalPoly> polys, double half);
+
+  /// Build from global-frame environment: collect polygons near the
+  /// reachable region of segment `s` (up to height `max_reach`), transform
+  /// through the frame for side `dir`.
+  static HeightSolver for_segment(const Environment& env, const geom::Segment& s, int dir,
+                                  double max_reach, double half);
+
+  /// Maximum valid height h <= h_request for a pattern with feet at local
+  /// x0 < x1. Returns 0 when no positive height is valid.
+  [[nodiscard]] double max_height(double x0, double x1, double h_request) const;
+
+  /// Brute-force oracle: is a pattern of height `h` at (x0, x1) valid under
+  /// the paper's polygonal URA model? Checks every polygon against the URA
+  /// boxes of the three pattern segments with no clean-base assumptions;
+  /// used by property tests and the `exhaustive_checks` extender config.
+  /// `tol` shrinks the URA boxes so exact-clearance touching stays legal.
+  [[nodiscard]] bool valid_exhaustive(double x0, double x1, double h,
+                                      double tol = 1e-7) const;
+
+  [[nodiscard]] double half() const { return half_; }
+  [[nodiscard]] const std::vector<LocalPoly>& polys() const { return polys_; }
+
+ private:
+  /// Step 2: lowest side-edge intersection.
+  [[nodiscard]] double shrink_by_sides(const UraBorders& b,
+                                       const std::vector<std::size_t>& cand) const;
+  /// Steps 3+4 interleaved to fixpoint; returns final hob.
+  [[nodiscard]] double shrink_by_nodes(UraBorders b, const std::vector<std::size_t>& cand) const;
+
+  std::vector<LocalPoly> polys_;
+  double half_;
+  index::RangeTree2D node_tree_;  ///< all local nodes, payload = poly index
+};
+
+}  // namespace lmr::core

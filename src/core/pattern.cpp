@@ -1,0 +1,53 @@
+#include "core/pattern.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "geom/chamfer.hpp"
+
+namespace lmr::core {
+
+double pattern_gain(double h, PatternStyle style, double miter) {
+  if (style == PatternStyle::RightAngle || miter <= 0.0) return 2.0 * h;
+  // Four mitered corners; chamfer size may be clipped by the leg height
+  // (cut <= h/2 per corner pair on one leg).
+  const double c = std::min(miter, h / 2.0);
+  return 2.0 * h + 4.0 * geom::right_angle_chamfer_delta(c);
+}
+
+double height_for_gain(double gain, PatternStyle style, double miter) {
+  if (style == PatternStyle::RightAngle || miter <= 0.0) return gain / 2.0;
+  // Invert gain = 2h + 4c(sqrt(2)-2) assuming the chamfer is not clipped;
+  // callers requesting heights near the clip limit fall back to iteration-
+  // free right-angle sizing, which over-requests slightly and is then
+  // shrunk/validated by the solver.
+  const double full = (gain - 4.0 * geom::right_angle_chamfer_delta(miter)) / 2.0;
+  if (full >= 2.0 * miter) return full;
+  return gain / 2.0;
+}
+
+std::vector<geom::Point> realize_patterns(const std::vector<Pattern>& patterns, double len,
+                                          double step) {
+  std::vector<geom::Point> out;
+  out.reserve(patterns.size() * 4 + 2);
+  const auto push = [&out](double x, double y) {
+    const geom::Point p{x, y};
+    if (out.empty() || !geom::almost_equal(out.back(), p)) out.push_back(p);
+  };
+  push(0.0, 0.0);
+  for (const Pattern& p : patterns) {
+    assert(p.foot_lo < p.foot_hi);
+    assert(p.height > 0.0);
+    const double x0 = p.foot_lo * step;
+    const double x1 = p.foot_hi * step;
+    const double y = p.dir * p.height;
+    push(x0, 0.0);
+    push(x0, y);
+    push(x1, y);
+    push(x1, 0.0);
+  }
+  push(len, 0.0);
+  return out;
+}
+
+}  // namespace lmr::core

@@ -1,0 +1,48 @@
+#pragma once
+/// \file pattern.hpp
+/// Convex meander patterns: geometry and length-gain accounting.
+///
+/// A pattern is the U-shaped detour inserted perpendicular to a segment
+/// (§IV): two legs of height h at feet x0 < x1 plus a hat of width x1-x0.
+/// It replaces the base run [x0, x1], so a right-angle pattern gains exactly
+/// 2h of trace length. With 45-degree mitering (d_miter = c), each of the
+/// four corners trades 2c of arms for a sqrt(2)c diagonal, so the gain is
+/// 2h + 4c(sqrt(2)-2).
+
+#include <vector>
+
+#include "geom/polyline.hpp"
+#include "geom/vec2.hpp"
+
+namespace lmr::core {
+
+/// Corner style for generated patterns. The paper develops the method on
+/// right-angle corners; Mitered applies the d_miter chamfer (Fig. 1).
+enum class PatternStyle { RightAngle, Mitered };
+
+/// One inserted pattern in segment-local discrete coordinates.
+struct Pattern {
+  int foot_lo = 0;    ///< discrete index of the left foot
+  int foot_hi = 0;    ///< discrete index of the right foot (> foot_lo)
+  double height = 0;  ///< leg height h (> 0)
+  int dir = 1;        ///< +1 / -1: which side of the segment (paper's dir)
+
+  [[nodiscard]] int width_steps() const { return foot_hi - foot_lo; }
+};
+
+/// Length gained by inserting a pattern of height h (style-dependent).
+[[nodiscard]] double pattern_gain(double h, PatternStyle style, double miter);
+
+/// Height needed for a given gain (inverse of pattern_gain).
+[[nodiscard]] double height_for_gain(double gain, PatternStyle style, double miter);
+
+/// Local-frame vertex run realizing `patterns` along a base segment of
+/// length `len` discretized with `step`. The run starts at (0,0) and ends at
+/// (len,0); base points are emitted only where needed, and connected
+/// patterns (shared foot, opposite dirs) merge their legs into a single
+/// straight crossing. The caller maps the run through the segment frame and
+/// splices it into the trace.
+[[nodiscard]] std::vector<geom::Point> realize_patterns(const std::vector<Pattern>& patterns,
+                                                        double len, double step);
+
+}  // namespace lmr::core

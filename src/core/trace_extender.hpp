@@ -1,0 +1,95 @@
+#pragma once
+/// \file trace_extender.hpp
+/// Queue-driven trace extension (Alg. 1).
+///
+/// Pops unexpanded segments, discretizes them, runs the segment DP with URA
+/// height solving, restores the best pattern chain, splices it into the
+/// trace and enqueues the freshly created sub-segments for further
+/// meandering. Iterates until the trace reaches its target length within
+/// tolerance or no segment can contribute.
+///
+/// Differences from a verbatim Alg. 1 transcription, all documented in
+/// DESIGN.md §5:
+///  * gains are exact trace-length gains (2h per right-angle pattern);
+///  * when a restored chain would overshoot the target, pattern heights are
+///    trimmed (largest first) with each trimmed height re-validated through
+///    the solver, because height validity is not monotone near enclosed
+///    obstacles;
+///  * `maximize()` mode (used by the Table II ablation) runs the same loop
+///    with an unbounded requirement.
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "core/environment.hpp"
+#include "core/pattern.hpp"
+#include "drc/rules.hpp"
+#include "layout/routable_area.hpp"
+#include "layout/trace.hpp"
+
+namespace lmr::core {
+
+/// Tuning knobs of the extender.
+struct ExtenderConfig {
+  double l_disc = 0.0;       ///< discretization step; 0 = use d_protect
+  double tolerance = 1e-6;   ///< |l_trace - l_target| acceptance band
+  int max_passes = 20000;    ///< safety bound on queue pops
+  int max_width_steps = 0;   ///< DP width-loop cap; 0 = unbounded
+  PatternStyle style = PatternStyle::RightAngle;
+  bool exhaustive_checks = false;  ///< oracle-validate every accepted height
+  double min_extend_length = 0.0;  ///< shortest segment worth queueing; 0 = auto
+  bool extend_new_segments = true; ///< meander on freshly created segments too
+};
+
+/// Outcome report of one extension run.
+struct ExtendStats {
+  double initial_length = 0.0;
+  double final_length = 0.0;
+  double target = 0.0;
+  int patterns_inserted = 0;
+  int segments_processed = 0;
+  int dp_runs = 0;
+  bool reached = false;
+  /// Mismatches where the fast shrinking accepted a height the exhaustive
+  /// oracle rejects (only populated with exhaustive_checks; must stay 0).
+  int oracle_mismatches = 0;
+};
+
+/// Extends one trace inside its routable area.
+class TraceExtender {
+ public:
+  /// `extra_obstacles` lets callers add environment polygons that are not
+  /// part of the routable area (e.g. URAs of already-routed foreign traces).
+  TraceExtender(drc::DesignRules rules, const layout::RoutableArea& area,
+                std::vector<geom::Polygon> extra_obstacles = {});
+
+  /// Meander `trace` toward `target` length (Alg. 1). Throws
+  /// std::invalid_argument when target < current length - tolerance.
+  ExtendStats extend(layout::Trace& trace, double target, const ExtenderConfig& cfg = {});
+
+  /// Insert as much length as the area allows (Table II's "extension upper
+  /// bound" protocol): same loop with an unbounded requirement.
+  ExtendStats maximize(layout::Trace& trace, const ExtenderConfig& cfg = {});
+
+  [[nodiscard]] const Environment& environment() const { return env_; }
+
+ private:
+  struct QueuedSegment {
+    geom::Point a;
+    geom::Point b;
+  };
+
+  ExtendStats run(layout::Trace& trace, double target, bool bounded,
+                  const ExtenderConfig& cfg);
+
+  /// Find the vertex index k with path[k]==a, path[k+1]==b; SIZE_MAX if the
+  /// segment no longer exists in the (possibly re-spliced) path.
+  static std::size_t locate(const geom::Polyline& path, const QueuedSegment& q);
+
+  drc::DesignRules rules_;
+  Environment env_;
+  double area_reach_ = 0.0;  ///< diagonal of the area bbox (height cap)
+};
+
+}  // namespace lmr::core

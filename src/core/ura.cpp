@@ -1,0 +1,42 @@
+#include "core/ura.hpp"
+
+#include <limits>
+
+namespace lmr::core {
+
+geom::Polygon ura_of_segment(const geom::Segment& s, double half) {
+  const geom::Vec2 u = s.unit();
+  const geom::Vec2 n = u.perp();
+  const geom::Point a = s.a - u * half;
+  const geom::Point b = s.b + u * half;
+  return geom::Polygon{{a - n * half, b - n * half, b + n * half, a + n * half}};
+}
+
+std::vector<geom::Polygon> self_uras(const geom::Polyline& path, std::size_t skip, double half,
+                                     double joint_trim) {
+  std::vector<geom::Polygon> out;
+  const std::size_t n = path.segment_count();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == skip) continue;
+    geom::Segment s = path.segment(i);
+    if (s.degenerate()) continue;
+    if (skip != std::numeric_limits<std::size_t>::max()) {
+      // Trim the end that touches the skipped segment so joint geometry
+      // (connect-to-node transitions, Fig. 3d) is not self-rejected. The
+      // trim never eats past `joint_trim`, and always leaves the far end of
+      // a short adjacent segment protected so later patterns cannot hug it.
+      const double trim = std::min(joint_trim, std::max(0.0, s.length() - half));
+      if (i + 1 == skip) {
+        s.b = s.b - s.unit() * trim;
+      } else if (i == skip + 1) {
+        s.a = s.a + s.unit() * trim;
+      }
+      if (s.degenerate()) continue;
+    }
+    out.push_back(ura_of_segment(s, half));
+  }
+  return out;
+}
+
+}  // namespace lmr::core

@@ -1,0 +1,61 @@
+#pragma once
+/// \file ura.hpp
+/// UnReachable Areas (§IV-B, Fig. 6).
+///
+/// The URA of a segment is the rectangle whose border is half the effective
+/// gap away from the segment (including beyond the endpoints); the URA of a
+/// candidate pattern is the union of its three segments' URAs, summarized by
+/// an *outer border* ABCD and an *inner border* EFGH in the segment-local
+/// frame. DRC is reduced to intersection/containment tests between these
+/// borders and environment polygons.
+
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/polygon.hpp"
+#include "geom/polyline.hpp"
+#include "geom/segment.hpp"
+
+namespace lmr::core {
+
+/// Candidate-pattern URA borders in the local frame: the base segment lies on
+/// y = 0 with feet at x0 < x1 and the pattern side mapped to +y.
+struct UraBorders {
+  double x0 = 0.0;    ///< left foot
+  double x1 = 0.0;    ///< right foot
+  double half = 0.0;  ///< URA half-width (effective_gap / 2)
+  double hob = 0.0;   ///< outer border height (y of B and C, Fig. 6)
+
+  /// Outer border ABCD: [x0-half, x1+half] x [0, hob].
+  [[nodiscard]] geom::Box outer() const {
+    return {{x0 - half, 0.0}, {x1 + half, hob}};
+  }
+  /// Inner border EFGH: [x0+half, x1-half] x [0, hob - 2*half]; empty when
+  /// the pattern is too narrow or too low to enclose anything.
+  [[nodiscard]] geom::Box inner() const {
+    const geom::Box b{{x0 + half, 0.0}, {x1 - half, hob - 2.0 * half}};
+    return b;
+  }
+  [[nodiscard]] bool inner_empty() const {
+    const geom::Box b = inner();
+    return b.lo.x >= b.hi.x || b.lo.y >= b.hi.y;
+  }
+
+  /// Pattern height implied by the current outer border (Eq. 10):
+  /// h = max(0, hob - half).
+  [[nodiscard]] double pattern_height() const { return hob > half ? hob - half : 0.0; }
+};
+
+/// Rectangle (as a rotated polygon in global coordinates) half of the gap
+/// away from segment `s` on all four sides — the URA of a routed segment.
+[[nodiscard]] geom::Polygon ura_of_segment(const geom::Segment& s, double half);
+
+/// URAs of every segment of a polyline except index `skip` (pass SIZE_MAX to
+/// keep all). Segments adjacent to `skip` are shortened by `joint_trim` at
+/// the shared node so that legal joint geometry (connect-to-node patterns)
+/// is not rejected — adjacent same-net segments are exempt from the gap rule
+/// (DESIGN.md §5).
+[[nodiscard]] std::vector<geom::Polygon> self_uras(const geom::Polyline& path, std::size_t skip,
+                                                   double half, double joint_trim);
+
+}  // namespace lmr::core

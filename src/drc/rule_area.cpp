@@ -1,0 +1,42 @@
+#include "drc/rule_area.hpp"
+
+#include <algorithm>
+
+#include "geom/distance.hpp"
+
+namespace lmr::drc {
+
+const DesignRules& RuleSet::rules_at(const geom::Point& p) const {
+  const DesignRules* found = &base_;
+  for (const RuleArea& a : areas_) {
+    if (a.region.contains(p)) found = &a.rules;
+  }
+  return *found;
+}
+
+DesignRules RuleSet::tightest_on_segment(const geom::Segment& s) const {
+  DesignRules out = base_;
+  for (const RuleArea& a : areas_) {
+    const bool touches = a.region.contains(s.a) || a.region.contains(s.b) ||
+                         geom::dist_segment_polygon(s, a.region) == 0.0;
+    if (!touches) continue;
+    out.gap = std::max(out.gap, a.rules.gap);
+    out.obs = std::max(out.obs, a.rules.obs);
+    out.protect = std::max(out.protect, a.rules.protect);
+    out.miter = std::max(out.miter, a.rules.miter);
+    out.trace_width = std::max(out.trace_width, a.rules.trace_width);
+  }
+  return out;
+}
+
+std::vector<double> RuleSet::ascending_pair_pitches(
+    const std::vector<double>& observed_pitches) const {
+  std::vector<double> r = observed_pitches;
+  std::sort(r.begin(), r.end());
+  r.erase(std::unique(r.begin(), r.end(),
+                      [](double a, double b) { return std::abs(a - b) < 1e-9; }),
+          r.end());
+  return r;
+}
+
+}  // namespace lmr::drc

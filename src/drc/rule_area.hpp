@@ -1,0 +1,57 @@
+#pragma once
+/// \file rule_area.hpp
+/// Design Rule Areas (DRAs): regions of the board where rule values differ.
+/// A trace "usually passes different DRAs, demanding the length matching
+/// approaches to consider multiple DRC" (§I-B). MSDTW's multi-scale recursion
+/// consumes the set of distance rules a differential pair traverses.
+
+#include <optional>
+#include <vector>
+
+#include "drc/rules.hpp"
+#include "geom/polygon.hpp"
+
+namespace lmr::drc {
+
+/// A polygonal region with its own rule values.
+struct RuleArea {
+  geom::Polygon region;
+  DesignRules rules;
+};
+
+/// Base rules plus zero or more overriding areas. Lookup returns the rules of
+/// the *last* area containing the query point, falling back to the base —
+/// later areas shadow earlier ones, mirroring CAD tool stacking order.
+class RuleSet {
+ public:
+  explicit RuleSet(DesignRules base) : base_(base) { base_.validate(); }
+
+  void add_area(RuleArea area) {
+    area.rules.validate();
+    areas_.push_back(std::move(area));
+  }
+
+  [[nodiscard]] const DesignRules& base() const { return base_; }
+  [[nodiscard]] const std::vector<RuleArea>& areas() const { return areas_; }
+
+  /// Rules in force at point `p`.
+  [[nodiscard]] const DesignRules& rules_at(const geom::Point& p) const;
+
+  /// The *tightest* rules any part of segment [a, b] passes through:
+  /// per-field maximum over the areas the segment touches. Extension of a
+  /// segment spanning several DRAs must satisfy all of them (§IV-B handles
+  /// multiple DRAs by separating routable areas; this is the conservative
+  /// single-area reduction used when areas overlap a segment).
+  [[nodiscard]] DesignRules tightest_on_segment(const geom::Segment& s) const;
+
+  /// All pair distance rules seen along the two sub-traces of a differential
+  /// pair, ascending and deduplicated — the rule set R of MSDTW (Alg. 3).
+  [[nodiscard]] std::vector<double> ascending_pair_pitches(
+      const std::vector<double>& observed_pitches) const;
+
+ private:
+  DesignRules base_;
+  std::vector<RuleArea> areas_;
+};
+
+}  // namespace lmr::drc

@@ -1,0 +1,53 @@
+#include "drc/rules.hpp"
+
+#include <cmath>
+
+namespace lmr::drc {
+
+void DesignRules::validate() const {
+  if (gap <= 0.0) throw std::invalid_argument("DesignRules: d_gap must be positive");
+  if (obs < 0.0) throw std::invalid_argument("DesignRules: d_obs must be non-negative");
+  if (protect <= 0.0) throw std::invalid_argument("DesignRules: d_protect must be positive");
+  if (miter < 0.0) throw std::invalid_argument("DesignRules: d_miter must be non-negative");
+  if (trace_width < 0.0) throw std::invalid_argument("DesignRules: width must be non-negative");
+  if (protect > 10.0 * gap) {
+    // A protect rule far above the gap rule starves the DP of transitions and
+    // is almost certainly a configuration mistake.
+    throw std::invalid_argument("DesignRules: d_protect unreasonably larger than d_gap");
+  }
+}
+
+QuantizedRules quantize(const DesignRules& rules, double l_disc) {
+  if (l_disc <= 0.0) throw std::invalid_argument("quantize: l_disc must be positive");
+  QuantizedRules q;
+  q.step = l_disc;
+  q.rules = rules;
+  q.gap_steps = static_cast<int>(std::ceil(rules.effective_gap() / l_disc - 1e-9));
+  q.protect_steps = static_cast<int>(std::ceil(rules.protect / l_disc - 1e-9));
+  if (q.gap_steps < 1) q.gap_steps = 1;
+  if (q.protect_steps < 1) q.protect_steps = 1;
+  // Tighten (never loosen) the continuous rules onto the grid.
+  q.rules.gap = q.gap_steps * l_disc - rules.trace_width;
+  if (q.rules.gap < rules.gap) q.rules.gap = rules.gap;
+  q.rules.protect = q.protect_steps * l_disc;
+  if (q.rules.protect < rules.protect) q.rules.protect = rules.protect;
+  return q;
+}
+
+DesignRules virtual_pair_rules(const DesignRules& sub_rules, double pair_pitch) {
+  DesignRules v = sub_rules;
+  // The median centerline stands for the full pair band: each sub-trace sits
+  // pair_pitch/2 away from the median, so every clearance measured from the
+  // median must grow by pair_pitch/2 (plus the sub-trace width already
+  // accounted via trace_width below).
+  v.trace_width = sub_rules.trace_width + pair_pitch;
+  v.gap = sub_rules.gap;  // edge-to-edge gap unchanged; width carries the band
+  v.obs = sub_rules.obs;
+  // Tiny intra-pair compensation patterns are shorter than d_protect of the
+  // merged trace; keep protect from the sub rules.
+  v.protect = sub_rules.protect;
+  v.miter = sub_rules.miter;
+  return v;
+}
+
+}  // namespace lmr::drc

@@ -1,0 +1,68 @@
+#pragma once
+/// \file rules.hpp
+/// Design rules of the paper's problem formulation (§II, Fig. 1):
+///   d_gap     — trace-to-trace spacing (self-inductance / crosstalk),
+///   d_obs     — trace-to-obstacle clearance,
+///   d_protect — minimum segment length (no extremely short stubs),
+///   d_miter   — miter cut applied to right/acute corners.
+/// We additionally carry the trace width, which industrial DRC folds into
+/// edge-to-edge spacing; all clearance rules in lmroute are expressed between
+/// trace *centerlines*, so the effective gap is d_gap + w_trace.
+
+#include <stdexcept>
+
+namespace lmr::drc {
+
+/// Value-type bundle of the four paper rules plus the trace width.
+struct DesignRules {
+  double gap = 1.0;      ///< d_gap
+  double obs = 1.0;      ///< d_obs
+  double protect = 0.5;  ///< d_protect
+  double miter = 0.0;    ///< d_miter (0 = right-angle corners permitted)
+  double trace_width = 0.0;
+
+  /// Centerline-to-centerline spacing implied by the edge-to-edge d_gap.
+  [[nodiscard]] double effective_gap() const { return gap + trace_width; }
+
+  /// Centerline clearance a trace must keep from an obstacle boundary.
+  [[nodiscard]] double effective_obs() const { return obs + trace_width / 2.0; }
+
+  /// Half-width of an UnReachable Area strip (paper §IV-B: "half of d_gap
+  /// away from the segment").
+  [[nodiscard]] double ura_halfwidth() const { return effective_gap() / 2.0; }
+
+  /// Extra inflation applied to obstacle polygons when they are converted
+  /// into environment polygons, so URA-vs-polygon clearance implies
+  /// trace-vs-obstacle clearance of d_obs (DESIGN.md §5).
+  [[nodiscard]] double obstacle_inflation() const {
+    const double needed = effective_obs() - ura_halfwidth();
+    return needed > 0.0 ? needed : 0.0;
+  }
+
+  /// Throws std::invalid_argument when a rule combination is unusable.
+  void validate() const;
+};
+
+/// Rules rounded so that d_gap and d_protect are integer multiples of the
+/// discretization step (the paper: "we may slightly increase d_gap and
+/// d_protect or adjust l_disc to make the former divisible by the latter").
+struct QuantizedRules {
+  DesignRules rules;   ///< possibly increased gap/protect
+  double step = 0.0;   ///< l_disc actually used
+  int gap_steps = 0;       ///< effective_gap / step
+  int protect_steps = 0;   ///< protect / step
+};
+
+/// Quantize `rules` onto step `l_disc` by rounding gap/protect *up* to the
+/// next multiple (never loosening a rule).
+[[nodiscard]] QuantizedRules quantize(const DesignRules& rules, double l_disc);
+
+/// Virtual rules attached to the median trace of a differential pair with
+/// centerline pitch `pair_pitch` (§V-A: "we also attach a virtual DRC to its
+/// merged median trace ... converted from its distance rule and the original
+/// DRC of its sub-traces"). The median trace stands for a band of width
+/// pair_pitch + w; every clearance grows by half that band so the restored
+/// sub-traces meet the original rules.
+[[nodiscard]] DesignRules virtual_pair_rules(const DesignRules& sub_rules, double pair_pitch);
+
+}  // namespace lmr::drc

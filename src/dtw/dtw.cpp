@@ -1,0 +1,49 @@
+#include "dtw/dtw.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lmr::dtw {
+
+DtwResult dtw_match(std::span<const geom::Point> p, std::span<const geom::Point> n) {
+  DtwResult result;
+  const std::size_t I = p.size();
+  const std::size_t J = n.size();
+  if (I == 0 || J == 0) return result;
+
+  // C[i][j] = min cost matching the first i nodes of P with the first j of N
+  // (1-based); Eq. 17 with the C[0][0] = 0 initialization.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> c(I + 1, std::vector<double>(J + 1, inf));
+  c[0][0] = 0.0;
+  for (std::size_t i = 1; i <= I; ++i) {
+    for (std::size_t j = 1; j <= J; ++j) {
+      const double best =
+          std::min({c[i - 1][j], c[i][j - 1], c[i - 1][j - 1]});
+      if (best < inf) c[i][j] = best + geom::dist(p[i - 1], n[j - 1]);
+    }
+  }
+  result.total_cost = c[I][J];
+
+  // Backtrack from C[I][J] to C[0][0]; every visited cell is a matched pair.
+  std::size_t i = I, j = J;
+  while (i >= 1 && j >= 1) {
+    result.pairs.push_back({i - 1, j - 1, geom::dist(p[i - 1], n[j - 1])});
+    const double diag = (i > 1 && j > 1) ? c[i - 1][j - 1] : inf;
+    const double up = i > 1 ? c[i - 1][j] : inf;
+    const double left = j > 1 ? c[i][j - 1] : inf;
+    if (i == 1 && j == 1) break;
+    if (diag <= up && diag <= left) {
+      --i;
+      --j;
+    } else if (up <= left) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(result.pairs.begin(), result.pairs.end());
+  return result;
+}
+
+}  // namespace lmr::dtw

@@ -1,0 +1,37 @@
+#pragma once
+/// \file dtw.hpp
+/// Dynamic Time Warping over trace node sequences (§V-A, Eq. 17).
+///
+/// MSDTW relies on *node matching* instead of parallel-segment detection to
+/// find the coupling of a differential pair: node positions and clusters are
+/// stable even when segments are not strictly parallel (Fig. 10). DTW finds
+/// the minimum-total-cost monotone matching in which every node of both
+/// sub-traces is matched and several nodes may share a partner.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace lmr::dtw {
+
+/// One matched node pair (indices into the two input sequences).
+struct MatchPair {
+  std::size_t ip = 0;  ///< node index in traceP
+  std::size_t in = 0;  ///< node index in traceN
+  double cost = 0.0;   ///< d(P[ip], N[in])
+};
+
+/// Full matching with its total cost C[I][J].
+struct DtwResult {
+  double total_cost = 0.0;
+  std::vector<MatchPair> pairs;  ///< monotone, restored by backtracking
+};
+
+/// Match two node sequences. Either sequence may be empty (empty result).
+/// O(I*J) time and memory.
+[[nodiscard]] DtwResult dtw_match(std::span<const geom::Point> p,
+                                  std::span<const geom::Point> n);
+
+}  // namespace lmr::dtw

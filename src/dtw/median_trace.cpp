@@ -1,0 +1,68 @@
+#include "dtw/median_trace.hpp"
+
+#include <algorithm>
+
+#include "index/union_find.hpp"
+
+namespace lmr::dtw {
+
+MedianTrace build_median_trace(std::span<const geom::Point> p, std::span<const geom::Point> n,
+                               std::span<const MatchPair> pairs) {
+  MedianTrace out;
+  const std::size_t I = p.size();
+  const std::size_t J = n.size();
+  // Union nodes across the bipartite matching: ids [0, I) are P nodes,
+  // [I, I+J) are N nodes.
+  index::UnionFind uf(I + J);
+  for (const MatchPair& m : pairs) uf.unite(m.ip, I + m.in);
+
+  // Collect members per root, but only for nodes that appear in some pair
+  // (unpaired nodes are filtered noise, §V-B).
+  std::vector<char> in_pair(I + J, 0);
+  for (const MatchPair& m : pairs) {
+    in_pair[m.ip] = 1;
+    in_pair[I + m.in] = 1;
+  }
+  std::vector<std::vector<std::size_t>> members_p(I + J), members_n(I + J);
+  for (std::size_t i = 0; i < I; ++i) {
+    if (in_pair[i]) members_p[uf.find(i)].push_back(i);
+  }
+  for (std::size_t j = 0; j < J; ++j) {
+    if (in_pair[I + j]) members_n[uf.find(I + j)].push_back(j);
+  }
+
+  // Order components along the trace by their smallest traceP index.
+  std::vector<std::size_t> roots;
+  for (std::size_t r = 0; r < I + J; ++r) {
+    if (!members_p[r].empty() || !members_n[r].empty()) roots.push_back(r);
+  }
+  std::sort(roots.begin(), roots.end(), [&](std::size_t a, std::size_t b) {
+    const auto key = [&](std::size_t r) {
+      return members_p[r].empty() ? std::size_t{0} : members_p[r].front();
+    };
+    return key(a) < key(b);
+  });
+
+  for (std::size_t r : roots) {
+    MedianComponent comp;
+    comp.p_nodes = members_p[r];
+    comp.n_nodes = members_n[r];
+    geom::Point avg_p, avg_n;
+    for (std::size_t i : comp.p_nodes) avg_p += p[i];
+    for (std::size_t j : comp.n_nodes) avg_n += n[j];
+    if (!comp.p_nodes.empty()) avg_p = avg_p / static_cast<double>(comp.p_nodes.size());
+    if (!comp.n_nodes.empty()) avg_n = avg_n / static_cast<double>(comp.n_nodes.size());
+    if (comp.p_nodes.empty()) {
+      comp.median = avg_n;
+    } else if (comp.n_nodes.empty()) {
+      comp.median = avg_p;
+    } else {
+      comp.median = (avg_p + avg_n) * 0.5;  // Eq. 18
+    }
+    out.median.push_back(comp.median);
+    out.components.push_back(std::move(comp));
+  }
+  return out;
+}
+
+}  // namespace lmr::dtw

@@ -1,0 +1,41 @@
+#pragma once
+/// \file median_trace.hpp
+/// Median-trace generation from matched node pairs (§V-A, Eq. 18).
+///
+/// Matched pairs connect nodes of the two sub-traces into connected
+/// components; each component V_C yields one median point
+///     p_m = midpoint( avg(V_C ∩ P), avg(V_C ∩ N) )
+/// — first averaging per side so that many-to-one matchings do not drag the
+/// median toward the denser side. Unmatched (filtered) nodes contribute
+/// nothing.
+
+#include <span>
+#include <vector>
+
+#include "dtw/dtw.hpp"
+#include "geom/polyline.hpp"
+
+namespace lmr::dtw {
+
+/// One connected component of matched nodes.
+struct MedianComponent {
+  std::vector<std::size_t> p_nodes;  ///< member indices in traceP
+  std::vector<std::size_t> n_nodes;  ///< member indices in traceN
+  geom::Point median;                ///< Eq. 18 result
+};
+
+/// Components in trace order plus the assembled median polyline.
+struct MedianTrace {
+  std::vector<MedianComponent> components;
+  geom::Polyline median;
+};
+
+/// Build the median trace for sub-trace node sequences `p`/`n` from matched
+/// pairs (typically the filtered output of MSDTW). Pairs must reference
+/// valid indices. Components are emitted in ascending traceP order, which is
+/// the trace direction for monotone DTW matchings.
+[[nodiscard]] MedianTrace build_median_trace(std::span<const geom::Point> p,
+                                             std::span<const geom::Point> n,
+                                             std::span<const MatchPair> pairs);
+
+}  // namespace lmr::dtw

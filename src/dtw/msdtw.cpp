@@ -1,0 +1,86 @@
+#include "dtw/msdtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lmr::dtw {
+
+namespace {
+
+/// A sub-pair: index ranges [p_lo, p_hi) x [n_lo, n_hi) still to be matched.
+struct SubPair {
+  std::size_t p_lo = 0, p_hi = 0;
+  std::size_t n_lo = 0, n_hi = 0;
+  [[nodiscard]] bool has_p() const { return p_lo < p_hi; }
+  [[nodiscard]] bool has_n() const { return n_lo < n_hi; }
+};
+
+}  // namespace
+
+MsdtwResult msdtw_match(std::span<const geom::Point> p, std::span<const geom::Point> n,
+                        std::span<const double> rules) {
+  if (rules.empty()) throw std::invalid_argument("msdtw_match: empty rule set");
+  for (std::size_t k = 1; k < rules.size(); ++k) {
+    if (rules[k] < rules[k - 1]) {
+      throw std::invalid_argument("msdtw_match: rules must be ascending");
+    }
+  }
+
+  MsdtwResult out;
+  out.p_paired.assign(p.size(), false);
+  out.n_paired.assign(n.size(), false);
+
+  std::vector<SubPair> subs{{0, p.size(), 0, n.size()}};
+  for (const double r : rules) {
+    ++out.rounds_run;
+    // Absolute epsilon so a coupling at exactly sqrt(2)*r (a perfect
+    // 90-degree corner of a pair at pitch r) is accepted despite rounding.
+    const double cutoff = std::sqrt(2.0) * r + 1e-9;
+    std::vector<SubPair> next;
+    for (const SubPair& sp : subs) {
+      // Dropping rule (Alg. 3 lines 12-16): a side with no nodes left means
+      // the remainder is tiny-pattern noise.
+      if (!sp.has_p() || !sp.has_n()) continue;
+
+      const DtwResult d = dtw_match(p.subspan(sp.p_lo, sp.p_hi - sp.p_lo),
+                                    n.subspan(sp.n_lo, sp.n_hi - sp.n_lo));
+      // Accept pairs under the cutoff; record and use them as split points.
+      std::vector<MatchPair> accepted;
+      for (const MatchPair& m : d.pairs) {
+        if (m.cost <= cutoff) {
+          accepted.push_back({m.ip + sp.p_lo, m.in + sp.n_lo, m.cost});
+        }
+      }
+      if (accepted.empty()) {
+        // Nothing matched at this scale; retry the whole sub-pair at the
+        // next (looser) rule.
+        next.push_back(sp);
+        continue;
+      }
+      for (const MatchPair& m : accepted) {
+        out.pairs.push_back(m);
+        out.p_paired[m.ip] = true;
+        out.n_paired[m.in] = true;
+      }
+      // Split into the gaps between consecutive accepted pairs (plus the
+      // leading and trailing remainders).
+      std::size_t prev_p = sp.p_lo, prev_n = sp.n_lo;
+      for (const MatchPair& m : accepted) {
+        next.push_back({prev_p, m.ip, prev_n, m.in});
+        prev_p = m.ip + 1;
+        prev_n = m.in + 1;
+      }
+      next.push_back({prev_p, sp.p_hi, prev_n, sp.n_hi});
+    }
+    subs = std::move(next);
+    if (subs.empty()) break;
+  }
+
+  std::sort(out.pairs.begin(), out.pairs.end(), [](const MatchPair& a, const MatchPair& b) {
+    return a.ip < b.ip || (a.ip == b.ip && a.in < b.in);
+  });
+  return out;
+}
+
+}  // namespace lmr::dtw

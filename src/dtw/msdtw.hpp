@@ -1,0 +1,44 @@
+#pragma once
+/// \file msdtw.hpp
+/// Multi-Scale Dynamic Time Warping (§V, Alg. 3).
+///
+/// Plain DTW matches *every* node, including the nodes of tiny intra-pair
+/// length-compensation patterns, which drags median points off the pair axis
+/// (Fig. 11). MSDTW therefore:
+///  1. filters matched pairs whose cost exceeds sqrt(2) * r, where r is the
+///     pair distance rule — legitimate couplings, even across an obtuse
+///     corner, stay below that bound (§V-B);
+///  2. when the pair traverses several Design Rule Areas with different
+///     distance rules, matches in rounds of ascending r ("multi-scale"):
+///     pairs matched in an earlier (tighter) round split the remaining
+///     sub-pairs, and later rounds match only inside each sub-pair, so a
+///     loose rule can never mis-absorb nodes that belong to a tighter DRA
+///     (Fig. 12);
+///  3. drops sub-pairs that have run out of nodes on either side — the
+///     remaining nodes there are tiny-pattern noise by construction.
+
+#include <span>
+#include <vector>
+
+#include "dtw/dtw.hpp"
+#include "geom/vec2.hpp"
+
+namespace lmr::dtw {
+
+/// MSDTW output: the accepted matched pairs plus per-node pairing flags.
+struct MsdtwResult {
+  std::vector<MatchPair> pairs;   ///< all accepted pairs, ascending in ip
+  std::vector<bool> p_paired;     ///< per traceP node: appears in a pair
+  std::vector<bool> n_paired;     ///< per traceN node
+  int rounds_run = 0;             ///< number of rule rounds executed
+};
+
+/// Run MSDTW over node sequences `p` / `n` with the ascending distance-rule
+/// set `rules` (Alg. 3's R). A single-element rule set reduces to
+/// filtered DTW. Throws std::invalid_argument when `rules` is empty or not
+/// ascending.
+[[nodiscard]] MsdtwResult msdtw_match(std::span<const geom::Point> p,
+                                      std::span<const geom::Point> n,
+                                      std::span<const double> rules);
+
+}  // namespace lmr::dtw

@@ -1,0 +1,101 @@
+#include "dtw/pair_restore.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dtw/median_trace.hpp"
+#include "geom/frame.hpp"
+#include "geom/offset.hpp"
+
+namespace lmr::dtw {
+
+MergedPair merge_pair(const layout::DiffPair& pair, const drc::DesignRules& sub_rules,
+                      const std::vector<double>& rules_r) {
+  MergedPair out;
+  const auto& pp = pair.positive.path.points();
+  const auto& nn = pair.negative.path.points();
+  const std::size_t skip = std::min({pair.breakout_nodes, pp.size(), nn.size()});
+
+  const std::span<const geom::Point> p_span{pp.data() + skip, pp.size() - skip};
+  const std::span<const geom::Point> n_span{nn.data() + skip, nn.size() - skip};
+  out.matching = msdtw_match(p_span, n_span, rules_r);
+
+  const MedianTrace mt = build_median_trace(p_span, n_span, out.matching.pairs);
+
+  // Assemble: preserved breakout (averaged across the pair) then the median
+  // points of the matched components.
+  geom::Polyline median;
+  for (std::size_t i = 0; i < skip; ++i) median.push_back((pp[i] + nn[i]) * 0.5);
+  for (const geom::Point& q : mt.median.points()) median.push_back(q);
+  median.simplify(1e-12);
+
+  out.median.id = pair.id;
+  out.median.name = pair.name + ".median";
+  out.median.path = std::move(median);
+  out.median.width = 2.0 * pair.positive.width + pair.pitch;
+  out.virtual_rules = drc::virtual_pair_rules(sub_rules, pair.pitch);
+
+  // Length bookkeeping for tiny-pattern compensation.
+  const double med_len = out.median.path.length();
+  out.skipped_p_length = pair.positive.path.length() - med_len;
+  out.skipped_n_length = pair.negative.path.length() - med_len;
+  return out;
+}
+
+layout::DiffPair restore_pair(const layout::Trace& median, double pitch, double sub_width) {
+  layout::DiffPair pair;
+  pair.id = median.id;
+  pair.name = median.name;
+  pair.pitch = pitch;
+  pair.positive.id = median.id;
+  pair.positive.name = median.name + ".P";
+  pair.positive.width = sub_width;
+  pair.positive.path = geom::offset_polyline(median.path, +pitch / 2.0);
+  pair.negative.id = median.id;
+  pair.negative.name = median.name + ".N";
+  pair.negative.width = sub_width;
+  pair.negative.path = geom::offset_polyline(median.path, -pitch / 2.0);
+  return pair;
+}
+
+double compensate_skew(layout::DiffPair& pair, const drc::DesignRules& sub_rules) {
+  const double lp = pair.positive.path.length();
+  const double ln = pair.negative.path.length();
+  const double skew = std::abs(lp - ln);
+  const double h = skew / 2.0;
+  if (h < sub_rules.protect) return skew;  // negligible; leave as-is
+
+  layout::Trace& shorter = lp < ln ? pair.positive : pair.negative;
+  geom::Polyline& path = shorter.path;
+  // Longest straight segment hosts the compensation pattern.
+  std::size_t best = 0;
+  double best_len = 0.0;
+  for (std::size_t i = 0; i < path.segment_count(); ++i) {
+    const double l = path.segment(i).length();
+    if (l > best_len) {
+      best_len = l;
+      best = i;
+    }
+  }
+  const double w = 2.0 * sub_rules.protect;
+  if (best_len < w + 2.0 * sub_rules.protect) return skew;  // no room
+
+  const geom::Segment seg = path.segment(best);
+  const geom::Frame frame = geom::Frame::along(seg);
+  const double mid = best_len / 2.0;
+  // Tiny pattern pointing away from the partner sub-trace (outward = the
+  // side of the median offset, i.e. left for P, right for N).
+  const double side = (&shorter == &pair.positive) ? +1.0 : -1.0;
+  const std::vector<geom::Point> local{
+      {0.0, 0.0},           {mid - w / 2.0, 0.0}, {mid - w / 2.0, side * h},
+      {mid + w / 2.0, side * h}, {mid + w / 2.0, 0.0}, {best_len, 0.0}};
+  std::vector<geom::Point> global_pts;
+  global_pts.reserve(local.size());
+  for (const geom::Point& q : local) global_pts.push_back(frame.to_global(q));
+  global_pts.front() = seg.a;
+  global_pts.back() = seg.b;
+  path.splice(best, best + 1, global_pts);
+  return std::abs(pair.positive.path.length() - pair.negative.path.length());
+}
+
+}  // namespace lmr::dtw

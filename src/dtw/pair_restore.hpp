@@ -1,0 +1,49 @@
+#pragma once
+/// \file pair_restore.hpp
+/// Differential-pair <-> median-trace round trip (§V).
+///
+/// `merge_pair` converts a (possibly decoupled) differential pair into a
+/// median single-ended trace via MSDTW plus the virtual-DRC conversion, so
+/// the ordinary DP extension engine can length-match it. `restore_pair`
+/// regenerates the two sub-traces by offsetting the (meandered) median by
+/// +/- pitch/2, and `compensate_skew` re-inserts a tiny pattern on the
+/// shorter sub-trace when the restored pair carries residual intra-pair
+/// skew — the paper's "compensate tiny patterns to sub-traces if needed".
+
+#include <vector>
+
+#include "drc/rules.hpp"
+#include "dtw/msdtw.hpp"
+#include "layout/trace.hpp"
+
+namespace lmr::dtw {
+
+/// Result of merging a pair.
+struct MergedPair {
+  layout::Trace median;          ///< single-ended stand-in
+  drc::DesignRules virtual_rules;  ///< rules the median must obey
+  MsdtwResult matching;          ///< diagnostic: the MSDTW matching used
+  double skipped_p_length = 0.0;  ///< traceP length carried by unpaired nodes
+  double skipped_n_length = 0.0;  ///< traceN length carried by unpaired nodes
+};
+
+/// Merge `pair` using the ascending distance-rule set `rules_r` (Alg. 3's R;
+/// pass {pair.pitch} when the pair stays inside one DRA). `sub_rules` is the
+/// DRC in force for the sub-traces. The first `pair.breakout_nodes` nodes of
+/// each sub-trace are copied into the median unmatched (preserved breakout).
+[[nodiscard]] MergedPair merge_pair(const layout::DiffPair& pair,
+                                    const drc::DesignRules& sub_rules,
+                                    const std::vector<double>& rules_r);
+
+/// Restore a differential pair from a (length-matched) median trace:
+/// traceP at +pitch/2 (left of travel), traceN at -pitch/2.
+[[nodiscard]] layout::DiffPair restore_pair(const layout::Trace& median, double pitch,
+                                            double sub_width);
+
+/// Equalize sub-trace lengths by inserting one tiny serpentine pattern on
+/// the longest straight segment of the shorter sub-trace. Pattern height is
+/// skew/2, width is 2*d_protect; heights below d_protect are skipped (skew
+/// already negligible). Returns the residual skew after compensation.
+double compensate_skew(layout::DiffPair& pair, const drc::DesignRules& sub_rules);
+
+}  // namespace lmr::dtw

@@ -1,0 +1,52 @@
+#pragma once
+/// \file box.hpp
+/// Axis-aligned bounding box.
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/vec2.hpp"
+
+namespace lmr::geom {
+
+/// Axis-aligned box [lo.x, hi.x] x [lo.y, hi.y]. A default-constructed box is
+/// empty (lo > hi) and absorbs any point via expand().
+struct Box {
+  Point lo{std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity()};
+  Point hi{-std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity()};
+
+  constexpr Box() = default;
+  constexpr Box(Point l, Point h) : lo(l), hi(h) {}
+
+  [[nodiscard]] bool empty() const { return lo.x > hi.x || lo.y > hi.y; }
+  [[nodiscard]] double width() const { return hi.x - lo.x; }
+  [[nodiscard]] double height() const { return hi.y - lo.y; }
+  [[nodiscard]] Point center() const { return (lo + hi) * 0.5; }
+  [[nodiscard]] double area() const { return empty() ? 0.0 : width() * height(); }
+
+  void expand(const Point& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  void expand(const Box& b) {
+    if (b.empty()) return;
+    expand(b.lo);
+    expand(b.hi);
+  }
+
+  /// Grow the box outward by `m` on every side.
+  [[nodiscard]] Box inflated(double m) const { return {{lo.x - m, lo.y - m}, {hi.x + m, hi.y + m}}; }
+
+  [[nodiscard]] bool contains(const Point& p, double tol = 0.0) const {
+    return p.x >= lo.x - tol && p.x <= hi.x + tol && p.y >= lo.y - tol && p.y <= hi.y + tol;
+  }
+  [[nodiscard]] bool intersects(const Box& o, double tol = 0.0) const {
+    if (empty() || o.empty()) return false;
+    return lo.x <= o.hi.x + tol && o.lo.x <= hi.x + tol && lo.y <= o.hi.y + tol &&
+           o.lo.y <= hi.y + tol;
+  }
+};
+
+}  // namespace lmr::geom

@@ -1,0 +1,47 @@
+#include "geom/chamfer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lmr::geom {
+
+Polyline chamfer_corners(const Polyline& pl, double miter) {
+  if (pl.size() < 3 || miter <= 0.0) return pl;
+  std::vector<Point> out;
+  out.reserve(pl.size() * 2);
+  out.push_back(pl.front());
+  for (std::size_t i = 1; i + 1 < pl.size(); ++i) {
+    const Point& prev = out.back();
+    const Point& cur = pl[i];
+    const Point& next = pl[i + 1];
+    const Vec2 in_dir = cur - prev;
+    const Vec2 out_dir = next - cur;
+    const double in_len = in_dir.norm();
+    const double out_len = out_dir.norm();
+    if (in_len <= kEps || out_len <= kEps) {
+      out.push_back(cur);
+      continue;
+    }
+    // Turn angle >= 90deg <=> the forward directions have non-positive dot.
+    const bool sharp = dot(in_dir, out_dir) <= kEps;
+    if (!sharp) {
+      out.push_back(cur);
+      continue;
+    }
+    const double cut = std::min({miter, in_len / 2.0, out_len / 2.0});
+    if (cut <= kEps) {
+      out.push_back(cur);
+      continue;
+    }
+    out.push_back(cur - in_dir * (cut / in_len));
+    out.push_back(cur + out_dir * (cut / out_len));
+  }
+  out.push_back(pl.back());
+  Polyline result{std::move(out)};
+  result.simplify();
+  return result;
+}
+
+double right_angle_chamfer_delta(double c) { return c * (std::sqrt(2.0) - 2.0); }
+
+}  // namespace lmr::geom

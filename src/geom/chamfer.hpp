@@ -1,0 +1,21 @@
+#pragma once
+/// \file chamfer.hpp
+/// Corner mitering (the paper's d_miter rule: "any rotation of a right angle
+/// or an acute angle will be mitered by obtuse angles").
+
+#include "geom/polyline.hpp"
+
+namespace lmr::geom {
+
+/// Replace every interior corner of `pl` whose turn angle is >= 90 degrees
+/// (right or acute rotation) by a chamfer cutting `miter` of arc length off
+/// each arm. Corners whose arms are shorter than `2*miter` are chamfered with
+/// the largest feasible cut (half the shorter arm). Obtuse corners are kept.
+[[nodiscard]] Polyline chamfer_corners(const Polyline& pl, double miter);
+
+/// Length change produced by chamfering one right-angle corner with cut `c`:
+/// two arms lose `c` each, the diagonal adds `c*sqrt(2)`; the result is
+/// negative (the path shortens). Used by the mitered pattern-gain formula.
+[[nodiscard]] double right_angle_chamfer_delta(double c);
+
+}  // namespace lmr::geom

@@ -1,0 +1,54 @@
+#include "geom/distance.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/intersect.hpp"
+
+namespace lmr::geom {
+
+double dist_point_segment(const Point& p, const Segment& s) {
+  return dist(p, closest_point(s, p));
+}
+
+double dist_segment_segment(const Segment& s1, const Segment& s2) {
+  if (segments_intersect(s1, s2)) return 0.0;
+  double d = dist_point_segment(s1.a, s2);
+  d = std::min(d, dist_point_segment(s1.b, s2));
+  d = std::min(d, dist_point_segment(s2.a, s1));
+  d = std::min(d, dist_point_segment(s2.b, s1));
+  return d;
+}
+
+double dist_segment_polygon(const Segment& s, const Polygon& poly) {
+  if (poly.empty()) return std::numeric_limits<double>::infinity();
+  if (poly.contains(s.a) || poly.contains(s.b)) return 0.0;
+  double d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    d = std::min(d, dist_segment_segment(s, poly.edge(i)));
+    if (d == 0.0) return 0.0;
+  }
+  return d;
+}
+
+double dist_polyline_polyline(const Polyline& a, const Polyline& b) {
+  double d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < a.segment_count(); ++i) {
+    for (std::size_t j = 0; j < b.segment_count(); ++j) {
+      d = std::min(d, dist_segment_segment(a.segment(i), b.segment(j)));
+      if (d == 0.0) return 0.0;
+    }
+  }
+  return d;
+}
+
+double dist_polyline_polygon(const Polyline& pl, const Polygon& poly) {
+  double d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pl.segment_count(); ++i) {
+    d = std::min(d, dist_segment_polygon(pl.segment(i), poly));
+    if (d == 0.0) return 0.0;
+  }
+  return d;
+}
+
+}  // namespace lmr::geom

@@ -1,0 +1,31 @@
+#pragma once
+/// \file distance.hpp
+/// Distance predicates between points, segments, polylines and polygons.
+/// These back the DRC checker (layout module) and the URA shrinking rules
+/// d(seg, p) / d(seg, P) of the paper (§IV-B).
+
+#include "geom/polygon.hpp"
+#include "geom/polyline.hpp"
+#include "geom/segment.hpp"
+
+namespace lmr::geom {
+
+/// Distance from `p` to the closed segment `s` — the paper's d(seg, p) when
+/// the extension frame puts `seg` on the x axis.
+[[nodiscard]] double dist_point_segment(const Point& p, const Segment& s);
+
+/// Minimum distance between two closed segments (0 when they intersect).
+[[nodiscard]] double dist_segment_segment(const Segment& s1, const Segment& s2);
+
+/// Minimum distance between a segment and a polygon boundary (0 on
+/// intersection; interior containment also reports 0).
+[[nodiscard]] double dist_segment_polygon(const Segment& s, const Polygon& poly);
+
+/// Minimum distance between two polylines (0 when they touch/cross).
+[[nodiscard]] double dist_polyline_polyline(const Polyline& a, const Polyline& b);
+
+/// Minimum distance from a polyline to a polygon boundary (0 when touching;
+/// a polyline inside the polygon reports 0 as well).
+[[nodiscard]] double dist_polyline_polygon(const Polyline& pl, const Polygon& poly);
+
+}  // namespace lmr::geom

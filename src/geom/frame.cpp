@@ -1,0 +1,13 @@
+#include "geom/frame.hpp"
+
+namespace lmr::geom {
+
+Frame Frame::along(const Segment& s, bool flip) {
+  Frame f;
+  f.origin_ = s.a;
+  f.ux_ = s.unit();
+  f.uy_ = flip ? -f.ux_.perp() : f.ux_.perp();
+  return f;
+}
+
+}  // namespace lmr::geom

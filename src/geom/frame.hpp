@@ -1,0 +1,55 @@
+#pragma once
+/// \file frame.hpp
+/// Local coordinate frames — the mechanism behind any-direction routing.
+///
+/// The paper's DP extension works on one segment at a time; the segment may
+/// run at any angle. We map the segment onto the local +x axis with the
+/// meander side mapped to +y, run the whole URA-shrinking / DP machinery in
+/// that frame, and map the resulting pattern vertices back. This is the only
+/// place where "any-direction" costs anything: one rotation per point.
+
+#include "geom/segment.hpp"
+#include "geom/vec2.hpp"
+
+namespace lmr::geom {
+
+/// Rigid (optionally reflected) planar frame: local (u, v) maps to
+/// `origin + u*ux + v*uy`. `ux` and `uy` are orthonormal; when the frame is
+/// built with `flip = true`, uy is the *clockwise* perpendicular of ux, which
+/// mirrors the plane so that "pattern side" is always local +y.
+class Frame {
+ public:
+  Frame() : origin_{0, 0}, ux_{1, 0}, uy_{0, 1} {}
+
+  /// Frame whose +x axis runs along `s` (origin at s.a). With `flip` the +y
+  /// axis points to the right of the segment direction instead of the left,
+  /// i.e. dir = -1 of the paper's DP.
+  static Frame along(const Segment& s, bool flip = false);
+
+  [[nodiscard]] Point to_local(const Point& p) const {
+    const Vec2 d = p - origin_;
+    return {dot(d, ux_), dot(d, uy_)};
+  }
+  [[nodiscard]] Point to_global(const Point& p) const {
+    return origin_ + ux_ * p.x + uy_ * p.y;
+  }
+  [[nodiscard]] Segment to_local(const Segment& s) const {
+    return {to_local(s.a), to_local(s.b)};
+  }
+  [[nodiscard]] Segment to_global(const Segment& s) const {
+    return {to_global(s.a), to_global(s.b)};
+  }
+
+  [[nodiscard]] const Point& origin() const { return origin_; }
+  [[nodiscard]] const Vec2& axis_x() const { return ux_; }
+  [[nodiscard]] const Vec2& axis_y() const { return uy_; }
+  /// True when the frame mirrors orientation (dir = -1 side).
+  [[nodiscard]] bool flipped() const { return cross(ux_, uy_) < 0.0; }
+
+ private:
+  Point origin_;
+  Vec2 ux_;
+  Vec2 uy_;
+};
+
+}  // namespace lmr::geom

@@ -1,0 +1,86 @@
+#include "geom/intersect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lmr::geom {
+
+namespace {
+
+bool on_segment_collinear(const Segment& s, const Point& p) {
+  return p.x >= std::min(s.a.x, s.b.x) - kEps && p.x <= std::max(s.a.x, s.b.x) + kEps &&
+         p.y >= std::min(s.a.y, s.b.y) - kEps && p.y <= std::max(s.a.y, s.b.y) + kEps;
+}
+
+}  // namespace
+
+bool segments_intersect(const Segment& s1, const Segment& s2) {
+  const Orientation o1 = orient(s1.a, s1.b, s2.a);
+  const Orientation o2 = orient(s1.a, s1.b, s2.b);
+  const Orientation o3 = orient(s2.a, s2.b, s1.a);
+  const Orientation o4 = orient(s2.a, s2.b, s1.b);
+
+  if (o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear &&
+      o3 != Orientation::Collinear && o4 != Orientation::Collinear) {
+    return true;
+  }
+  if (o1 == Orientation::Collinear && on_segment_collinear(s1, s2.a)) return true;
+  if (o2 == Orientation::Collinear && on_segment_collinear(s1, s2.b)) return true;
+  if (o3 == Orientation::Collinear && on_segment_collinear(s2, s1.a)) return true;
+  if (o4 == Orientation::Collinear && on_segment_collinear(s2, s1.b)) return true;
+  // Mixed case: one endpoint collinear test failed only because the point is
+  // off the segment; the general crossing still requires strict opposite
+  // orientations on both sides, which the first test covered.
+  if (o1 != o2 && o3 != o4) {
+    // At least one collinear orientation: touching configurations handled
+    // above; remaining cases are crossings through an endpoint.
+    return (o1 == Orientation::Collinear && on_segment_collinear(s1, s2.a)) ||
+           (o2 == Orientation::Collinear && on_segment_collinear(s1, s2.b)) ||
+           (o3 == Orientation::Collinear && on_segment_collinear(s2, s1.a)) ||
+           (o4 == Orientation::Collinear && on_segment_collinear(s2, s1.b));
+  }
+  return false;
+}
+
+std::optional<Point> segment_intersection(const Segment& s1, const Segment& s2) {
+  const Vec2 r = s1.direction();
+  const Vec2 s = s2.direction();
+  const double denom = cross(r, s);
+  if (std::abs(denom) <= kEps) return std::nullopt;
+  const Vec2 qp = s2.a - s1.a;
+  const double t = cross(qp, s) / denom;
+  const double u = cross(qp, r) / denom;
+  // Tolerance expressed in parameter space relative to each segment length so
+  // endpoint touches register reliably.
+  const double t_tol = kEps / std::max(r.norm(), kEps);
+  const double u_tol = kEps / std::max(s.norm(), kEps);
+  if (t < -t_tol || t > 1.0 + t_tol || u < -u_tol || u > 1.0 + u_tol) return std::nullopt;
+  return s1.at(std::clamp(t, 0.0, 1.0));
+}
+
+std::vector<Point> segment_polygon_intersections(const Segment& s, const Polygon& poly) {
+  std::vector<Point> out;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    if (auto p = segment_intersection(s, poly.edge(i))) {
+      const bool dup = std::any_of(out.begin(), out.end(), [&](const Point& q) {
+        return almost_equal(q, *p, 1e-7);
+      });
+      if (!dup) out.push_back(*p);
+    }
+  }
+  return out;
+}
+
+bool polygons_overlap(const Polygon& a, const Polygon& b) {
+  if (!a.bbox().intersects(b.bbox(), kEps)) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (segments_intersect(a.edge(i), b.edge(j))) return true;
+    }
+  }
+  if (!a.empty() && b.contains(a[0])) return true;
+  if (!b.empty() && a.contains(b[0])) return true;
+  return false;
+}
+
+}  // namespace lmr::geom

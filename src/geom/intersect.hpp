@@ -1,0 +1,29 @@
+#pragma once
+/// \file intersect.hpp
+/// Segment/segment and segment/polygon intersection predicates.
+
+#include <optional>
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "geom/segment.hpp"
+
+namespace lmr::geom {
+
+/// True when the closed segments share at least one point (touching counts).
+[[nodiscard]] bool segments_intersect(const Segment& s1, const Segment& s2);
+
+/// Intersection point of two segments when they cross at a single point.
+/// Returns nullopt for disjoint segments and for (near-)parallel overlap —
+/// overlap handling in lmroute goes through distance predicates instead.
+[[nodiscard]] std::optional<Point> segment_intersection(const Segment& s1, const Segment& s2);
+
+/// All proper + touching intersection points between `s` and the edges of
+/// `poly` (duplicates within kEps removed, unordered).
+[[nodiscard]] std::vector<Point> segment_polygon_intersections(const Segment& s,
+                                                               const Polygon& poly);
+
+/// True when any edge of the two polygons cross, or one contains the other.
+[[nodiscard]] bool polygons_overlap(const Polygon& a, const Polygon& b);
+
+}  // namespace lmr::geom

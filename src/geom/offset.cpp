@@ -1,0 +1,82 @@
+#include "geom/offset.hpp"
+
+#include <cassert>
+
+#include "geom/intersect.hpp"
+
+namespace lmr::geom {
+
+Polygon offset_convex(const Polygon& poly, double margin) {
+  const std::size_t n = poly.size();
+  if (n < 3 || margin <= 0.0) return poly;
+  assert(poly.is_ccw());
+  // Shift each edge outward (right-hand normal of a CCW loop points outward
+  // ... actually outward of CCW is the *clockwise* perpendicular).
+  std::vector<Segment> shifted;
+  shifted.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment e = poly.edge(i);
+    const Vec2 out_normal = -e.unit().perp();  // CW perpendicular = outward for CCW
+    shifted.push_back({e.a + out_normal * margin, e.b + out_normal * margin});
+  }
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment& prev = shifted[(i + n - 1) % n];
+    const Segment& cur = shifted[i];
+    // Intersect the infinite supporting lines of consecutive shifted edges.
+    const Vec2 r = prev.direction();
+    const Vec2 s = cur.direction();
+    const double denom = cross(r, s);
+    if (std::abs(denom) <= kEps) {
+      // Collinear edges: the shared shifted vertex is exact.
+      pts.push_back(cur.a);
+      continue;
+    }
+    const double t = cross(cur.a - prev.a, s) / denom;
+    pts.push_back(prev.a + r * t);
+  }
+  return Polygon{std::move(pts)};
+}
+
+Polygon inflate_polygon(const Polygon& poly, double margin) {
+  if (margin <= 0.0 || poly.size() < 3) return poly;
+  Polygon p = poly;
+  p.make_ccw();
+  if (p.is_convex()) return offset_convex(p, margin);
+  return Polygon::rect(p.bbox().inflated(margin));
+}
+
+Polyline offset_polyline(const Polyline& pl, double d) {
+  if (pl.size() < 2 || d == 0.0) return pl;
+  const std::size_t n = pl.segment_count();
+  std::vector<Segment> shifted;
+  shifted.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment s = pl.segment(i);
+    if (s.degenerate()) continue;
+    const Vec2 normal = s.unit().perp();  // left normal
+    shifted.push_back({s.a + normal * d, s.b + normal * d});
+  }
+  if (shifted.empty()) return pl;
+  std::vector<Point> out;
+  out.reserve(shifted.size() + 1);
+  out.push_back(shifted.front().a);
+  for (std::size_t i = 0; i + 1 < shifted.size(); ++i) {
+    const Segment& a = shifted[i];
+    const Segment& b = shifted[i + 1];
+    const Vec2 r = a.direction();
+    const Vec2 s = b.direction();
+    const double denom = cross(r, s);
+    if (std::abs(denom) <= kEps) {
+      out.push_back((a.b + b.a) * 0.5);  // parallel join
+      continue;
+    }
+    const double t = cross(b.a - a.a, s) / denom;
+    out.push_back(a.a + r * t);  // miter join
+  }
+  out.push_back(shifted.back().b);
+  return Polyline{std::move(out)};
+}
+
+}  // namespace lmr::geom

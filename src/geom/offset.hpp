@@ -1,0 +1,36 @@
+#pragma once
+/// \file offset.hpp
+/// Convex polygon outward offset (obstacle inflation).
+///
+/// The paper folds the obstacle clearance d_obs into the routable-area
+/// representation ("obstacle: a polygon that the trace cannot pass, converted
+/// into a part of the routable area"). We realize the conversion by inflating
+/// each obstacle polygon by `d_obs + w_trace/2 - d_gap/2` before adding it to
+/// the extension environment, so a URA (inflated by d_gap/2) that clears the
+/// inflated obstacle guarantees the trace itself clears the original obstacle
+/// by d_obs.
+
+#include "geom/polygon.hpp"
+#include "geom/polyline.hpp"
+
+namespace lmr::geom {
+
+/// Offset a convex polygon outward by `margin` with mitered joins (each edge
+/// shifted along its outward normal, adjacent shifted edges re-intersected).
+/// Precondition: `poly` is convex and CCW; margin >= 0. For non-convex input
+/// use `inflate_polygon`, which falls back conservatively.
+[[nodiscard]] Polygon offset_convex(const Polygon& poly, double margin);
+
+/// General inflation: exact mitered offset for convex polygons, and the
+/// inflated bounding box for non-convex polygons (conservative — never
+/// under-approximates clearance).
+[[nodiscard]] Polygon inflate_polygon(const Polygon& poly, double margin);
+
+/// Parallel offset of an open polyline: each segment is shifted by `d` along
+/// its left normal (d < 0 shifts right) and consecutive shifted segments are
+/// re-joined by intersecting their supporting lines (miter joins; parallel
+/// joins keep the shared shifted vertex). This is how a differential pair is
+/// restored from its median trace: sub-traces at +/- pitch/2.
+[[nodiscard]] Polyline offset_polyline(const Polyline& pl, double d);
+
+}  // namespace lmr::geom

@@ -1,0 +1,92 @@
+#include "geom/polygon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace lmr::geom {
+
+Polygon Polygon::rect(const Box& b) {
+  return Polygon{{{b.lo.x, b.lo.y}, {b.hi.x, b.lo.y}, {b.hi.x, b.hi.y}, {b.lo.x, b.hi.y}}};
+}
+
+Polygon Polygon::regular(Point center, double circumradius, int sides, double phase) {
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(sides));
+  for (int i = 0; i < sides; ++i) {
+    const double a = phase + 2.0 * std::numbers::pi * i / sides;
+    pts.push_back(center + Vec2{std::cos(a), std::sin(a)} * circumradius);
+  }
+  return Polygon{std::move(pts)};
+}
+
+double Polygon::signed_area() const {
+  double a = 0.0;
+  const std::size_t n = pts_.size();
+  for (std::size_t i = 0; i < n; ++i) a += cross(pts_[i], pts_[(i + 1) % n]);
+  return 0.5 * a;
+}
+
+void Polygon::make_ccw() {
+  if (!pts_.empty() && !is_ccw()) std::reverse(pts_.begin(), pts_.end());
+}
+
+Box Polygon::bbox() const {
+  Box box;
+  for (const Point& p : pts_) box.expand(p);
+  return box;
+}
+
+Point Polygon::centroid() const {
+  Point c;
+  for (const Point& p : pts_) c += p;
+  return pts_.empty() ? c : c / static_cast<double>(pts_.size());
+}
+
+bool Polygon::contains(const Point& p, bool boundary_inside) const {
+  const std::size_t n = pts_.size();
+  if (n < 3) return false;
+  // Boundary check first so that the crossing parity below never has to
+  // disambiguate on-edge points.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment e = edge(i);
+    if (dist(closest_point(e, p), p) <= kEps) return boundary_inside;
+  }
+  // Ray casting toward +x with the standard half-open vertex rule.
+  bool inside = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = pts_[i];
+    const Point& b = pts_[(i + 1) % n];
+    const bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (!crosses) continue;
+    const double x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+    if (x_at > p.x) inside = !inside;
+  }
+  return inside;
+}
+
+bool Polygon::is_convex() const {
+  const std::size_t n = pts_.size();
+  if (n < 4) return n == 3;
+  int sign = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c =
+        cross(pts_[(i + 1) % n] - pts_[i], pts_[(i + 2) % n] - pts_[(i + 1) % n]);
+    if (std::abs(c) <= kEps) continue;
+    const int s = c > 0 ? 1 : -1;
+    if (sign == 0) {
+      sign = s;
+    } else if (s != sign) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Polygon Polygon::translated(const Vec2& d) const {
+  std::vector<Point> pts = pts_;
+  for (Point& p : pts) p += d;
+  return Polygon{std::move(pts)};
+}
+
+}  // namespace lmr::geom

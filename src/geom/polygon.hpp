@@ -1,0 +1,64 @@
+#pragma once
+/// \file polygon.hpp
+/// Simple polygon — obstacles, routable-area outlines and URA borders.
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/segment.hpp"
+#include "geom/vec2.hpp"
+
+namespace lmr::geom {
+
+/// A simple (non self-intersecting) polygon stored as a vertex loop without
+/// the closing duplicate. Orientation may be either; `signed_area()` exposes
+/// it and `make_ccw()` normalizes. Obstacles in the paper ("solid polygons")
+/// and the borders used by URA shrinking are instances of this type.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> pts) : pts_(std::move(pts)) {}
+
+  /// Axis-aligned rectangle factory.
+  static Polygon rect(const Box& b);
+  static Polygon rect(Point lo, Point hi) { return rect(Box{lo, hi}); }
+  /// Regular n-gon factory (vias are octagons in the benchmarks).
+  static Polygon regular(Point center, double circumradius, int sides, double phase = 0.0);
+
+  [[nodiscard]] std::size_t size() const { return pts_.size(); }
+  [[nodiscard]] bool empty() const { return pts_.empty(); }
+  [[nodiscard]] const Point& operator[](std::size_t i) const { return pts_[i]; }
+  [[nodiscard]] const std::vector<Point>& points() const { return pts_; }
+  [[nodiscard]] std::vector<Point>& points() { return pts_; }
+
+  /// Edge i runs from vertex i to vertex (i+1) mod n.
+  [[nodiscard]] Segment edge(std::size_t i) const {
+    return {pts_[i], pts_[(i + 1) % pts_.size()]};
+  }
+
+  /// Signed area (positive for counter-clockwise loops).
+  [[nodiscard]] double signed_area() const;
+  [[nodiscard]] double area() const { return std::abs(signed_area()); }
+  [[nodiscard]] bool is_ccw() const { return signed_area() > 0.0; }
+  void make_ccw();
+
+  [[nodiscard]] Box bbox() const;
+  [[nodiscard]] Point centroid() const;
+
+  /// Point-in-polygon by ray casting (the paper adopts ray casting for the
+  /// inner-border test, §IV-D). Boundary points count as inside when
+  /// `boundary_inside` is true.
+  [[nodiscard]] bool contains(const Point& p, bool boundary_inside = true) const;
+
+  /// True when the polygon is convex (after orientation normalization).
+  [[nodiscard]] bool is_convex() const;
+
+  /// Translate every vertex.
+  [[nodiscard]] Polygon translated(const Vec2& d) const;
+
+ private:
+  std::vector<Point> pts_;
+};
+
+}  // namespace lmr::geom

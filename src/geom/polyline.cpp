@@ -1,0 +1,90 @@
+#include "geom/polyline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "geom/intersect.hpp"
+
+namespace lmr::geom {
+
+double Polyline::length() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < pts_.size(); ++i) total += dist(pts_[i], pts_[i + 1]);
+  return total;
+}
+
+Box Polyline::bbox() const {
+  Box box;
+  for (const Point& p : pts_) box.expand(p);
+  return box;
+}
+
+Point Polyline::point_at_arclength(double s) const {
+  if (pts_.empty()) return {};
+  if (s <= 0.0) return pts_.front();
+  for (std::size_t i = 0; i + 1 < pts_.size(); ++i) {
+    const double seg_len = dist(pts_[i], pts_[i + 1]);
+    if (s <= seg_len) {
+      if (seg_len <= kEps) return pts_[i];
+      return pts_[i] + (pts_[i + 1] - pts_[i]) * (s / seg_len);
+    }
+    s -= seg_len;
+  }
+  return pts_.back();
+}
+
+void Polyline::simplify(double tol) {
+  if (pts_.size() < 2) return;
+  std::vector<Point> out;
+  out.reserve(pts_.size());
+  out.push_back(pts_.front());
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (!almost_equal(out.back(), pts_[i], tol)) out.push_back(pts_[i]);
+  }
+  if (out.size() < 3) {
+    pts_ = std::move(out);
+    return;
+  }
+  std::vector<Point> final_pts;
+  final_pts.reserve(out.size());
+  final_pts.push_back(out.front());
+  for (std::size_t i = 1; i + 1 < out.size(); ++i) {
+    const Segment s{final_pts.back(), out[i + 1]};
+    // Keep the vertex unless it lies on the straight line between its kept
+    // neighbour and the next vertex.
+    const double d = dist(closest_point(s, out[i]), out[i]);
+    const bool collinear = d <= tol && dot(out[i] - final_pts.back(), out[i + 1] - out[i]) >= 0.0;
+    if (!collinear) final_pts.push_back(out[i]);
+  }
+  final_pts.push_back(out.back());
+  pts_ = std::move(final_pts);
+}
+
+void Polyline::splice(std::size_t i, std::size_t j, std::span<const Point> repl) {
+  assert(i < j && j < pts_.size());
+  assert(!repl.empty());
+  std::vector<Point> out;
+  out.reserve(pts_.size() - (j - i + 1) + repl.size());
+  out.insert(out.end(), pts_.begin(), pts_.begin() + static_cast<std::ptrdiff_t>(i));
+  out.insert(out.end(), repl.begin(), repl.end());
+  out.insert(out.end(), pts_.begin() + static_cast<std::ptrdiff_t>(j) + 1, pts_.end());
+  pts_ = std::move(out);
+}
+
+bool Polyline::self_intersects() const {
+  const std::size_t n = segment_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 2; j < n; ++j) {
+      // Skip the wrap-adjacency that only applies to closed chains.
+      if (segments_intersect(segment(i), segment(j))) return true;
+    }
+  }
+  return false;
+}
+
+Polyline Polyline::reversed() const {
+  std::vector<Point> pts(pts_.rbegin(), pts_.rend());
+  return Polyline{std::move(pts)};
+}
+
+}  // namespace lmr::geom

@@ -1,0 +1,69 @@
+#pragma once
+/// \file polyline.hpp
+/// Open polygonal chain — the geometric body of a PCB trace.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/segment.hpp"
+#include "geom/vec2.hpp"
+
+namespace lmr::geom {
+
+/// An open chain of vertices. Consecutive duplicate vertices are permitted
+/// on input but can be removed with `simplify()`; most algorithms in lmroute
+/// expect simplified chains (no zero-length segments, no collinear interior
+/// vertices unless deliberately kept as DTW "node clusters").
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Point> pts) : pts_(std::move(pts)) {}
+
+  [[nodiscard]] std::size_t size() const { return pts_.size(); }
+  [[nodiscard]] bool empty() const { return pts_.empty(); }
+  [[nodiscard]] std::size_t segment_count() const {
+    return pts_.size() < 2 ? 0 : pts_.size() - 1;
+  }
+
+  [[nodiscard]] const Point& operator[](std::size_t i) const { return pts_[i]; }
+  [[nodiscard]] Point& operator[](std::size_t i) { return pts_[i]; }
+  [[nodiscard]] const Point& front() const { return pts_.front(); }
+  [[nodiscard]] const Point& back() const { return pts_.back(); }
+  [[nodiscard]] const std::vector<Point>& points() const { return pts_; }
+  [[nodiscard]] std::vector<Point>& points() { return pts_; }
+
+  [[nodiscard]] Segment segment(std::size_t i) const { return {pts_[i], pts_[i + 1]}; }
+
+  void push_back(const Point& p) { pts_.push_back(p); }
+  void clear() { pts_.clear(); }
+
+  /// Total Euclidean length — the trace length l_trace of the paper.
+  [[nodiscard]] double length() const;
+
+  /// Axis-aligned bounding box of all vertices.
+  [[nodiscard]] Box bbox() const;
+
+  /// Point at arc-length `s` from the start (clamped to [0, length()]).
+  [[nodiscard]] Point point_at_arclength(double s) const;
+
+  /// Remove consecutive duplicates (within tol) and interior vertices that
+  /// are collinear with their neighbours (within tol of the straight line).
+  void simplify(double tol = kEps);
+
+  /// Replace the vertex run [i, j] (inclusive indices, i < j) with `repl`.
+  /// `repl` must start at pts_[i] and end at pts_[j] (within tolerance) so
+  /// that connectivity is preserved; violations are an error in the caller.
+  void splice(std::size_t i, std::size_t j, std::span<const Point> repl);
+
+  /// True if any two non-adjacent segments of the chain intersect.
+  [[nodiscard]] bool self_intersects() const;
+
+  [[nodiscard]] Polyline reversed() const;
+
+ private:
+  std::vector<Point> pts_;
+};
+
+}  // namespace lmr::geom

@@ -1,0 +1,19 @@
+#include "geom/segment.hpp"
+
+#include <algorithm>
+
+namespace lmr::geom {
+
+double project_param(const Segment& s, const Point& p) {
+  const Vec2 d = s.direction();
+  const double n2 = d.norm2();
+  if (n2 <= kEps * kEps) return 0.0;
+  return dot(p - s.a, d) / n2;
+}
+
+Point closest_point(const Segment& s, const Point& p) {
+  const double t = std::clamp(project_param(s, p), 0.0, 1.0);
+  return s.at(t);
+}
+
+}  // namespace lmr::geom

@@ -1,0 +1,43 @@
+#pragma once
+/// \file segment.hpp
+/// Line segment with helpers used by the extension engine.
+
+#include "geom/box.hpp"
+#include "geom/vec2.hpp"
+
+namespace lmr::geom {
+
+/// Directed line segment from `a` to `b`.
+struct Segment {
+  Point a;
+  Point b;
+
+  constexpr Segment() = default;
+  constexpr Segment(Point aa, Point bb) : a(aa), b(bb) {}
+
+  [[nodiscard]] double length() const { return dist(a, b); }
+  [[nodiscard]] Vec2 direction() const { return b - a; }
+  /// Unit direction; undefined for degenerate segments.
+  [[nodiscard]] Vec2 unit() const { return direction().normalized(); }
+  /// Point at parameter t in [0,1].
+  [[nodiscard]] Point at(double t) const { return a + (b - a) * t; }
+  [[nodiscard]] Point midpoint() const { return at(0.5); }
+  [[nodiscard]] Segment reversed() const { return {b, a}; }
+  [[nodiscard]] bool degenerate(double tol = kEps) const { return dist2(a, b) <= tol * tol; }
+
+  [[nodiscard]] Box bbox() const {
+    Box box;
+    box.expand(a);
+    box.expand(b);
+    return box;
+  }
+};
+
+/// Project point `p` onto the line through `s`, returning the parameter t
+/// (unclamped; t=0 at s.a, t=1 at s.b).
+double project_param(const Segment& s, const Point& p);
+
+/// Closest point on the segment (clamped projection).
+Point closest_point(const Segment& s, const Point& p);
+
+}  // namespace lmr::geom

@@ -1,0 +1,11 @@
+#include "geom/vec2.hpp"
+
+#include <ostream>
+
+namespace lmr::geom {
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace lmr::geom

@@ -1,0 +1,107 @@
+#pragma once
+/// \file vec2.hpp
+/// 2-D vector / point type used throughout lmroute.
+///
+/// Coordinates are double precision in abstract layout units (the paper's
+/// benchmarks use mils/mm interchangeably; nothing in the library assumes a
+/// particular unit). `Point` is an alias of `Vec2`: positions and
+/// displacements share one concrete value type, per the paper's purely
+/// geometric treatment of traces.
+
+#include <cmath>
+#include <iosfwd>
+
+namespace lmr::geom {
+
+/// Geometric tolerance used by predicates. Layout coordinates in the
+/// benchmarks are O(1e2) units, so 1e-9 comfortably separates "equal within
+/// floating noise" from "distinct features" (minimum DRC distances are
+/// O(1e-1) or larger).
+inline constexpr double kEps = 1e-9;
+
+/// A 2-D vector (and point) with value semantics.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double xx, double yy) : x(xx), y(yy) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec2& o) const = default;
+
+  /// Squared Euclidean norm.
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  /// Euclidean norm.
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  /// Unit vector in the same direction. Undefined for the zero vector.
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return {x / n, y / n};
+  }
+  /// Counter-clockwise perpendicular (rotate by +90 degrees).
+  [[nodiscard]] constexpr Vec2 perp() const { return {-y, x}; }
+};
+
+using Point = Vec2;
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+/// Dot product.
+constexpr double dot(const Vec2& a, const Vec2& b) { return a.x * b.x + a.y * b.y; }
+
+/// 2-D cross product (z component of the 3-D cross of the embeddings).
+/// Positive when `b` is counter-clockwise from `a`.
+constexpr double cross(const Vec2& a, const Vec2& b) { return a.x * b.y - a.y * b.x; }
+
+/// Euclidean distance between two points — the paper's d(a, b).
+inline double dist(const Point& a, const Point& b) { return (a - b).norm(); }
+
+/// Squared distance; use when only comparisons are needed.
+constexpr double dist2(const Point& a, const Point& b) { return (a - b).norm2(); }
+
+/// Approximate point equality under `tol`.
+inline bool almost_equal(const Point& a, const Point& b, double tol = kEps) {
+  return std::abs(a.x - b.x) <= tol && std::abs(a.y - b.y) <= tol;
+}
+
+/// Approximate scalar equality under `tol`.
+inline bool almost_equal(double a, double b, double tol = kEps) { return std::abs(a - b) <= tol; }
+
+/// Orientation of the ordered triple (a, b, c).
+enum class Orientation { Clockwise, Collinear, CounterClockwise };
+
+/// Robust-enough orientation predicate with an epsilon band around
+/// collinearity. Inputs in the library are O(1e2), so the fixed kEps band is
+/// far below any feature size.
+inline Orientation orient(const Point& a, const Point& b, const Point& c) {
+  const double v = cross(b - a, c - a);
+  if (v > kEps) return Orientation::CounterClockwise;
+  if (v < -kEps) return Orientation::Clockwise;
+  return Orientation::Collinear;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v);
+
+}  // namespace lmr::geom

@@ -1,0 +1,48 @@
+#include "index/interval_set.hpp"
+
+#include <algorithm>
+
+namespace lmr::index {
+
+void IntervalSet::insert(double lo, double hi) {
+  if (hi < lo) std::swap(lo, hi);
+  auto it = std::lower_bound(ivs_.begin(), ivs_.end(), lo,
+                             [](const Interval& iv, double v) { return iv.hi < v; });
+  Interval merged{lo, hi};
+  auto first = it;
+  while (it != ivs_.end() && it->lo <= merged.hi) {
+    merged.lo = std::min(merged.lo, it->lo);
+    merged.hi = std::max(merged.hi, it->hi);
+    ++it;
+  }
+  it = ivs_.erase(first, it);
+  ivs_.insert(it, merged);
+}
+
+double IntervalSet::total_length() const {
+  double total = 0.0;
+  for (const Interval& iv : ivs_) total += iv.length();
+  return total;
+}
+
+bool IntervalSet::intersects(double lo, double hi, double tol) const {
+  auto it = std::lower_bound(ivs_.begin(), ivs_.end(), lo - tol,
+                             [](const Interval& iv, double v) { return iv.hi < v; });
+  return it != ivs_.end() && it->lo <= hi + tol;
+}
+
+std::vector<Interval> IntervalSet::gaps(double lo, double hi) const {
+  std::vector<Interval> out;
+  double cursor = lo;
+  for (const Interval& iv : ivs_) {
+    if (iv.hi < lo) continue;
+    if (iv.lo > hi) break;
+    if (iv.lo > cursor) out.push_back({cursor, std::min(iv.lo, hi)});
+    cursor = std::max(cursor, iv.hi);
+    if (cursor >= hi) break;
+  }
+  if (cursor < hi) out.push_back({cursor, hi});
+  return out;
+}
+
+}  // namespace lmr::index

@@ -1,0 +1,42 @@
+#pragma once
+/// \file interval_set.hpp
+/// Sorted set of disjoint 1-D intervals. The fixed-track baseline uses it to
+/// track occupied foot positions along a segment, and the slab decomposition
+/// uses it to measure free vertical extent inside a slab.
+
+#include <vector>
+
+namespace lmr::index {
+
+/// Closed interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] double length() const { return hi - lo; }
+};
+
+/// Maintains a union of intervals in sorted, coalesced form.
+class IntervalSet {
+ public:
+  /// Insert [lo, hi], merging overlapping/adjacent intervals.
+  void insert(double lo, double hi);
+
+  /// Total measure of the union.
+  [[nodiscard]] double total_length() const;
+
+  /// True when [lo, hi] intersects any stored interval (touching counts
+  /// when `tol` >= 0 expands the probes).
+  [[nodiscard]] bool intersects(double lo, double hi, double tol = 0.0) const;
+
+  /// Complement of the set within [lo, hi]: the free gaps.
+  [[nodiscard]] std::vector<Interval> gaps(double lo, double hi) const;
+
+  [[nodiscard]] const std::vector<Interval>& intervals() const { return ivs_; }
+  [[nodiscard]] bool empty() const { return ivs_.empty(); }
+  void clear() { ivs_.clear(); }
+
+ private:
+  std::vector<Interval> ivs_;  ///< sorted by lo, pairwise disjoint
+};
+
+}  // namespace lmr::index

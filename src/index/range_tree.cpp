@@ -1,0 +1,40 @@
+#include "index/range_tree.hpp"
+
+#include <algorithm>
+
+namespace lmr::index {
+
+RangeTree2D::RangeTree2D(std::vector<Entry> entries) : entries_(std::move(entries)) {
+  n_ = entries_.size();
+  if (n_ == 0) return;
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.p.x < b.p.x; });
+  xs_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) xs_[i] = entries_[i].p.x;
+  ylists_.assign(4 * n_, {});
+  build(1, 0, n_);
+}
+
+void RangeTree2D::build(std::size_t node, std::size_t lo, std::size_t hi) {
+  auto& ys = ylists_[node];
+  ys.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    ys.push_back({entries_[i].p.y, static_cast<std::uint32_t>(i)});
+  }
+  std::sort(ys.begin(), ys.end());
+  if (hi - lo <= 1) return;
+  const std::size_t mid = (lo + hi) / 2;
+  build(node * 2, lo, mid);
+  build(node * 2 + 1, mid, hi);
+}
+
+std::vector<RangeTree2D::Entry> RangeTree2D::query(const geom::Box& box) const {
+  std::vector<Entry> out;
+  visit(box, [&](const Entry& e) {
+    out.push_back(e);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace lmr::index

@@ -1,0 +1,2 @@
+// union_find is header-only; this translation unit anchors the library.
+#include "index/union_find.hpp"

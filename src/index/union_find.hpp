@@ -1,0 +1,48 @@
+#pragma once
+/// \file union_find.hpp
+/// Disjoint-set forest. MSDTW (§V-A) connects matched node pairs into
+/// connected components before computing median points; this is the
+/// component structure.
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace lmr::index {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  [[nodiscard]] std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merge the sets of a and b; returns false when already joined.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  [[nodiscard]] bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  [[nodiscard]] std::size_t component_size(std::size_t x) { return size_[find(x)]; }
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace lmr::index

@@ -1,0 +1,21 @@
+#include "layout/layout.hpp"
+
+namespace lmr::layout {
+
+TraceId allocate_id(Layout& l) { return l.next_id_++; }
+
+TraceId Layout::add_trace(Trace t) {
+  if (t.id == 0) t.id = allocate_id(*this);
+  const TraceId id = t.id;
+  traces_[id] = std::move(t);
+  return id;
+}
+
+TraceId Layout::add_pair(DiffPair p) {
+  if (p.id == 0) p.id = allocate_id(*this);
+  const TraceId id = p.id;
+  pairs_[id] = std::move(p);
+  return id;
+}
+
+}  // namespace lmr::layout

@@ -1,0 +1,79 @@
+#pragma once
+/// \file layout.hpp
+/// The PCB layout container: board outline, obstacles, traces, differential
+/// pairs, matching groups and per-trace routable areas.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "drc/rule_area.hpp"
+#include "geom/polygon.hpp"
+#include "layout/routable_area.hpp"
+#include "layout/trace.hpp"
+
+namespace lmr::layout {
+
+/// An obstacle: "a polygon that the trace cannot pass" (§II). Vias, pads,
+/// keepouts and pre-routed foreign nets all enter the tuner this way.
+struct Obstacle {
+  geom::Polygon shape;
+  std::string name;
+};
+
+/// Whole-board model handed to the length-matching flow.
+class Layout {
+ public:
+  Layout() = default;
+  explicit Layout(geom::Polygon board) : board_(std::move(board)) {}
+
+  // --- board ---
+  void set_board(geom::Polygon b) { board_ = std::move(b); }
+  [[nodiscard]] const geom::Polygon& board() const { return board_; }
+
+  // --- obstacles ---
+  std::size_t add_obstacle(Obstacle o) {
+    obstacles_.push_back(std::move(o));
+    return obstacles_.size() - 1;
+  }
+  [[nodiscard]] const std::vector<Obstacle>& obstacles() const { return obstacles_; }
+
+  // --- traces / pairs ---
+  TraceId add_trace(Trace t);
+  TraceId add_pair(DiffPair p);
+  [[nodiscard]] const Trace& trace(TraceId id) const { return traces_.at(id); }
+  [[nodiscard]] Trace& trace(TraceId id) { return traces_.at(id); }
+  [[nodiscard]] const DiffPair& pair(TraceId id) const { return pairs_.at(id); }
+  [[nodiscard]] DiffPair& pair(TraceId id) { return pairs_.at(id); }
+  [[nodiscard]] const std::map<TraceId, Trace>& traces() const { return traces_; }
+  [[nodiscard]] const std::map<TraceId, DiffPair>& pairs() const { return pairs_; }
+
+  // --- matching groups ---
+  std::size_t add_group(MatchGroup g) {
+    groups_.push_back(std::move(g));
+    return groups_.size() - 1;
+  }
+  [[nodiscard]] const std::vector<MatchGroup>& groups() const { return groups_; }
+  [[nodiscard]] std::vector<MatchGroup>& groups() { return groups_; }
+
+  // --- routable areas (region-assignment output) ---
+  void set_routable_area(TraceId id, RoutableArea area) { areas_[id] = std::move(area); }
+  [[nodiscard]] const RoutableArea* routable_area(TraceId id) const {
+    auto it = areas_.find(id);
+    return it == areas_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  geom::Polygon board_;
+  std::vector<Obstacle> obstacles_;
+  std::map<TraceId, Trace> traces_;
+  std::map<TraceId, DiffPair> pairs_;
+  std::vector<MatchGroup> groups_;
+  std::map<TraceId, RoutableArea> areas_;
+  TraceId next_id_ = 1;
+
+  friend TraceId allocate_id(Layout& l);
+};
+
+}  // namespace lmr::layout

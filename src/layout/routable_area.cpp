@@ -1,0 +1,19 @@
+#include "layout/routable_area.hpp"
+
+namespace lmr::layout {
+
+bool RoutableArea::contains(const geom::Point& p) const {
+  if (!outline.contains(p)) return false;
+  for (const geom::Polygon& h : holes) {
+    if (h.contains(p, /*boundary_inside=*/false)) return false;
+  }
+  return true;
+}
+
+double RoutableArea::free_area() const {
+  double a = outline.area();
+  for (const geom::Polygon& h : holes) a -= h.area();
+  return a;
+}
+
+}  // namespace lmr::layout

@@ -1,0 +1,29 @@
+#pragma once
+/// \file routable_area.hpp
+/// Per-trace routable area: "the union of non-overlapping routing regions
+/// assigned to a trace, represented as some irregular polygons" (§II), with
+/// obstacles "converted into a part of the routable area" as holes.
+
+#include <vector>
+
+#include "geom/polygon.hpp"
+
+namespace lmr::layout {
+
+/// Routable area = outline polygon minus hole polygons. Holes are obstacle
+/// polygons (possibly inflated for d_obs) lying inside the outline.
+struct RoutableArea {
+  geom::Polygon outline;
+  std::vector<geom::Polygon> holes;
+
+  /// True when `p` lies in the outline and outside every hole.
+  [[nodiscard]] bool contains(const geom::Point& p) const;
+
+  /// Free area = outline area minus hole areas (holes assumed disjoint and
+  /// inside the outline).
+  [[nodiscard]] double free_area() const;
+
+  [[nodiscard]] geom::Box bbox() const { return outline.bbox(); }
+};
+
+}  // namespace lmr::layout

@@ -1,0 +1,2 @@
+// trace.hpp is header-only; this translation unit anchors the library.
+#include "layout/trace.hpp"

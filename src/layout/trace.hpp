@@ -1,0 +1,70 @@
+#pragma once
+/// \file trace.hpp
+/// Traces, differential pairs and matching groups (§II concepts).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/polyline.hpp"
+
+namespace lmr::layout {
+
+using TraceId = std::uint32_t;
+
+/// A routed signal trace: connected segments with a width. "Trace of a
+/// signal consisting of connected segments in PCB layout, also indicated by
+/// net or wire" (§II).
+struct Trace {
+  TraceId id = 0;
+  std::string name;
+  geom::Polyline path;
+  double width = 0.0;
+
+  [[nodiscard]] double length() const { return path.length(); }
+};
+
+/// A differential pair: two coupled sub-traces with a nominal centerline
+/// pitch (the "distance rule" r of §V-B).
+struct DiffPair {
+  TraceId id = 0;
+  std::string name;
+  Trace positive;  ///< traceP
+  Trace negative;  ///< traceN
+  double pitch = 0.0;
+
+  /// Number of leading vertices on each sub-trace forming the breakout that
+  /// MSDTW preserves unmatched (§V-A: "except the preserved breakout part").
+  std::size_t breakout_nodes = 0;
+};
+
+/// Kind discriminator for group members.
+enum class MemberKind { SingleEnded, Differential };
+
+/// Reference to one member of a matching group.
+struct GroupMember {
+  MemberKind kind = MemberKind::SingleEnded;
+  TraceId id = 0;
+};
+
+/// A matching group: traces that must reach a common target length
+/// (per-member targets are supported via `target_for`, §II: "our approach
+/// meanders each trace independently, thereby supporting the individual
+/// target lengths of each trace").
+struct MatchGroup {
+  std::string name;
+  double target_length = 0.0;
+  std::vector<GroupMember> members;
+  /// Optional per-member target overrides (same order as members; 0 = use
+  /// target_length).
+  std::vector<double> member_targets;
+
+  [[nodiscard]] double target_for(std::size_t member_index) const {
+    if (member_index < member_targets.size() && member_targets[member_index] > 0.0) {
+      return member_targets[member_index];
+    }
+    return target_length;
+  }
+};
+
+}  // namespace lmr::layout

@@ -1,0 +1,229 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace lmr::lp {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Dense simplex tableau with explicit basis bookkeeping.
+struct Tableau {
+  // Rows: one per constraint; columns: structural + slack/surplus +
+  // artificial + rhs.
+  std::size_t rows = 0;
+  std::size_t cols = 0;  // total variable columns (without rhs)
+  std::vector<std::vector<double>> a;  // rows x (cols + 1); last col = rhs
+  std::vector<std::size_t> basis;      // basic variable of each row
+
+  double& at(std::size_t r, std::size_t c) { return a[r][c]; }
+  double rhs(std::size_t r) const { return a[r][cols]; }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    const double pv = a[pr][pc];
+    assert(std::abs(pv) > kTol);
+    for (double& v : a[pr]) v /= pv;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == pr) continue;
+      const double f = a[r][pc];
+      if (std::abs(f) <= kTol) continue;
+      for (std::size_t c = 0; c <= cols; ++c) a[r][c] -= f * a[pr][c];
+    }
+    basis[pr] = pc;
+  }
+
+  /// Price out: reduced costs for objective `obj` (maximization).
+  /// Returns entering column by Bland's rule, or npos at optimality.
+  std::size_t entering(const std::vector<double>& z) const {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (z[c] > kTol) return c;
+    }
+    return npos;
+  }
+
+  /// Ratio test; returns leaving row or npos (unbounded).
+  std::size_t leaving(std::size_t pc) const {
+    std::size_t best = npos;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (a[r][pc] <= kTol) continue;
+      const double ratio = rhs(r) / a[r][pc];
+      if (ratio < best_ratio - kTol ||
+          (ratio < best_ratio + kTol && (best == npos || basis[r] < basis[best]))) {
+        best_ratio = ratio;
+        best = r;
+      }
+    }
+    return best;
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Reduced-cost vector for maximizing objective `c_full` given the basis.
+std::vector<double> reduced_costs(const Tableau& t, const std::vector<double>& c_full) {
+  std::vector<double> z(t.cols, 0.0);
+  for (std::size_t c = 0; c < t.cols; ++c) {
+    double v = c_full[c];
+    for (std::size_t r = 0; r < t.rows; ++r) v -= c_full[t.basis[r]] * t.a[r][c];
+    z[c] = v;
+  }
+  return z;
+}
+
+double objective_value(const Tableau& t, const std::vector<double>& c_full) {
+  double v = 0.0;
+  for (std::size_t r = 0; r < t.rows; ++r) v += c_full[t.basis[r]] * t.rhs(r);
+  return v;
+}
+
+LpStatus run_simplex(Tableau& t, const std::vector<double>& c_full) {
+  // Bland's rule guarantees termination; cap iterations defensively anyway.
+  const std::size_t max_iters = 50 * (t.rows + t.cols) + 1000;
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    const auto z = reduced_costs(t, c_full);
+    const std::size_t pc = t.entering(z);
+    if (pc == Tableau::npos) return LpStatus::Optimal;
+    const std::size_t pr = t.leaving(pc);
+    if (pr == Tableau::npos) return LpStatus::Unbounded;
+    t.pivot(pr, pc);
+  }
+  return LpStatus::Optimal;  // converged within tolerance in practice
+}
+
+}  // namespace
+
+void SimplexSolver::set_objective(std::vector<double> c) {
+  assert(c.size() == n_);
+  c_ = std::move(c);
+}
+
+void SimplexSolver::add_constraint(Constraint c) {
+  assert(c.coeffs.size() == n_);
+  cons_.push_back(std::move(c));
+}
+
+LpResult SimplexSolver::solve() const {
+  const std::size_t m = cons_.size();
+  // Column layout: [structural n_][slack/surplus s][artificial a].
+  std::size_t num_slack = 0;
+  for (const auto& con : cons_) {
+    if (con.rel != Relation::Equal) ++num_slack;
+  }
+  // Artificial variables: for >=, = rows, and for <= rows with negative rhs
+  // (normalized below). Count after normalization.
+  std::vector<Constraint> rows = cons_;
+  for (auto& con : rows) {
+    if (con.rhs < 0.0) {
+      for (double& v : con.coeffs) v = -v;
+      con.rhs = -con.rhs;
+      if (con.rel == Relation::LessEq) {
+        con.rel = Relation::GreaterEq;
+      } else if (con.rel == Relation::GreaterEq) {
+        con.rel = Relation::LessEq;
+      }
+    }
+  }
+  num_slack = 0;
+  std::size_t num_art = 0;
+  for (const auto& con : rows) {
+    if (con.rel != Relation::Equal) ++num_slack;
+    if (con.rel != Relation::LessEq) ++num_art;
+  }
+
+  Tableau t;
+  t.rows = m;
+  t.cols = n_ + num_slack + num_art;
+  t.a.assign(m, std::vector<double>(t.cols + 1, 0.0));
+  t.basis.assign(m, Tableau::npos);
+
+  std::size_t slack_col = n_;
+  std::size_t art_col = n_ + num_slack;
+  for (std::size_t r = 0; r < m; ++r) {
+    const Constraint& con = rows[r];
+    for (std::size_t c = 0; c < n_; ++c) t.a[r][c] = con.coeffs[c];
+    t.a[r][t.cols] = con.rhs;
+    switch (con.rel) {
+      case Relation::LessEq:
+        t.a[r][slack_col] = 1.0;
+        t.basis[r] = slack_col;
+        ++slack_col;
+        break;
+      case Relation::GreaterEq:
+        t.a[r][slack_col] = -1.0;  // surplus
+        ++slack_col;
+        t.a[r][art_col] = 1.0;
+        t.basis[r] = art_col;
+        ++art_col;
+        break;
+      case Relation::Equal:
+        t.a[r][art_col] = 1.0;
+        t.basis[r] = art_col;
+        ++art_col;
+        break;
+    }
+  }
+
+  LpResult result;
+
+  // Phase 1: maximize -(sum of artificials).
+  if (num_art > 0) {
+    std::vector<double> c1(t.cols, 0.0);
+    for (std::size_t c = n_ + num_slack; c < t.cols; ++c) c1[c] = -1.0;
+    const LpStatus s1 = run_simplex(t, c1);
+    (void)s1;  // phase 1 is bounded by construction
+    if (objective_value(t, c1) < -1e-7) {
+      result.status = LpStatus::Infeasible;
+      return result;
+    }
+    // Pivot any artificial still in the basis (degenerate at zero) out.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (t.basis[r] < n_ + num_slack) continue;
+      std::size_t pc = Tableau::npos;
+      for (std::size_t c = 0; c < n_ + num_slack; ++c) {
+        if (std::abs(t.a[r][c]) > kTol) {
+          pc = c;
+          break;
+        }
+      }
+      if (pc != Tableau::npos) t.pivot(r, pc);
+      // Otherwise the row is redundant; harmless to keep.
+    }
+    // Erase the artificial columns so phase 2 can never re-enter them: with
+    // zero entries everywhere their reduced cost is exactly zero.
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = n_ + num_slack; c < t.cols; ++c) {
+        if (t.basis[r] != c) t.a[r][c] = 0.0;
+      }
+    }
+  }
+
+  // Phase 2: user objective (zero objective => any feasible point is optimal).
+  std::vector<double> c2(t.cols, 0.0);
+  if (!c_.empty()) {
+    for (std::size_t c = 0; c < n_; ++c) c2[c] = c_[c];
+  }
+  // Forbid artificials from re-entering.
+  const LpStatus s2 = run_simplex(t, c2);
+  if (s2 == LpStatus::Unbounded) {
+    result.status = LpStatus::Unbounded;
+    return result;
+  }
+
+  result.status = LpStatus::Optimal;
+  result.x.assign(n_, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis[r] < n_) result.x[t.basis[r]] = t.rhs(r);
+  }
+  result.objective = 0.0;
+  if (!c_.empty()) {
+    for (std::size_t c = 0; c < n_; ++c) result.objective += c_[c] * result.x[c];
+  }
+  return result;
+}
+
+}  // namespace lmr::lp

@@ -1,0 +1,70 @@
+#pragma once
+/// \file simplex.hpp
+/// Dense two-phase simplex LP solver.
+///
+/// Substrate for the paper's region-assignment feasibility LP (§III, Eq. 4):
+/// find x_ij >= 0 with sum_j x_ij <= Cap_i (region capacity) and
+/// sum_i x_ij >= Req_j (trace sufficiency), x_ij = 0 for non-neighbours.
+/// Problems of that shape are tiny (regions x traces), so a dense tableau
+/// with Bland's anti-cycling rule is entirely adequate and dependency-free.
+
+#include <cstddef>
+#include <vector>
+
+namespace lmr::lp {
+
+/// Relational operator of one constraint row.
+enum class Relation { LessEq, GreaterEq, Equal };
+
+/// One linear constraint: coeffs . x (rel) rhs.
+struct Constraint {
+  std::vector<double> coeffs;
+  Relation rel = Relation::LessEq;
+  double rhs = 0.0;
+};
+
+/// Outcome classification of a solve.
+enum class LpStatus { Optimal, Infeasible, Unbounded };
+
+/// Solution report.
+struct LpResult {
+  LpStatus status = LpStatus::Infeasible;
+  std::vector<double> x;     ///< primal solution (valid when Optimal)
+  double objective = 0.0;    ///< objective value at x
+};
+
+/// Linear program: maximize c.x subject to constraints and x >= 0.
+class SimplexSolver {
+ public:
+  /// `num_vars` decision variables, all with implicit x >= 0 bounds.
+  explicit SimplexSolver(std::size_t num_vars) : n_(num_vars) {}
+
+  /// Set the maximization objective (defaults to the zero objective, which
+  /// turns solve() into a pure feasibility check).
+  void set_objective(std::vector<double> c);
+
+  void add_constraint(Constraint c);
+  void add_less_eq(std::vector<double> coeffs, double rhs) {
+    add_constraint({std::move(coeffs), Relation::LessEq, rhs});
+  }
+  void add_greater_eq(std::vector<double> coeffs, double rhs) {
+    add_constraint({std::move(coeffs), Relation::GreaterEq, rhs});
+  }
+  void add_equal(std::vector<double> coeffs, double rhs) {
+    add_constraint({std::move(coeffs), Relation::Equal, rhs});
+  }
+
+  /// Two-phase solve. Phase 1 drives artificial variables to zero (reporting
+  /// Infeasible if it cannot); phase 2 optimizes the user objective.
+  [[nodiscard]] LpResult solve() const;
+
+  [[nodiscard]] std::size_t num_vars() const { return n_; }
+  [[nodiscard]] std::size_t num_constraints() const { return cons_.size(); }
+
+ private:
+  std::size_t n_;
+  std::vector<double> c_;
+  std::vector<Constraint> cons_;
+};
+
+}  // namespace lmr::lp

@@ -1,0 +1,71 @@
+#pragma once
+/// \file group_matcher.hpp
+/// Whole-group length matching — the outer loop of Fig. 2.
+///
+/// For each member of a matching group:
+///  * single-ended traces run straight through the DP extension engine in
+///    their routable area;
+///  * differential pairs are first merged into a median trace by MSDTW with
+///    the virtual-DRC conversion, the median is extended, and the pair is
+///    restored (offset ± pitch/2) with tiny-pattern skew compensation.
+/// Results are written back into the layout and reported with the Eq. 19
+/// error metrics per member.
+
+#include <string>
+#include <vector>
+
+#include "core/trace_extender.hpp"
+#include "drc/rules.hpp"
+#include "layout/layout.hpp"
+
+namespace lmr::pipeline {
+
+/// Per-member outcome.
+struct MemberReport {
+  layout::TraceId id = 0;
+  layout::MemberKind kind = layout::MemberKind::SingleEnded;
+  std::string name;
+  double initial_length = 0.0;
+  double final_length = 0.0;
+  double target = 0.0;
+  double runtime_s = 0.0;
+  bool reached = false;
+  int patterns = 0;
+
+  [[nodiscard]] double error_fraction() const {
+    return target > 0.0 ? (target - final_length) / target : 0.0;
+  }
+};
+
+/// Per-group outcome with the paper's error metrics (Eq. 19).
+struct GroupReport {
+  std::string group_name;
+  double target = 0.0;
+  double max_error_pct = 0.0;
+  double avg_error_pct = 0.0;
+  double initial_max_error_pct = 0.0;
+  double initial_avg_error_pct = 0.0;
+  double runtime_s = 0.0;
+  std::vector<MemberReport> members;
+};
+
+/// Drives matching of the groups in a layout.
+class GroupMatcher {
+ public:
+  /// The layout must carry a routable area for every group member (the
+  /// region-assignment output, or generator-provided corridors).
+  GroupMatcher(layout::Layout& layout, drc::DesignRules rules)
+      : layout_(layout), rules_(rules) {
+    rules_.validate();
+  }
+
+  /// Match group `group_index` of the layout. Throws std::out_of_range on a
+  /// bad index and std::invalid_argument when a member lacks an area.
+  GroupReport match_group(std::size_t group_index, const core::ExtenderConfig& cfg = {});
+
+ private:
+  layout::Layout& layout_;
+  drc::DesignRules rules_;
+};
+
+}  // namespace lmr::pipeline

@@ -1,0 +1,93 @@
+#include "viz/render.hpp"
+
+namespace lmr::viz {
+
+namespace {
+
+const char* kTraceColors[] = {"#e8b339", "#4fc1e9", "#8ce06d", "#ef7fb2",
+                              "#f2684b", "#b09af5", "#6fe0c8", "#e0d26f"};
+
+Style trace_style(std::size_t idx, double width) {
+  Style st;
+  st.stroke = kTraceColors[idx % (sizeof(kTraceColors) / sizeof(kTraceColors[0]))];
+  st.stroke_width = width > 0.0 ? width : 0.25;
+  return st;
+}
+
+Style obstacle_style() {
+  Style st;
+  st.stroke = "#5a6472";
+  st.stroke_width = 0.05;
+  st.fill = "#39414d";
+  return st;
+}
+
+Style area_style() {
+  Style st;
+  st.stroke = "#46637f";
+  st.stroke_width = 0.08;
+  st.dash = "0.8,0.5";
+  return st;
+}
+
+Style board_style() {
+  Style st;
+  st.stroke = "#2d3640";
+  st.stroke_width = 0.2;
+  return st;
+}
+
+geom::Box viewport_of(const layout::Layout& layout, double margin) {
+  geom::Box vp;
+  if (!layout.board().empty()) vp.expand(layout.board().bbox());
+  for (const auto& [id, t] : layout.traces()) vp.expand(t.path.bbox());
+  for (const auto& [id, p] : layout.pairs()) {
+    vp.expand(p.positive.path.bbox());
+    vp.expand(p.negative.path.bbox());
+  }
+  for (const auto& o : layout.obstacles()) vp.expand(o.shape.bbox());
+  if (vp.empty()) vp = {{0, 0}, {1, 1}};
+  return vp.inflated(margin);
+}
+
+}  // namespace
+
+bool render_layout(const layout::Layout& layout, const std::string& path,
+                   const RenderOptions& opts) {
+  SvgWriter svg(viewport_of(layout, opts.margin), opts.pixels_per_unit);
+  if (opts.draw_board && !layout.board().empty()) {
+    svg.polygon(layout.board(), board_style());
+  }
+  if (opts.draw_areas) {
+    for (const auto& [id, t] : layout.traces()) {
+      if (const layout::RoutableArea* area = layout.routable_area(id)) {
+        svg.polygon(area->outline, area_style());
+      }
+    }
+  }
+  if (opts.draw_obstacles) {
+    for (const auto& o : layout.obstacles()) svg.polygon(o.shape, obstacle_style());
+  }
+  std::size_t idx = 0;
+  for (const auto& [id, t] : layout.traces()) {
+    svg.polyline(t.path, trace_style(idx++, t.width));
+  }
+  for (const auto& [id, p] : layout.pairs()) {
+    svg.polyline(p.positive.path, trace_style(idx, p.positive.width));
+    svg.polyline(p.negative.path, trace_style(idx, p.negative.width));
+    ++idx;
+  }
+  return svg.save(path);
+}
+
+bool render_trace_panel(const layout::Trace& trace, const layout::RoutableArea& area,
+                        const std::string& path, const RenderOptions& opts) {
+  geom::Box vp = area.outline.empty() ? trace.path.bbox() : area.bbox();
+  SvgWriter svg(vp.inflated(opts.margin), opts.pixels_per_unit);
+  if (!area.outline.empty()) svg.polygon(area.outline, area_style());
+  for (const auto& hole : area.holes) svg.polygon(hole, obstacle_style());
+  svg.polyline(trace.path, trace_style(0, trace.width));
+  return svg.save(path);
+}
+
+}  // namespace lmr::viz

@@ -1,0 +1,32 @@
+#pragma once
+/// \file render.hpp
+/// Canned rendering of layouts in the visual style of the paper's figures:
+/// dark board, copper traces, grey obstacles, dashed routable-area borders.
+
+#include <string>
+
+#include "layout/layout.hpp"
+#include "viz/svg.hpp"
+
+namespace lmr::viz {
+
+/// Rendering options.
+struct RenderOptions {
+  double pixels_per_unit = 8.0;
+  bool draw_areas = true;
+  bool draw_obstacles = true;
+  bool draw_board = true;
+  double margin = 2.0;  ///< viewport padding in layout units
+};
+
+/// Render every trace/pair/obstacle/area of `layout` into `path`.
+/// Returns false on I/O failure.
+bool render_layout(const layout::Layout& layout, const std::string& path,
+                   const RenderOptions& opts = {});
+
+/// Render a single trace with its area and obstacle set — the per-case
+/// panels of Fig. 15.
+bool render_trace_panel(const layout::Trace& trace, const layout::RoutableArea& area,
+                        const std::string& path, const RenderOptions& opts = {});
+
+}  // namespace lmr::viz

@@ -1,0 +1,91 @@
+#include "viz/svg.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace lmr::viz {
+
+namespace {
+
+std::string style_attrs(const Style& st) {
+  std::ostringstream os;
+  os << "stroke=\"" << st.stroke << "\" stroke-width=\"" << st.stroke_width
+     << "\" fill=\"" << st.fill << "\"";
+  if (st.opacity < 1.0) os << " opacity=\"" << st.opacity << "\"";
+  if (!st.dash.empty()) os << " stroke-dasharray=\"" << st.dash << "\"";
+  return os.str();
+}
+
+}  // namespace
+
+SvgWriter::SvgWriter(geom::Box viewport, double pixels_per_unit)
+    : viewport_(viewport), scale_(pixels_per_unit) {}
+
+geom::Point SvgWriter::map(const geom::Point& p) const {
+  return {(p.x - viewport_.lo.x) * scale_, (viewport_.hi.y - p.y) * scale_};
+}
+
+void SvgWriter::polyline(const geom::Polyline& pl, const Style& style) {
+  if (pl.size() < 2) return;
+  std::ostringstream os;
+  os << "<polyline points=\"";
+  for (const geom::Point& p : pl.points()) {
+    const geom::Point m = map(p);
+    os << m.x << ',' << m.y << ' ';
+  }
+  os << "\" " << style_attrs(style) << "/>";
+  body_.push_back(os.str());
+}
+
+void SvgWriter::polygon(const geom::Polygon& poly, const Style& style) {
+  if (poly.size() < 3) return;
+  std::ostringstream os;
+  os << "<polygon points=\"";
+  for (const geom::Point& p : poly.points()) {
+    const geom::Point m = map(p);
+    os << m.x << ',' << m.y << ' ';
+  }
+  os << "\" " << style_attrs(style) << "/>";
+  body_.push_back(os.str());
+}
+
+void SvgWriter::circle(const geom::Point& center, double r, const Style& style) {
+  const geom::Point m = map(center);
+  std::ostringstream os;
+  os << "<circle cx=\"" << m.x << "\" cy=\"" << m.y << "\" r=\"" << r * scale_ << "\" "
+     << style_attrs(style) << "/>";
+  body_.push_back(os.str());
+}
+
+void SvgWriter::line(const geom::Point& a, const geom::Point& b, const Style& style) {
+  const geom::Point ma = map(a), mb = map(b);
+  std::ostringstream os;
+  os << "<line x1=\"" << ma.x << "\" y1=\"" << ma.y << "\" x2=\"" << mb.x << "\" y2=\""
+     << mb.y << "\" " << style_attrs(style) << "/>";
+  body_.push_back(os.str());
+}
+
+void SvgWriter::text(const geom::Point& at, const std::string& s, double size,
+                     const std::string& color) {
+  const geom::Point m = map(at);
+  std::ostringstream os;
+  os << "<text x=\"" << m.x << "\" y=\"" << m.y << "\" font-size=\"" << size * scale_
+     << "\" fill=\"" << color << "\" font-family=\"sans-serif\">" << s << "</text>";
+  body_.push_back(os.str());
+}
+
+bool SvgWriter::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  const double w = viewport_.width() * scale_;
+  const double h = viewport_.height() * scale_;
+  f << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+    << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h
+    << "\" viewBox=\"0 0 " << w << ' ' << h << "\">\n"
+    << "<rect width=\"" << w << "\" height=\"" << h << "\" fill=\"#10141a\"/>\n";
+  for (const std::string& cmd : body_) f << cmd << '\n';
+  f << "</svg>\n";
+  return f.good();
+}
+
+}  // namespace lmr::viz

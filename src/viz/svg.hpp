@@ -1,0 +1,50 @@
+#pragma once
+/// \file svg.hpp
+/// Minimal dependency-free SVG writer used to regenerate the paper's display
+/// figures (Figs. 14-16). Y axis is flipped so that +y in layout coordinates
+/// points up in the rendered image.
+
+#include <string>
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/polygon.hpp"
+#include "geom/polyline.hpp"
+
+namespace lmr::viz {
+
+/// Stroke/fill style of one drawing call.
+struct Style {
+  std::string stroke = "#000000";
+  double stroke_width = 0.15;
+  std::string fill = "none";
+  double opacity = 1.0;
+  std::string dash;  ///< e.g. "0.6,0.3"; empty = solid
+};
+
+/// Accumulates drawing commands and writes one SVG file.
+class SvgWriter {
+ public:
+  /// `viewport` is the layout-coordinate region shown; `pixels_per_unit`
+  /// scales the output.
+  explicit SvgWriter(geom::Box viewport, double pixels_per_unit = 10.0);
+
+  void polyline(const geom::Polyline& pl, const Style& style);
+  void polygon(const geom::Polygon& poly, const Style& style);
+  void circle(const geom::Point& center, double r, const Style& style);
+  void line(const geom::Point& a, const geom::Point& b, const Style& style);
+  void text(const geom::Point& at, const std::string& s, double size,
+            const std::string& color = "#333333");
+
+  /// Write the file; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  [[nodiscard]] geom::Point map(const geom::Point& p) const;
+
+  geom::Box viewport_;
+  double scale_;
+  std::vector<std::string> body_;
+};
+
+}  // namespace lmr::viz

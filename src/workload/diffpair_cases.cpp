@@ -1,0 +1,88 @@
+#include "workload/diffpair_cases.hpp"
+
+#include <cmath>
+
+namespace lmr::workload {
+
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+using geom::Polyline;
+
+drc::DesignRules sub_rules() {
+  drc::DesignRules r;
+  r.gap = 0.6;
+  r.obs = 0.4;
+  r.protect = 0.3;
+  r.trace_width = 0.15;
+  return r;
+}
+
+}  // namespace
+
+DiffPairCase decoupled_pair_case() {
+  DiffPairCase c;
+  c.sub_rules = sub_rules();
+  const double p_narrow = 0.8;  // DRA 1 pitch
+  const double p_wide = 2.4;    // DRA 2 pitch
+  c.rule_set = {p_narrow, p_wide};
+
+  // traceP: runs along y = +pitch/2; at x=14 a corner cluster of three short
+  // segments stands in for one ideal corner node (Fig. 10a); widens at x=30.
+  c.pair.positive.path = Polyline{{
+      {0.0, 0.4},
+      {6.0, 0.4},
+      {13.8, 0.4},          // corner cluster start
+      {14.0, 0.42},         // short kink segment (machine-precision corner)
+      {14.2, 0.4},          // cluster end
+      {22.0, 0.4},
+      {30.0, 0.4},
+      {34.0, 1.2},          // transition into the wide DRA
+      {40.0, 1.2},
+      {48.0, 1.2},
+  }};
+
+  // traceN: along y = -pitch/2 with a tiny compensation pattern at x=18
+  // (Fig. 10b): four extra nodes that plain DTW would mis-match.
+  c.pair.negative.path = Polyline{{
+      {0.0, -0.4},
+      {6.0, -0.4},
+      {14.0, -0.4},
+      {17.7, -0.4},
+      {17.7, -0.7},         // tiny pattern (depth 0.3, width 0.6)
+      {18.3, -0.7},
+      {18.3, -0.4},
+      {22.0, -0.4},
+      {30.0, -0.4},
+      {34.0, -1.2},
+      {40.0, -1.2},
+      {48.0, -1.2},
+  }};
+  c.tiny_pattern_nodes = 4;
+
+  c.pair.name = "decoupled";
+  c.pair.pitch = p_narrow;
+  c.pair.positive.width = c.sub_rules.trace_width;
+  c.pair.negative.width = c.sub_rules.trace_width;
+  c.pair.breakout_nodes = 1;
+
+  c.area.outline = Polygon::rect({{-2.0, -10.0}, {50.0, 10.0}});
+  return c;
+}
+
+DiffPairCase coupled_pair_case() {
+  DiffPairCase c;
+  c.sub_rules = sub_rules();
+  c.rule_set = {0.8};
+  c.pair.name = "coupled";
+  c.pair.pitch = 0.8;
+  c.pair.positive.width = c.sub_rules.trace_width;
+  c.pair.negative.width = c.sub_rules.trace_width;
+  c.pair.positive.path = Polyline{{{0, 0.4}, {10, 0.4}, {10, 8.4}, {24, 8.4}}};
+  c.pair.negative.path = Polyline{{{0, -0.4}, {10.8, -0.4}, {10.8, 7.6}, {24, 7.6}}};
+  c.area.outline = Polygon::rect({{-2.0, -6.0}, {28.0, 14.0}});
+  return c;
+}
+
+}  // namespace lmr::workload

@@ -1,0 +1,33 @@
+#pragma once
+/// \file diffpair_cases.hpp
+/// Decoupled differential-pair scenarios for the MSDTW experiments
+/// (Figs. 9-13, 16): imperfectly coupled sub-traces with corner node
+/// clusters, a tiny intra-pair compensation pattern, and a second DRA where
+/// the pair widens.
+
+#include <vector>
+
+#include "drc/rules.hpp"
+#include "layout/routable_area.hpp"
+#include "layout/trace.hpp"
+
+namespace lmr::workload {
+
+/// One decoupled-pair scenario.
+struct DiffPairCase {
+  layout::DiffPair pair;
+  drc::DesignRules sub_rules;
+  std::vector<double> rule_set;   ///< ascending distance rules (MSDTW's R)
+  layout::RoutableArea area;
+  int tiny_pattern_nodes = 0;     ///< nodes that MSDTW must filter
+};
+
+/// The canonical decoupled pair (Fig. 9 profile): narrow section with pitch
+/// 0.8 carrying a tiny pattern on traceN plus a short-segment corner
+/// cluster on traceP, then a wide section with pitch 2.4 (second DRA).
+[[nodiscard]] DiffPairCase decoupled_pair_case();
+
+/// A cleanly coupled pair (control case: MSDTW must match every node).
+[[nodiscard]] DiffPairCase coupled_pair_case();
+
+}  // namespace lmr::workload

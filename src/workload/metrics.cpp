@@ -1,0 +1,26 @@
+#include "workload/metrics.hpp"
+
+#include <algorithm>
+
+namespace lmr::workload {
+
+ErrorStats matching_errors(std::span<const double> lengths, double target) {
+  ErrorStats out;
+  if (lengths.empty() || target <= 0.0) return out;
+  double max_e = 0.0, sum_e = 0.0;
+  for (const double l : lengths) {
+    const double e = (target - l) / target;
+    max_e = std::max(max_e, e);
+    sum_e += e;
+  }
+  out.max_error_pct = 100.0 * max_e;
+  out.avg_error_pct = 100.0 * sum_e / static_cast<double>(lengths.size());
+  return out;
+}
+
+double extension_upper_bound_pct(double original, double extended) {
+  if (original <= 0.0) return 0.0;
+  return 100.0 * (extended - original) / original;
+}
+
+}  // namespace lmr::workload

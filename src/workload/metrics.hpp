@@ -1,0 +1,21 @@
+#pragma once
+/// \file metrics.hpp
+/// The evaluation metrics of §VI (Eqs. 19 and 20).
+
+#include <span>
+
+namespace lmr::workload {
+
+/// Matching errors of a group (Eq. 19), in percent.
+struct ErrorStats {
+  double max_error_pct = 0.0;
+  double avg_error_pct = 0.0;
+};
+
+/// Compute Eq. 19 over final trace lengths against a common target.
+[[nodiscard]] ErrorStats matching_errors(std::span<const double> lengths, double target);
+
+/// Extension upper bound (Eq. 20), in percent.
+[[nodiscard]] double extension_upper_bound_pct(double original, double extended);
+
+}  // namespace lmr::workload

@@ -1,0 +1,58 @@
+#include "workload/table2_cases.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace lmr::workload {
+
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+using geom::Polyline;
+
+}  // namespace
+
+Table2Case table2_case(int k) {
+  if (k < 1 || k > 6) throw std::out_of_range("table2_case: k must be 1..6");
+  Table2Case c;
+  c.id = k;
+  c.rules.gap = 2.5 + 0.5 * (k - 1);  // the paper's sweep
+  c.rules.obs = 1.0;
+  c.rules.protect = 1.0;
+  c.rules.trace_width = 1.0;
+  c.rules.miter = 0.0;
+
+  // Fixed dummy design: one trace crossing a 66-unit corridor through a
+  // field of via *columns*. Between columns run vertical lanes ~8.8 wide:
+  // wide enough for a full meander at loose d_gap (the fixed-track baseline
+  // matches the DP there, like the paper's cases 1-2), but too narrow once
+  // the URA width 2*(d_gap + w) exceeds the lane (cases 3+), where only the
+  // DP's foot/width adaptation and obstacle wrapping keep finding space.
+  // Identical geometry for all six cases; only the DRC tightens.
+  const double len = 66.0;
+  const double half_h = 34.0;
+  c.l_original = len;
+  c.trace.id = 1;
+  c.trace.name = "dut";
+  c.trace.width = c.rules.trace_width;
+  c.trace.path = Polyline{{{0.0, 0.0}, {len, 0.0}}};
+
+  c.area.outline = Polygon::rect({{-2.0, -half_h}, {len + 2.0, half_h}});
+
+  std::mt19937_64 rng(4242);
+  std::uniform_real_distribution<double> jitter(-0.3, 0.3);
+  const double via_r = 1.1;
+  for (double x = 8.0; x < len; x += 11.0) {          // columns: lanes between
+    for (double row = 5.0; row <= 23.0; row += 4.5) {  // near-wall stacks
+      for (const double side : {+1.0, -1.0}) {
+        const Point center{x + jitter(rng), side * row + jitter(rng)};
+        c.area.holes.push_back(Polygon::regular(center, via_r, 8, M_PI / 8.0));
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace lmr::workload

@@ -1,0 +1,27 @@
+#pragma once
+/// \file table2_cases.hpp
+/// Generator for the six Table II ablation cases: a "dummy design with
+/// narrow space between dense vias" (§VI-B). One trace crosses a via field;
+/// d_gap is swept 2.5 -> 5.0 with fixed trace width and original length,
+/// and the extension upper bound (Eq. 20) is measured with the DP engine
+/// versus the fixed-track baseline.
+
+#include "drc/rules.hpp"
+#include "layout/routable_area.hpp"
+#include "layout/trace.hpp"
+
+namespace lmr::workload {
+
+/// One generated Table II case.
+struct Table2Case {
+  int id = 0;
+  drc::DesignRules rules;      ///< gap swept per case
+  double l_original = 0.0;     ///< trace length before extension
+  layout::Trace trace;
+  layout::RoutableArea area;   ///< corridor with dense via holes
+};
+
+/// Build case k (1..6): d_gap = 2.5 + 0.5 * (k - 1). Deterministic.
+[[nodiscard]] Table2Case table2_case(int k);
+
+}  // namespace lmr::workload

@@ -1,0 +1,127 @@
+#include "assign/assignment_lp.hpp"
+#include "assign/region_assigner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::assign {
+namespace {
+
+TEST(AssignmentLp, FeasibleSplit) {
+  AssignmentInput in;
+  in.capacity = {10.0, 10.0};
+  in.requirement = {6.0, 6.0};
+  in.neighbor = {{true, true}, {true, true}};
+  const AssignmentResult r = solve_assignment(in);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.x[0][0] + r.x[1][0], 6.0 - 1e-7);
+  EXPECT_GE(r.x[0][1] + r.x[1][1], 6.0 - 1e-7);
+  EXPECT_LE(r.x[0][0] + r.x[0][1], 10.0 + 1e-7);
+}
+
+TEST(AssignmentLp, NeighborValidityEnforced) {
+  // Trace 0 can only use region 0 (Eq. 1): requirement must fit there.
+  AssignmentInput in;
+  in.capacity = {5.0, 100.0};
+  in.requirement = {6.0, 1.0};
+  in.neighbor = {{true, true}, {false, true}};
+  const AssignmentResult r = solve_assignment(in);
+  EXPECT_FALSE(r.feasible);  // 6 > 5 and region 1 is not a neighbor
+}
+
+TEST(AssignmentLp, InfeasibleTotalDemand) {
+  AssignmentInput in;
+  in.capacity = {4.0};
+  in.requirement = {3.0, 3.0};
+  in.neighbor = {{true, true}};
+  EXPECT_FALSE(solve_assignment(in).feasible);
+}
+
+TEST(AssignmentLp, IsolatedTraceWithZeroNeedOk) {
+  AssignmentInput in;
+  in.capacity = {4.0};
+  in.requirement = {2.0, 0.0};
+  in.neighbor = {{true, false}};
+  const AssignmentResult r = solve_assignment(in);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(AssignmentLp, SizeValidation) {
+  AssignmentInput in;
+  in.capacity = {1.0};
+  in.requirement = {1.0};
+  in.neighbor = {};  // wrong row count
+  EXPECT_THROW(solve_assignment(in), std::invalid_argument);
+}
+
+TEST(SpaceRequirement, ScalesWithExtraAndGap) {
+  drc::DesignRules r;
+  r.gap = 2.0;
+  r.trace_width = 0.0;
+  EXPECT_DOUBLE_EQ(space_requirement(10.0, r), 10.0);  // 10 * 2/2
+  EXPECT_DOUBLE_EQ(space_requirement(0.0, r), 0.0);
+  EXPECT_DOUBLE_EQ(space_requirement(-5.0, r), 0.0);
+}
+
+TEST(RegionAssigner, CorridorBundleProducesDisjointAreas) {
+  // Three stacked traces with moderate requirements in an empty bundle.
+  layout::Trace t0, t1, t2;
+  t0.path = geom::Polyline{{{0, 2}, {40, 2}}};
+  t1.path = geom::Polyline{{{0, 6}, {40, 6}}};
+  t2.path = geom::Polyline{{{0, 10}, {40, 10}}};
+  CorridorSpec spec;
+  spec.bundle = {{0, 0}, {40, 12}};
+  spec.traces = {&t0, &t1, &t2};
+  spec.targets = {60.0, 60.0, 60.0};
+  spec.rules.gap = 1.0;
+  spec.rules.protect = 0.5;
+  const CorridorAssignment a = assign_corridors(spec);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_EQ(a.areas.size(), 3u);
+  for (const auto& area : a.areas) {
+    EXPECT_GE(area.outline.size(), 4u);
+    EXPECT_GT(area.free_area(), 0.0);
+  }
+  // Each trace inside its own area; not inside the neighbours'.
+  EXPECT_TRUE(a.areas[0].contains({20, 2}));
+  EXPECT_TRUE(a.areas[1].contains({20, 6}));
+  EXPECT_TRUE(a.areas[2].contains({20, 10}));
+  EXPECT_FALSE(a.areas[0].contains({20, 10}));
+  EXPECT_FALSE(a.areas[2].contains({20, 2}));
+}
+
+TEST(RegionAssigner, ObstacleSpaceCarvedOut) {
+  layout::Trace t0;
+  t0.path = geom::Polyline{{{0, 3}, {40, 3}}};
+  CorridorSpec spec;
+  spec.bundle = {{0, 0}, {40, 6}};
+  spec.traces = {&t0};
+  spec.targets = {50.0};
+  spec.rules.gap = 1.0;
+  spec.rules.protect = 0.5;
+  spec.obstacles.push_back(geom::Polygon::rect({{18, 4.2}, {20, 5.2}}));
+  const CorridorAssignment a = assign_corridors(spec);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_EQ(a.areas.size(), 1u);
+  // The slab decomposition carves the obstacle's inflated footprint out of
+  // the assigned region: neither the obstacle nor its clearance band is
+  // inside the area, while the trace's own corridor remains.
+  EXPECT_FALSE(a.areas[0].contains({19.0, 4.7}));  // obstacle centroid
+  EXPECT_TRUE(a.areas[0].contains({5.0, 3.0}));
+  EXPECT_TRUE(a.areas[0].contains({19.0, 2.0}));   // below the obstacle band
+}
+
+TEST(RegionAssigner, InfeasibleWhenBundleTooTight) {
+  layout::Trace t0;
+  t0.path = geom::Polyline{{{0, 1}, {40, 1}}};
+  CorridorSpec spec;
+  spec.bundle = {{0, 0}, {40, 2}};  // area 80
+  spec.traces = {&t0};
+  spec.targets = {1000.0};  // needs ~480 of space
+  spec.rules.gap = 1.0;
+  spec.rules.protect = 0.5;
+  const CorridorAssignment a = assign_corridors(spec);
+  EXPECT_FALSE(a.feasible);
+}
+
+}  // namespace
+}  // namespace lmr::assign

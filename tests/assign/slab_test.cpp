@@ -1,0 +1,68 @@
+#include "assign/slab_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::assign {
+namespace {
+
+TEST(Slabs, EmptyObstaclesOneSlab) {
+  const auto slabs = decompose_slabs({{0, 0}, {10, 5}}, {}, 0.0);
+  ASSERT_EQ(slabs.size(), 1u);
+  EXPECT_DOUBLE_EQ(slabs[0].free_area(), 50.0);
+  ASSERT_EQ(slabs[0].free_y.size(), 1u);
+}
+
+TEST(Slabs, SingleObstacleCutsThree) {
+  std::vector<geom::Polygon> obs{geom::Polygon::rect({{4, 1}, {6, 2}})};
+  const auto slabs = decompose_slabs({{0, 0}, {10, 5}}, obs, 0.0);
+  ASSERT_EQ(slabs.size(), 3u);
+  EXPECT_DOUBLE_EQ(slabs[0].x1, 4.0);
+  EXPECT_DOUBLE_EQ(slabs[1].x0, 4.0);
+  EXPECT_DOUBLE_EQ(slabs[1].x1, 6.0);
+  // Middle slab free area: width 2 * (5 - blocked 1) = 8.
+  EXPECT_DOUBLE_EQ(slabs[1].free_area(), 8.0);
+  ASSERT_EQ(slabs[1].free_y.size(), 2u);
+}
+
+TEST(Slabs, ClearanceInflatesFootprint) {
+  std::vector<geom::Polygon> obs{geom::Polygon::rect({{4, 2}, {6, 3}})};
+  const auto slabs = decompose_slabs({{0, 0}, {10, 5}}, obs, 0.5);
+  ASSERT_EQ(slabs.size(), 3u);
+  EXPECT_DOUBLE_EQ(slabs[1].x0, 3.5);
+  EXPECT_DOUBLE_EQ(slabs[1].x1, 6.5);
+  // Blocked y: [1.5, 3.5].
+  ASSERT_EQ(slabs[1].free_y.size(), 2u);
+  EXPECT_DOUBLE_EQ(slabs[1].free_y[0].hi, 1.5);
+}
+
+TEST(Slabs, FreeSpanLookup) {
+  std::vector<geom::Polygon> obs{geom::Polygon::rect({{4, 1}, {6, 2}})};
+  const auto slabs = decompose_slabs({{0, 0}, {10, 5}}, obs, 0.0);
+  const Slab& mid = slabs[1];
+  EXPECT_NE(mid.free_span_at(0.5), nullptr);
+  EXPECT_NE(mid.free_span_at(3.0), nullptr);
+  EXPECT_EQ(mid.free_span_at(1.5), nullptr);  // inside the obstacle
+}
+
+TEST(Slabs, OverlappingObstaclesMerge) {
+  std::vector<geom::Polygon> obs{geom::Polygon::rect({{2, 1}, {5, 2}}),
+                                 geom::Polygon::rect({{4, 1.5}, {8, 3}})};
+  const auto slabs = decompose_slabs({{0, 0}, {10, 5}}, obs, 0.0);
+  // Slab between 4 and 5 sees both obstacles; blocked [1, 3].
+  for (const Slab& s : slabs) {
+    if (s.x0 >= 4.0 && s.x1 <= 5.0) {
+      ASSERT_EQ(s.free_y.size(), 2u);
+      EXPECT_DOUBLE_EQ(s.free_y[0].hi, 1.0);
+      EXPECT_DOUBLE_EQ(s.free_y[1].lo, 3.0);
+    }
+  }
+}
+
+TEST(Slabs, ObstacleOutsideBundleIgnored) {
+  std::vector<geom::Polygon> obs{geom::Polygon::rect({{20, 1}, {22, 2}})};
+  const auto slabs = decompose_slabs({{0, 0}, {10, 5}}, obs, 0.0);
+  EXPECT_EQ(slabs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lmr::assign

@@ -1,0 +1,136 @@
+#include "baseline/fixed_track.hpp"
+#include "baseline/aidt_style.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/trace_extender.hpp"
+#include "layout/drc_checker.hpp"
+
+namespace lmr::baseline {
+namespace {
+
+using geom::Polygon;
+using geom::Polyline;
+
+drc::DesignRules rules() {
+  drc::DesignRules r;
+  r.gap = 1.0;
+  r.obs = 0.5;
+  r.protect = 0.5;
+  r.trace_width = 0.0;
+  return r;
+}
+
+layout::RoutableArea corridor(double y0, double y1) {
+  layout::RoutableArea a;
+  a.outline = Polygon::rect({{-1, y0}, {31, y1}});
+  return a;
+}
+
+layout::Trace straight() {
+  layout::Trace t;
+  t.id = 1;
+  t.path = Polyline{{{0, 0}, {30, 0}}};
+  return t;
+}
+
+void expect_clean(const layout::Trace& t, const layout::RoutableArea& area) {
+  layout::DrcChecker checker;
+  const auto v = checker.check_trace(t, rules());
+  EXPECT_TRUE(v.empty()) << (v.empty() ? "" : v[0].note);
+  std::vector<layout::Obstacle> obs;
+  for (const auto& h : area.holes) obs.push_back({h, "hole"});
+  EXPECT_TRUE(checker.check_obstacles(t, rules(), obs).empty());
+  EXPECT_TRUE(checker.check_containment(t, area).empty());
+}
+
+TEST(FixedTrack, ReachesTargetInOpenCorridor) {
+  auto area = corridor(-6, 6);
+  auto t = straight();
+  FixedTrackMeanderer m(rules(), area);
+  const FixedTrackStats stats = m.extend(t, 50.0);
+  EXPECT_TRUE(stats.reached) << t.path.length();
+  EXPECT_NEAR(t.path.length(), 50.0, 1e-4);
+  expect_clean(t, area);
+}
+
+TEST(FixedTrack, TargetBelowLengthThrows) {
+  auto area = corridor(-6, 6);
+  auto t = straight();
+  FixedTrackMeanderer m(rules(), area);
+  EXPECT_THROW(m.extend(t, 10.0), std::invalid_argument);
+}
+
+TEST(FixedTrack, MaximizeBoundedByCorridor) {
+  auto area = corridor(-3, 3);
+  auto t = straight();
+  FixedTrackMeanderer m(rules(), area);
+  const FixedTrackStats stats = m.maximize(t);
+  EXPECT_GT(stats.final_length, stats.initial_length);
+  // Height capped at 3 - half(0.5) = 2.5 per side; patterns width 1 pitch 1:
+  // upper bound on gain is comfortably below the DP's reach.
+  expect_clean(t, area);
+}
+
+TEST(FixedTrack, SkipsBlockedTracksInsteadOfAdapting) {
+  // A via field blocks some fixed tracks; the baseline must still be clean
+  // but gains less than the DP engine on the identical scene.
+  auto area = corridor(-5, 5);
+  for (int i = 0; i < 6; ++i) {
+    area.holes.push_back(Polygon::regular({4.0 + 4.5 * i, 2.0}, 0.9, 8));
+    area.holes.push_back(Polygon::regular({6.0 + 4.5 * i, -2.0}, 0.9, 8));
+  }
+  auto t_base = straight();
+  FixedTrackMeanderer m(rules(), area);
+  m.maximize(t_base);
+  expect_clean(t_base, area);
+
+  auto t_dp = straight();
+  core::TraceExtender ext(rules(), area);
+  ext.maximize(t_dp);
+
+  EXPECT_GE(t_dp.path.length(), t_base.path.length() - 1e-6)
+      << "DP engine must dominate the fixed-track baseline";
+}
+
+TEST(FixedTrack, NoEnclosureOfObstacles) {
+  // An obstacle that the DP would wrap: the baseline must stay below it.
+  auto area = corridor(-6, 6);
+  area.holes.push_back(Polygon::rect({{14, 2.0}, {16, 3.0}}));
+  auto t = straight();
+  FixedTrackMeanderer m(rules(), area);
+  m.maximize(t);
+  // No trace point may sit above the obstacle bottom within its x-span
+  // (wrapping would need points above y=3 between x=14 and 16... the
+  // baseline cannot produce any point beyond 2.0 - effective clearance
+  // in that window).
+  for (const auto& p : t.path.points()) {
+    if (p.x > 13.9 && p.x < 16.1) EXPECT_LT(p.y, 2.01);
+  }
+  expect_clean(t, area);
+}
+
+TEST(AidtStyle, TwoPassRefinementImproves) {
+  auto area = corridor(-5, 5);
+  for (int i = 0; i < 5; ++i) {
+    area.holes.push_back(Polygon::regular({5.0 + 5.0 * i, 2.2}, 1.0, 8));
+  }
+  auto t = straight();
+  AidtStyleTuner tuner(rules(), area);
+  const AidtStats stats = tuner.tune(t, 55.0);
+  EXPECT_GT(stats.final_length, stats.initial_length);
+  EXPECT_GE(stats.passes, 1);
+  expect_clean(t, area);
+}
+
+TEST(AidtStyle, OpenSpaceHitsTarget) {
+  auto area = corridor(-8, 8);
+  auto t = straight();
+  AidtStyleTuner tuner(rules(), area);
+  const AidtStats stats = tuner.tune(t, 60.0);
+  EXPECT_TRUE(stats.reached) << stats.final_length;
+  expect_clean(t, area);
+}
+
+}  // namespace
+}  // namespace lmr::baseline

@@ -1,0 +1,94 @@
+#include "core/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/polyline.hpp"
+
+namespace lmr::core {
+namespace {
+
+TEST(PatternGain, RightAngleIsTwiceHeight) {
+  EXPECT_DOUBLE_EQ(pattern_gain(3.0, PatternStyle::RightAngle, 0.0), 6.0);
+  EXPECT_DOUBLE_EQ(pattern_gain(0.5, PatternStyle::RightAngle, 0.7), 1.0);
+}
+
+TEST(PatternGain, MiteredLosesCornerLength) {
+  const double g = pattern_gain(3.0, PatternStyle::Mitered, 0.5);
+  EXPECT_LT(g, 6.0);
+  EXPECT_NEAR(g, 6.0 + 4.0 * 0.5 * (std::sqrt(2.0) - 2.0), 1e-12);
+}
+
+TEST(PatternGain, MiterClippedByHeight) {
+  // Height 0.6 with miter 0.5 clips the cut at h/2 = 0.3.
+  const double g = pattern_gain(0.6, PatternStyle::Mitered, 0.5);
+  EXPECT_NEAR(g, 1.2 + 4.0 * 0.3 * (std::sqrt(2.0) - 2.0), 1e-12);
+}
+
+TEST(HeightForGain, InvertsRightAngle) {
+  EXPECT_DOUBLE_EQ(height_for_gain(6.0, PatternStyle::RightAngle, 0.0), 3.0);
+}
+
+TEST(HeightForGain, InvertsMitered) {
+  for (const double h : {2.0, 3.5, 10.0}) {
+    const double g = pattern_gain(h, PatternStyle::Mitered, 0.4);
+    EXPECT_NEAR(height_for_gain(g, PatternStyle::Mitered, 0.4), h, 1e-9);
+  }
+}
+
+TEST(RealizePatterns, EmptyChainIsStraight) {
+  const auto pts = realize_patterns({}, 10.0, 1.0);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts.front(), geom::Point(0.0, 0.0));
+  EXPECT_EQ(pts.back(), geom::Point(10.0, 0.0));
+}
+
+TEST(RealizePatterns, SinglePatternShape) {
+  const auto pts = realize_patterns({{2, 5, 3.0, 1}}, 10.0, 1.0);
+  const geom::Polyline pl{pts};
+  // 0 -> 2 -> up 3 -> across 3 -> down 3 -> 10.
+  EXPECT_DOUBLE_EQ(pl.length(), 10.0 + 6.0);
+  ASSERT_EQ(pts.size(), 6u);
+  EXPECT_EQ(pts[1], geom::Point(2.0, 0.0));
+  EXPECT_EQ(pts[2], geom::Point(2.0, 3.0));
+  EXPECT_EQ(pts[3], geom::Point(5.0, 3.0));
+  EXPECT_EQ(pts[4], geom::Point(5.0, 0.0));
+}
+
+TEST(RealizePatterns, NegativeDirectionGoesDown) {
+  const auto pts = realize_patterns({{2, 5, 3.0, -1}}, 10.0, 1.0);
+  EXPECT_EQ(pts[2], geom::Point(2.0, -3.0));
+}
+
+TEST(RealizePatterns, GainAccountingMatches) {
+  const std::vector<Pattern> chain{{1, 3, 2.0, 1}, {5, 7, 1.5, -1}};
+  const geom::Polyline pl{realize_patterns(chain, 10.0, 1.0)};
+  double expected = 10.0;
+  for (const Pattern& p : chain) expected += pattern_gain(p.height, PatternStyle::RightAngle, 0);
+  EXPECT_DOUBLE_EQ(pl.length(), expected);
+}
+
+TEST(RealizePatterns, ConnectedPatternsMergeFeet) {
+  // Two patterns sharing foot 5 on opposite sides: the crossing leg is one
+  // straight vertical run through the base.
+  const auto pts = realize_patterns({{2, 5, 2.0, 1}, {5, 8, 2.0, -1}}, 10.0, 1.0);
+  const geom::Polyline pl{pts};
+  EXPECT_DOUBLE_EQ(pl.length(), 10.0 + 4.0 + 4.0);
+  // The shared base point (5, 0) must appear exactly once.
+  int count = 0;
+  for (const auto& p : pts) {
+    if (geom::almost_equal(p, {5.0, 0.0})) ++count;
+  }
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(pl.self_intersects());
+}
+
+TEST(RealizePatterns, EndpointsAlwaysPreserved) {
+  const auto pts = realize_patterns({{0, 4, 1.0, 1}, {6, 10, 2.0, -1}}, 10.0, 1.0);
+  EXPECT_EQ(pts.front(), geom::Point(0.0, 0.0));
+  EXPECT_EQ(pts.back(), geom::Point(10.0, 0.0));
+}
+
+}  // namespace
+}  // namespace lmr::core

@@ -1,0 +1,208 @@
+#include "core/segment_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lmr::core {
+namespace {
+
+DpParams base_params(int n) {
+  DpParams p;
+  p.n = n;
+  p.step = 1.0;
+  p.gap_steps = 2;
+  p.protect_steps = 1;
+  p.min_height = 1.0;
+  p.needed_gain = 1e9;
+  return p;
+}
+
+HeightFn flat(double h) {
+  return [h](int, int, int, double req) { return std::min(h, req); };
+}
+
+/// Check the spacing legality of a restored chain against the DP rules.
+void expect_chain_legal(const std::vector<Pattern>& chain, const DpParams& p) {
+  for (std::size_t k = 0; k < chain.size(); ++k) {
+    const Pattern& c = chain[k];
+    EXPECT_LT(c.foot_lo, c.foot_hi);
+    EXPECT_GE(c.foot_lo, 0);
+    EXPECT_LE(c.foot_hi, p.n - 1);
+    EXPECT_GE(c.height, p.min_height - 1e-12);
+    // Width >= max(gap, protect).
+    EXPECT_GE(c.width_steps(), std::max(p.gap_steps, p.protect_steps));
+    // Feet vs segment nodes (protect or node-connect).
+    EXPECT_TRUE(c.foot_lo == 0 || c.foot_lo >= p.protect_steps);
+    EXPECT_TRUE(c.foot_hi == p.n - 1 || (p.n - 1 - c.foot_hi) >= p.protect_steps);
+    if (k > 0) {
+      const Pattern& prev = chain[k - 1];
+      const int spacing = c.foot_lo - prev.foot_hi;
+      EXPECT_GE(spacing, 0);
+      if (prev.dir == c.dir) {
+        EXPECT_GE(spacing, p.gap_steps);
+      } else {
+        EXPECT_TRUE(spacing == 0 || spacing >= p.protect_steps)
+            << "opposite-direction spacing " << spacing;
+      }
+    }
+  }
+}
+
+TEST(SegmentDp, EmptySegmentNoGain) {
+  const DpResult r = run_segment_dp(base_params(1), flat(5.0));
+  EXPECT_DOUBLE_EQ(r.gain, 0.0);
+  EXPECT_TRUE(r.patterns.empty());
+}
+
+TEST(SegmentDp, BlockedEverywhereNoGain) {
+  const DpResult r = run_segment_dp(base_params(20), flat(0.0));
+  EXPECT_DOUBLE_EQ(r.gain, 0.0);
+}
+
+TEST(SegmentDp, SinglePatternWhenOnlyRoomForOne) {
+  // n = 5 with gap 2, protect 1: one pattern of width >= 2 fits.
+  const DpResult r = run_segment_dp(base_params(5), flat(4.0));
+  EXPECT_GT(r.gain, 0.0);
+  expect_chain_legal(r.patterns, base_params(5));
+}
+
+TEST(SegmentDp, FillsLongSegment) {
+  const DpParams p = base_params(41);
+  const DpResult r = run_segment_dp(p, flat(5.0));
+  EXPECT_GT(r.patterns.size(), 3u);
+  expect_chain_legal(r.patterns, p);
+  double total = 0.0;
+  for (const Pattern& pat : r.patterns) total += 2.0 * pat.height;
+  EXPECT_NEAR(total, r.gain, 1e-9);
+}
+
+TEST(SegmentDp, GainBoundedByNeed) {
+  DpParams p = base_params(41);
+  p.needed_gain = 7.0;
+  const DpResult r = run_segment_dp(p, flat(10.0));
+  // The DP caps pattern heights at the remaining requirement; small
+  // overshoot from min-height quantization is allowed.
+  EXPECT_LE(r.gain, 7.0 + 2.0 * p.min_height);
+  EXPECT_GE(r.gain, 7.0 - 1e-9);
+}
+
+TEST(SegmentDp, RespectsProtectAtRightNode) {
+  DpParams p = base_params(10);
+  p.protect_steps = 3;
+  const DpResult r = run_segment_dp(p, flat(4.0));
+  expect_chain_legal(r.patterns, p);
+}
+
+TEST(SegmentDp, HeightVariationPrefersTallSpot) {
+  // Height 1.0 everywhere except a tall window [10, 15] where 6.0 fits:
+  // the best chain must exploit the window.
+  DpParams p = base_params(21);
+  const HeightFn h = [](int j, int i, int, double req) {
+    const bool tall = j >= 10 && i <= 15;
+    return std::min(req, tall ? 6.0 : 1.0);
+  };
+  const DpResult r = run_segment_dp(p, h);
+  bool uses_window = false;
+  for (const Pattern& pat : r.patterns) {
+    if (pat.foot_lo >= 10 && pat.foot_hi <= 15 && pat.height > 5.0) uses_window = true;
+  }
+  EXPECT_TRUE(uses_window);
+  expect_chain_legal(r.patterns, p);
+}
+
+TEST(SegmentDp, OppositeDirectionsUsedWhenOneSideBlocked) {
+  // +1 side blocked on the left half, -1 side blocked on the right half.
+  DpParams p = base_params(31);
+  const HeightFn h = [](int j, int i, int dir, double req) {
+    const bool left = i <= 15;
+    if (left && dir > 0) return 0.0;
+    if (!left && dir < 0 && j >= 15) return 0.0;
+    return std::min(req, 3.0);
+  };
+  const DpResult r = run_segment_dp(p, h);
+  bool has_up = false, has_down = false;
+  for (const Pattern& pat : r.patterns) {
+    (pat.dir > 0 ? has_up : has_down) = true;
+  }
+  EXPECT_TRUE(has_up);
+  EXPECT_TRUE(has_down);
+  expect_chain_legal(r.patterns, p);
+}
+
+TEST(SegmentDp, ConnectedPatternsWhenProtectTooTight) {
+  // protect_steps so large that separated opposite patterns cannot fit, but
+  // connected ones can (shared foot, spacing 0).
+  DpParams p = base_params(13);
+  p.gap_steps = 4;
+  p.protect_steps = 4;
+  // Only opposite-direction patterns of width 4 starting at 0/4/8 fit in 13
+  // points (0..12) if connected: feet (0,4),(4,8),(8,12).
+  const DpResult r = run_segment_dp(p, flat(3.0));
+  expect_chain_legal(r.patterns, p);
+  EXPECT_GE(r.patterns.size(), 2u);
+  bool any_connected = false;
+  for (std::size_t k = 1; k < r.patterns.size(); ++k) {
+    if (r.patterns[k].foot_lo == r.patterns[k - 1].foot_hi) any_connected = true;
+  }
+  EXPECT_TRUE(any_connected);
+}
+
+TEST(SegmentDp, WidthCapHonored) {
+  DpParams p = base_params(41);
+  p.max_width_steps = 3;
+  const DpResult r = run_segment_dp(p, flat(5.0));
+  for (const Pattern& pat : r.patterns) EXPECT_LE(pat.width_steps(), 3);
+}
+
+TEST(SegmentDp, CombinesTallWindowWithConnectedFlanks) {
+  // A wide tall window (gain 13) flanked by narrow up-side windows (gain 4
+  // each). Greedy same-side packing reaches 12; the optimum takes the tall
+  // pattern on the *opposite* side, connecting to a narrow pattern at each
+  // shared foot (Fig. 3c / Fig. 5 behaviour): 4 + 13 + 4 = 21.
+  DpParams p = base_params(13);
+  p.gap_steps = 2;
+  p.protect_steps = 2;
+  const HeightFn h = [](int j, int i, int dir, double req) {
+    if (j == 2 && i == 10) return std::min(req, 6.5);          // tall wide pattern
+    if (i - j <= 3 && dir > 0) return std::min(req, 2.0);      // narrow fallbacks
+    return 0.0;
+  };
+  const DpResult r = run_segment_dp(p, h);
+  EXPECT_NEAR(r.gain, 21.0, 1e-9);
+  ASSERT_EQ(r.patterns.size(), 3u);
+  EXPECT_EQ(r.patterns[1].foot_lo, 2);
+  EXPECT_EQ(r.patterns[1].foot_hi, 10);
+  EXPECT_EQ(r.patterns[0].foot_hi, r.patterns[1].foot_lo);  // connected
+  EXPECT_EQ(r.patterns[2].foot_lo, r.patterns[1].foot_hi);  // connected
+  EXPECT_NE(r.patterns[0].dir, r.patterns[1].dir);
+  expect_chain_legal(r.patterns, p);
+}
+
+TEST(SegmentDp, MiteredGainAccounting) {
+  DpParams p = base_params(9);
+  p.style = PatternStyle::Mitered;
+  p.miter = 0.4;
+  const DpResult r = run_segment_dp(p, flat(3.0));
+  ASSERT_FALSE(r.patterns.empty());
+  double total = 0.0;
+  for (const Pattern& pat : r.patterns) {
+    total += pattern_gain(pat.height, PatternStyle::Mitered, 0.4);
+  }
+  EXPECT_NEAR(total, r.gain, 1e-9);
+}
+
+TEST(SegmentDp, DeterministicAcrossRuns) {
+  const DpParams p = base_params(31);
+  const DpResult a = run_segment_dp(p, flat(4.0));
+  const DpResult b = run_segment_dp(p, flat(4.0));
+  ASSERT_EQ(a.patterns.size(), b.patterns.size());
+  EXPECT_DOUBLE_EQ(a.gain, b.gain);
+  for (std::size_t i = 0; i < a.patterns.size(); ++i) {
+    EXPECT_EQ(a.patterns[i].foot_lo, b.patterns[i].foot_lo);
+    EXPECT_EQ(a.patterns[i].dir, b.patterns[i].dir);
+  }
+}
+
+}  // namespace
+}  // namespace lmr::core

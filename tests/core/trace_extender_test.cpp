@@ -1,0 +1,239 @@
+#include "core/trace_extender.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "layout/drc_checker.hpp"
+
+namespace lmr::core {
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+using geom::Polyline;
+
+drc::DesignRules rules() {
+  drc::DesignRules r;
+  r.gap = 1.0;
+  r.obs = 0.5;
+  r.protect = 0.5;
+  r.trace_width = 0.0;
+  return r;
+}
+
+layout::RoutableArea corridor(double x0, double x1, double y0, double y1) {
+  layout::RoutableArea a;
+  a.outline = Polygon::rect({{x0, y0}, {x1, y1}});
+  return a;
+}
+
+layout::Trace straight_trace(double y = 0.0, double x0 = 0.0, double x1 = 30.0) {
+  layout::Trace t;
+  t.id = 1;
+  t.path = Polyline{{{x0, y}, {x1, y}}};
+  return t;
+}
+
+void expect_clean(const layout::Trace& t, const drc::DesignRules& r,
+                  const layout::RoutableArea& area) {
+  layout::DrcChecker checker;
+  const auto v1 = checker.check_trace(t, r);
+  EXPECT_TRUE(v1.empty()) << (v1.empty() ? "" : layout::to_string(v1[0].kind));
+  std::vector<layout::Obstacle> obs;
+  for (const auto& h : area.holes) obs.push_back({h, "hole"});
+  const auto v2 = checker.check_obstacles(t, r, obs);
+  EXPECT_TRUE(v2.empty()) << (v2.empty() ? "" : v2[0].note);
+  const auto v3 = checker.check_containment(t, area);
+  EXPECT_TRUE(v3.empty()) << (v3.empty() ? "" : v3[0].note);
+}
+
+TEST(TraceExtender, ReachesTargetInOpenCorridor) {
+  auto area = corridor(-1, 31, -6, 6);
+  layout::Trace t = straight_trace();
+  TraceExtender ext(rules(), area);
+  const ExtendStats stats = ext.extend(t, 60.0);
+  EXPECT_TRUE(stats.reached);
+  EXPECT_NEAR(t.path.length(), 60.0, 1e-5);
+  EXPECT_GT(stats.patterns_inserted, 0);
+  expect_clean(t, rules(), area);
+}
+
+TEST(TraceExtender, EndpointsPreserved) {
+  auto area = corridor(-1, 31, -6, 6);
+  layout::Trace t = straight_trace();
+  TraceExtender ext(rules(), area);
+  ext.extend(t, 50.0);
+  EXPECT_TRUE(geom::almost_equal(t.path.front(), {0.0, 0.0}));
+  EXPECT_TRUE(geom::almost_equal(t.path.back(), {30.0, 0.0}));
+}
+
+TEST(TraceExtender, TargetEqualToLengthIsNoop) {
+  auto area = corridor(-1, 31, -6, 6);
+  layout::Trace t = straight_trace();
+  TraceExtender ext(rules(), area);
+  const ExtendStats stats = ext.extend(t, 30.0);
+  EXPECT_TRUE(stats.reached);
+  EXPECT_EQ(stats.patterns_inserted, 0);
+  EXPECT_DOUBLE_EQ(t.path.length(), 30.0);
+}
+
+TEST(TraceExtender, TargetBelowLengthThrows) {
+  auto area = corridor(-1, 31, -6, 6);
+  layout::Trace t = straight_trace();
+  TraceExtender ext(rules(), area);
+  EXPECT_THROW(ext.extend(t, 10.0), std::invalid_argument);
+}
+
+TEST(TraceExtender, NarrowCorridorLimitsGain) {
+  // Corridor only 1.6 tall around the trace: max height above/below is
+  // 1.6/2 - half = 0.3 < protect -> nothing fits above, nothing below.
+  auto area = corridor(-1, 31, -0.8, 0.8);
+  layout::Trace t = straight_trace();
+  TraceExtender ext(rules(), area);
+  const ExtendStats stats = ext.extend(t, 60.0);
+  EXPECT_FALSE(stats.reached);
+  EXPECT_DOUBLE_EQ(t.path.length(), 30.0);
+}
+
+TEST(TraceExtender, AsymmetricCorridorUsesOpenSide) {
+  // Only the lower side has room.
+  auto area = corridor(-1, 31, -8, 0.7);
+  layout::Trace t = straight_trace();
+  TraceExtender ext(rules(), area);
+  ext.extend(t, 55.0);
+  EXPECT_NEAR(t.path.length(), 55.0, 1e-5);
+  for (const Point& p : t.path.points()) EXPECT_LE(p.y, 0.7 + 1e-9);
+  expect_clean(t, rules(), area);
+}
+
+TEST(TraceExtender, AvoidsObstacles) {
+  auto area = corridor(-1, 31, -6, 6);
+  area.holes.push_back(Polygon::rect({{8, 1}, {12, 5}}));
+  area.holes.push_back(Polygon::rect({{18, -5}, {22, -1}}));
+  layout::Trace t = straight_trace();
+  TraceExtender ext(rules(), area);
+  const ExtendStats stats = ext.extend(t, 58.0);
+  EXPECT_TRUE(stats.reached) << "final " << t.path.length();
+  expect_clean(t, rules(), area);
+}
+
+TEST(TraceExtender, ExhaustiveOracleAgreesDuringFullRun) {
+  auto area = corridor(-1, 31, -6, 6);
+  area.holes.push_back(Polygon::rect({{9, 1.2}, {11, 3.0}}));
+  area.holes.push_back(Polygon::rect({{15, -3.0}, {17, -1.2}}));
+  layout::Trace t = straight_trace();
+  TraceExtender ext(rules(), area);
+  ExtenderConfig cfg;
+  cfg.exhaustive_checks = true;
+  const ExtendStats stats = ext.extend(t, 55.0, cfg);
+  EXPECT_EQ(stats.oracle_mismatches, 0);
+  EXPECT_TRUE(stats.reached);
+  expect_clean(t, rules(), area);
+}
+
+TEST(TraceExtender, AnyDirectionDiagonalTrace) {
+  // 30-degree corridor: everything must work in the rotated frame.
+  const double c = std::cos(M_PI / 6), s = std::sin(M_PI / 6);
+  const geom::Vec2 dir{c, s};
+  const geom::Vec2 n{-s, c};
+  const Point a{0, 0};
+  const Point b = a + dir * 30.0;
+  layout::RoutableArea area;
+  area.outline = Polygon{{a - dir - n * 6.0, b + dir - n * 6.0, b + dir + n * 6.0,
+                          a - dir + n * 6.0}};
+  layout::Trace t;
+  t.id = 1;
+  t.path = Polyline{{a, b}};
+  TraceExtender ext(rules(), area);
+  const ExtendStats stats = ext.extend(t, 55.0);
+  EXPECT_TRUE(stats.reached) << "final " << t.path.length();
+  EXPECT_NEAR(t.path.length(), 55.0, 1e-5);
+  expect_clean(t, rules(), area);
+}
+
+TEST(TraceExtender, MultiSegmentLShapedTrace) {
+  layout::RoutableArea area;
+  area.outline = Polygon::rect({{-6, -6}, {26, 26}});
+  layout::Trace t;
+  t.id = 1;
+  t.path = Polyline{{{0, 0}, {20, 0}, {20, 20}}};
+  TraceExtender ext(rules(), area);
+  const ExtendStats stats = ext.extend(t, 70.0);
+  EXPECT_TRUE(stats.reached) << "final " << t.path.length();
+  expect_clean(t, rules(), area);
+  // Original corner must still exist (preserved original routing).
+  bool corner_found = false;
+  for (const Point& p : t.path.points()) {
+    if (geom::almost_equal(p, {20.0, 0.0}, 1e-7)) corner_found = true;
+  }
+  EXPECT_TRUE(corner_found);
+}
+
+TEST(TraceExtender, MaximizeFillsCorridor) {
+  auto area = corridor(-1, 31, -4, 4);
+  layout::Trace t = straight_trace();
+  TraceExtender ext(rules(), area);
+  const ExtendStats stats = ext.maximize(t);
+  EXPECT_GT(t.path.length(), 2.0 * stats.initial_length);
+  expect_clean(t, rules(), area);
+}
+
+TEST(TraceExtender, MaximizeWithDenseVias) {
+  auto area = corridor(-1, 31, -5, 5);
+  for (int i = 0; i < 5; ++i) {
+    area.holes.push_back(
+        Polygon::regular({4.0 + 5.5 * i, 2.5}, 0.8, 8, M_PI / 8));
+    area.holes.push_back(
+        Polygon::regular({6.5 + 5.5 * i, -2.5}, 0.8, 8, M_PI / 8));
+  }
+  layout::Trace t = straight_trace();
+  TraceExtender ext(rules(), area);
+  ext.maximize(t);
+  EXPECT_GT(t.path.length(), 30.0);
+  expect_clean(t, rules(), area);
+}
+
+TEST(TraceExtender, MiteredStyleProducesObtuseCorners) {
+  drc::DesignRules r = rules();
+  r.miter = 0.25;
+  auto area = corridor(-1, 31, -6, 6);
+  layout::Trace t = straight_trace();
+  TraceExtender ext(r, area);
+  ExtenderConfig cfg;
+  cfg.style = PatternStyle::Mitered;
+  const ExtendStats stats = ext.extend(t, 50.0, cfg);
+  EXPECT_TRUE(stats.reached) << "final " << t.path.length();
+  // No corner may turn by >= 90 degrees.
+  layout::DrcChecker checker;
+  const auto v = checker.check_trace(t, r);
+  for (const auto& viol : v) {
+    EXPECT_NE(viol.kind, layout::ViolationKind::CornerAngle) << "corner at " << viol.index_a;
+  }
+}
+
+TEST(TraceExtender, StatsAreConsistent) {
+  auto area = corridor(-1, 31, -6, 6);
+  layout::Trace t = straight_trace();
+  TraceExtender ext(rules(), area);
+  const ExtendStats stats = ext.extend(t, 45.0);
+  EXPECT_DOUBLE_EQ(stats.initial_length, 30.0);
+  EXPECT_NEAR(stats.final_length, 45.0, 1e-5);
+  EXPECT_DOUBLE_EQ(stats.target, 45.0);
+  EXPECT_GE(stats.dp_runs, stats.segments_processed);
+}
+
+TEST(TraceExtender, RepeatedExtensionIsStable) {
+  // Extend in two steps: 30 -> 40 -> 50; the second call meanders the
+  // already-meandered trace (patterns on patterns).
+  auto area = corridor(-1, 31, -8, 8);
+  layout::Trace t = straight_trace();
+  TraceExtender ext(rules(), area);
+  EXPECT_TRUE(ext.extend(t, 40.0).reached);
+  EXPECT_TRUE(ext.extend(t, 50.0).reached) << "len " << t.path.length();
+  EXPECT_NEAR(t.path.length(), 50.0, 1e-5);
+  expect_clean(t, rules(), area);
+}
+
+}  // namespace
+}  // namespace lmr::core

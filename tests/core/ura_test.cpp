@@ -1,0 +1,94 @@
+#include "core/ura.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::core {
+namespace {
+
+TEST(UraBorders, OuterBox) {
+  const UraBorders b{2.0, 8.0, 0.5, 4.0};
+  const geom::Box o = b.outer();
+  EXPECT_DOUBLE_EQ(o.lo.x, 1.5);
+  EXPECT_DOUBLE_EQ(o.hi.x, 8.5);
+  EXPECT_DOUBLE_EQ(o.lo.y, 0.0);
+  EXPECT_DOUBLE_EQ(o.hi.y, 4.0);
+}
+
+TEST(UraBorders, InnerBox) {
+  const UraBorders b{2.0, 8.0, 0.5, 4.0};
+  const geom::Box i = b.inner();
+  EXPECT_DOUBLE_EQ(i.lo.x, 2.5);
+  EXPECT_DOUBLE_EQ(i.hi.x, 7.5);
+  EXPECT_DOUBLE_EQ(i.hi.y, 3.0);
+  EXPECT_FALSE(b.inner_empty());
+}
+
+TEST(UraBorders, InnerEmptyWhenNarrow) {
+  // Width 0.8 <= 2*half -> no inner region.
+  const UraBorders b{2.0, 2.8, 0.5, 4.0};
+  EXPECT_TRUE(b.inner_empty());
+}
+
+TEST(UraBorders, InnerEmptyWhenLow) {
+  const UraBorders b{2.0, 8.0, 0.5, 0.9};
+  EXPECT_TRUE(b.inner_empty());
+}
+
+TEST(UraBorders, PatternHeightEq10) {
+  // h = max(0, hob - half), Eq. 10.
+  EXPECT_DOUBLE_EQ((UraBorders{0, 1, 0.5, 4.0}).pattern_height(), 3.5);
+  EXPECT_DOUBLE_EQ((UraBorders{0, 1, 0.5, 0.3}).pattern_height(), 0.0);
+}
+
+TEST(UraOfSegment, AxisAligned) {
+  const geom::Polygon u = ura_of_segment({{2, 3}, {8, 3}}, 0.5);
+  ASSERT_EQ(u.size(), 4u);
+  const geom::Box b = u.bbox();
+  // Extends half beyond the endpoints and half on each side.
+  EXPECT_DOUBLE_EQ(b.lo.x, 1.5);
+  EXPECT_DOUBLE_EQ(b.hi.x, 8.5);
+  EXPECT_DOUBLE_EQ(b.lo.y, 2.5);
+  EXPECT_DOUBLE_EQ(b.hi.y, 3.5);
+}
+
+TEST(UraOfSegment, Rotated45) {
+  const geom::Polygon u = ura_of_segment({{0, 0}, {10, 10}}, 0.5);
+  EXPECT_NEAR(u.area(), (10.0 * std::sqrt(2.0) + 1.0) * 1.0, 1e-9);
+  // Center of the segment must be inside.
+  EXPECT_TRUE(u.contains({5, 5}));
+  // A point 1.0 away perpendicular must be outside.
+  EXPECT_FALSE(u.contains({5 - 1.0, 5 + 1.0}));
+}
+
+TEST(SelfUras, SkipsRequestedSegment) {
+  const geom::Polyline path{{{0, 0}, {10, 0}, {10, 10}, {20, 10}}};
+  const auto uras = self_uras(path, 1, 0.5, 1.0);
+  EXPECT_EQ(uras.size(), 2u);
+}
+
+TEST(SelfUras, KeepAllWithSentinel) {
+  const geom::Polyline path{{{0, 0}, {10, 0}, {10, 10}}};
+  const auto uras = self_uras(path, std::numeric_limits<std::size_t>::max(), 0.5, 1.0);
+  EXPECT_EQ(uras.size(), 2u);
+}
+
+TEST(SelfUras, AdjacentTrimmedAtJoint) {
+  const geom::Polyline path{{{0, 0}, {10, 0}, {10, 10}, {20, 10}}};
+  const double trim = 2.0;
+  const auto uras = self_uras(path, 1, 0.5, trim);
+  ASSERT_EQ(uras.size(), 2u);
+  // First segment's URA is trimmed at the (10,0) end: its bbox must stop at
+  // x = 10 - trim + half = 8.5.
+  EXPECT_NEAR(uras[0].bbox().hi.x, 10.0 - trim + 0.5, 1e-9);
+  // Third segment trimmed at the (10,10) end: starts at x = 10 + trim - half.
+  EXPECT_NEAR(uras[1].bbox().lo.x, 10.0 + trim - 0.5, 1e-9);
+}
+
+TEST(SelfUras, DegenerateSegmentsDropped) {
+  const geom::Polyline path{{{0, 0}, {0, 0}, {10, 0}}};
+  const auto uras = self_uras(path, std::numeric_limits<std::size_t>::max(), 0.5, 1.0);
+  EXPECT_EQ(uras.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lmr::core

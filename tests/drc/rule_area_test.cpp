@@ -1,0 +1,87 @@
+#include "drc/rule_area.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::drc {
+namespace {
+
+DesignRules base_rules() {
+  DesignRules r;
+  r.gap = 1.0;
+  r.obs = 1.0;
+  r.protect = 0.5;
+  return r;
+}
+
+DesignRules tight_rules() {
+  DesignRules r;
+  r.gap = 3.0;
+  r.obs = 2.0;
+  r.protect = 1.0;
+  return r;
+}
+
+TEST(RuleSet, BaseRulesOutsideAreas) {
+  RuleSet rs(base_rules());
+  EXPECT_DOUBLE_EQ(rs.rules_at({0, 0}).gap, 1.0);
+}
+
+TEST(RuleSet, AreaOverridesInside) {
+  RuleSet rs(base_rules());
+  rs.add_area({geom::Polygon::rect({{10, 0}, {20, 10}}), tight_rules()});
+  EXPECT_DOUBLE_EQ(rs.rules_at({15, 5}).gap, 3.0);
+  EXPECT_DOUBLE_EQ(rs.rules_at({5, 5}).gap, 1.0);
+}
+
+TEST(RuleSet, LaterAreaShadowsEarlier) {
+  RuleSet rs(base_rules());
+  DesignRules mid = tight_rules();
+  mid.gap = 2.0;
+  rs.add_area({geom::Polygon::rect({{0, 0}, {20, 10}}), mid});
+  rs.add_area({geom::Polygon::rect({{10, 0}, {20, 10}}), tight_rules()});
+  EXPECT_DOUBLE_EQ(rs.rules_at({5, 5}).gap, 2.0);
+  EXPECT_DOUBLE_EQ(rs.rules_at({15, 5}).gap, 3.0);
+}
+
+TEST(RuleSet, TightestOnSegmentTakesFieldwiseMax) {
+  RuleSet rs(base_rules());
+  DesignRules a = base_rules();
+  a.gap = 2.0;
+  a.protect = 0.2;
+  rs.add_area({geom::Polygon::rect({{0, 0}, {10, 10}}), a});
+  DesignRules b = base_rules();
+  b.gap = 1.5;
+  b.protect = 2.0;
+  rs.add_area({geom::Polygon::rect({{10, 0}, {20, 10}}), b});
+  // Segment crossing both areas.
+  const DesignRules t = rs.tightest_on_segment({{5, 5}, {15, 5}});
+  EXPECT_DOUBLE_EQ(t.gap, 2.0);
+  EXPECT_DOUBLE_EQ(t.protect, 2.0);
+}
+
+TEST(RuleSet, TightestOnSegmentIgnoresFarAreas) {
+  RuleSet rs(base_rules());
+  rs.add_area({geom::Polygon::rect({{100, 100}, {110, 110}}), tight_rules()});
+  const DesignRules t = rs.tightest_on_segment({{0, 0}, {10, 0}});
+  EXPECT_DOUBLE_EQ(t.gap, 1.0);
+}
+
+TEST(RuleSet, AscendingPairPitchesSortedDeduped) {
+  RuleSet rs(base_rules());
+  const auto r = rs.ascending_pair_pitches({0.8, 0.4, 0.8, 1.2, 0.4 + 1e-12});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r[0], 0.4);
+  EXPECT_DOUBLE_EQ(r[1], 0.8);
+  EXPECT_DOUBLE_EQ(r[2], 1.2);
+}
+
+TEST(RuleSet, AddAreaValidates) {
+  RuleSet rs(base_rules());
+  DesignRules bad;
+  bad.gap = -1.0;
+  EXPECT_THROW(rs.add_area({geom::Polygon::rect({{0, 0}, {1, 1}}), bad}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lmr::drc

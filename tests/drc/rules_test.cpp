@@ -1,0 +1,109 @@
+#include "drc/rules.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::drc {
+namespace {
+
+TEST(DesignRules, EffectiveValues) {
+  DesignRules r;
+  r.gap = 2.0;
+  r.obs = 1.5;
+  r.protect = 1.0;
+  r.trace_width = 0.5;
+  EXPECT_DOUBLE_EQ(r.effective_gap(), 2.5);
+  EXPECT_DOUBLE_EQ(r.effective_obs(), 1.75);
+  EXPECT_DOUBLE_EQ(r.ura_halfwidth(), 1.25);
+}
+
+TEST(DesignRules, ObstacleInflationPositiveWhenObsDominates) {
+  DesignRules r;
+  r.gap = 1.0;
+  r.obs = 2.0;
+  r.protect = 0.5;
+  r.trace_width = 0.0;
+  // effective_obs = 2.0, ura_half = 0.5 -> inflation 1.5.
+  EXPECT_DOUBLE_EQ(r.obstacle_inflation(), 1.5);
+}
+
+TEST(DesignRules, ObstacleInflationClampedAtZero) {
+  DesignRules r;
+  r.gap = 4.0;
+  r.obs = 1.0;
+  r.protect = 1.0;
+  // ura_half = 2.0 already exceeds effective_obs = 1.0.
+  EXPECT_DOUBLE_EQ(r.obstacle_inflation(), 0.0);
+}
+
+TEST(DesignRules, ValidateRejectsBadValues) {
+  DesignRules r;
+  r.gap = 0.0;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r.gap = 1.0;
+  r.protect = -1.0;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r.protect = 0.5;
+  r.obs = -0.1;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r.obs = 0.0;
+  r.trace_width = -1.0;
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r.trace_width = 0.0;
+  EXPECT_NO_THROW(r.validate());
+  r.protect = 100.0;  // >> gap
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(Quantize, ExactMultiplesUnchanged) {
+  DesignRules r;
+  r.gap = 2.0;
+  r.protect = 1.0;
+  r.trace_width = 0.0;
+  const QuantizedRules q = quantize(r, 0.5);
+  EXPECT_EQ(q.gap_steps, 4);
+  EXPECT_EQ(q.protect_steps, 2);
+  EXPECT_DOUBLE_EQ(q.rules.gap, 2.0);
+  EXPECT_DOUBLE_EQ(q.rules.protect, 1.0);
+}
+
+TEST(Quantize, RoundsUpNeverLoosens) {
+  DesignRules r;
+  r.gap = 2.1;
+  r.protect = 0.9;
+  const QuantizedRules q = quantize(r, 0.5);
+  EXPECT_EQ(q.gap_steps, 5);      // ceil(2.1/0.5)
+  EXPECT_EQ(q.protect_steps, 2);  // ceil(0.9/0.5)
+  EXPECT_GE(q.rules.gap, r.gap);
+  EXPECT_GE(q.rules.protect, r.protect);
+}
+
+TEST(Quantize, WidthFoldedIntoGapSteps) {
+  DesignRules r;
+  r.gap = 2.0;
+  r.trace_width = 1.0;  // effective gap 3.0
+  r.protect = 1.0;
+  const QuantizedRules q = quantize(r, 1.0);
+  EXPECT_EQ(q.gap_steps, 3);
+}
+
+TEST(Quantize, RejectsNonPositiveStep) {
+  DesignRules r;
+  EXPECT_THROW(quantize(r, 0.0), std::invalid_argument);
+  EXPECT_THROW(quantize(r, -1.0), std::invalid_argument);
+}
+
+TEST(VirtualPairRules, WidthCarriesBand) {
+  DesignRules sub;
+  sub.gap = 1.0;
+  sub.obs = 1.0;
+  sub.protect = 0.5;
+  sub.trace_width = 0.2;
+  const DesignRules v = virtual_pair_rules(sub, 0.8);
+  EXPECT_DOUBLE_EQ(v.trace_width, 1.0);  // 0.2 + 0.8
+  EXPECT_DOUBLE_EQ(v.gap, sub.gap);
+  // Effective gap grows by the pair pitch -> restored sub-traces keep rules.
+  EXPECT_DOUBLE_EQ(v.effective_gap(), sub.effective_gap() + 0.8);
+}
+
+}  // namespace
+}  // namespace lmr::drc

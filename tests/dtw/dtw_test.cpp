@@ -1,0 +1,86 @@
+#include "dtw/dtw.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::dtw {
+namespace {
+
+using geom::Point;
+
+TEST(Dtw, EmptyInputs) {
+  EXPECT_TRUE(dtw_match({}, {}).pairs.empty());
+  const std::vector<Point> a{{0, 0}};
+  EXPECT_TRUE(dtw_match(a, {}).pairs.empty());
+}
+
+TEST(Dtw, IdenticalSequencesMatchDiagonally) {
+  const std::vector<Point> a{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  const DtwResult r = dtw_match(a, a);
+  ASSERT_EQ(r.pairs.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.pairs[i].ip, i);
+    EXPECT_EQ(r.pairs[i].in, i);
+  }
+}
+
+TEST(Dtw, ParallelOffsetSequences) {
+  const std::vector<Point> p{{0, 0.4}, {5, 0.4}, {10, 0.4}};
+  const std::vector<Point> n{{0, -0.4}, {5, -0.4}, {10, -0.4}};
+  const DtwResult r = dtw_match(p, n);
+  ASSERT_EQ(r.pairs.size(), 3u);
+  EXPECT_NEAR(r.total_cost, 3 * 0.8, 1e-12);
+  for (const MatchPair& m : r.pairs) EXPECT_NEAR(m.cost, 0.8, 1e-12);
+}
+
+TEST(Dtw, ManyToOneAtCornerCluster) {
+  // Three near-coincident corner nodes on P vs one ideal node on N
+  // (Fig. 10a): all three must map onto the single corner.
+  const std::vector<Point> p{{0, 0.4}, {9.8, 0.4}, {10.0, 0.42}, {10.2, 0.4}, {20, 0.4}};
+  const std::vector<Point> n{{0, -0.4}, {10, -0.4}, {20, -0.4}};
+  const DtwResult r = dtw_match(p, n);
+  // Every node appears in some pair.
+  std::vector<bool> p_seen(p.size(), false), n_seen(n.size(), false);
+  for (const MatchPair& m : r.pairs) {
+    p_seen[m.ip] = true;
+    n_seen[m.in] = true;
+  }
+  for (bool b : p_seen) EXPECT_TRUE(b);
+  for (bool b : n_seen) EXPECT_TRUE(b);
+  // The cluster nodes 1..3 of P all match N node 1.
+  for (const MatchPair& m : r.pairs) {
+    if (m.ip >= 1 && m.ip <= 3) EXPECT_EQ(m.in, 1u);
+  }
+}
+
+TEST(Dtw, MonotoneNonCrossing) {
+  const std::vector<Point> p{{0, 0}, {3, 0}, {7, 0}, {12, 0}, {20, 0}};
+  const std::vector<Point> n{{0, 1}, {4, 1}, {11, 1}, {20, 1}};
+  const DtwResult r = dtw_match(p, n);
+  for (std::size_t k = 1; k < r.pairs.size(); ++k) {
+    EXPECT_GE(r.pairs[k].ip, r.pairs[k - 1].ip);
+    EXPECT_GE(r.pairs[k].in, r.pairs[k - 1].in);
+  }
+}
+
+TEST(Dtw, EndpointsAlwaysMatched) {
+  const std::vector<Point> p{{0, 0}, {5, 0}, {9, 0}};
+  const std::vector<Point> n{{0, 1}, {4, 1}, {9, 1}, {9.5, 1}};
+  const DtwResult r = dtw_match(p, n);
+  EXPECT_EQ(r.pairs.front().ip, 0u);
+  EXPECT_EQ(r.pairs.front().in, 0u);
+  EXPECT_EQ(r.pairs.back().ip, p.size() - 1);
+  EXPECT_EQ(r.pairs.back().in, n.size() - 1);
+}
+
+TEST(Dtw, CostIsMinimal) {
+  // Hand-checkable 2x2: straight diagonal matching is optimal.
+  const std::vector<Point> p{{0, 0}, {10, 0}};
+  const std::vector<Point> n{{0, 2}, {10, 2}};
+  const DtwResult r = dtw_match(p, n);
+  EXPECT_NEAR(r.total_cost, 4.0, 1e-12);
+  ASSERT_EQ(r.pairs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lmr::dtw

@@ -1,0 +1,73 @@
+#include "dtw/median_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::dtw {
+namespace {
+
+using geom::Point;
+
+TEST(MedianTrace, SimplePairAverages) {
+  const std::vector<Point> p{{0, 0.4}, {10, 0.4}};
+  const std::vector<Point> n{{0, -0.4}, {10, -0.4}};
+  const std::vector<MatchPair> pairs{{0, 0, 0.8}, {1, 1, 0.8}};
+  const MedianTrace mt = build_median_trace(p, n, pairs);
+  ASSERT_EQ(mt.median.size(), 2u);
+  EXPECT_TRUE(geom::almost_equal(mt.median[0], {0.0, 0.0}));
+  EXPECT_TRUE(geom::almost_equal(mt.median[1], {10.0, 0.0}));
+}
+
+TEST(MedianTrace, ManyToOneDoesNotShiftMedian) {
+  // Three P nodes clustered at a corner matched to one N node: Eq. 18 first
+  // averages per side, so the median sits midway between the cluster
+  // centroid and the single node — NOT dragged toward the cluster by count.
+  const std::vector<Point> p{{9.9, 0.4}, {10.0, 0.44}, {10.1, 0.4}};
+  const std::vector<Point> n{{10.0, -0.4}};
+  const std::vector<MatchPair> pairs{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}};
+  const MedianTrace mt = build_median_trace(p, n, pairs);
+  ASSERT_EQ(mt.median.size(), 1u);
+  EXPECT_NEAR(mt.median[0].x, 10.0, 1e-9);
+  // avg P y = (0.4+0.44+0.4)/3 = 0.41333; median = (0.41333 - 0.4)/2.
+  EXPECT_NEAR(mt.median[0].y, (0.41333333333333333 - 0.4) / 2.0, 1e-9);
+}
+
+TEST(MedianTrace, UnpairedNodesExcluded) {
+  const std::vector<Point> p{{0, 0.4}, {5, 0.4}, {10, 0.4}};
+  const std::vector<Point> n{{0, -0.4}, {5, -3.0}, {10, -0.4}};  // node 1 filtered
+  const std::vector<MatchPair> pairs{{0, 0, 0.8}, {2, 2, 0.8}};  // only ends
+  const MedianTrace mt = build_median_trace(p, n, pairs);
+  ASSERT_EQ(mt.median.size(), 2u);
+  EXPECT_TRUE(geom::almost_equal(mt.median[0], {0.0, 0.0}));
+  EXPECT_TRUE(geom::almost_equal(mt.median[1], {10.0, 0.0}));
+}
+
+TEST(MedianTrace, ComponentsOrderedAlongTrace) {
+  const std::vector<Point> p{{0, 0}, {5, 0}, {10, 0}, {15, 0}};
+  const std::vector<Point> n{{0, 1}, {5, 1}, {10, 1}, {15, 1}};
+  const std::vector<MatchPair> pairs{{0, 0, 1}, {1, 1, 1}, {2, 2, 1}, {3, 3, 1}};
+  const MedianTrace mt = build_median_trace(p, n, pairs);
+  ASSERT_EQ(mt.median.size(), 4u);
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_GT(mt.median[i].x, mt.median[i - 1].x);
+}
+
+TEST(MedianTrace, ChainedPairsMergeIntoOneComponent) {
+  // P0-N0 and P1-N0 and P1-N1 chain: one component of {P0,P1,N0,N1}.
+  const std::vector<Point> p{{0, 1}, {1, 1}};
+  const std::vector<Point> n{{0, -1}, {1, -1}};
+  const std::vector<MatchPair> pairs{{0, 0, 0}, {1, 0, 0}, {1, 1, 0}};
+  const MedianTrace mt = build_median_trace(p, n, pairs);
+  ASSERT_EQ(mt.components.size(), 1u);
+  EXPECT_EQ(mt.components[0].p_nodes.size(), 2u);
+  EXPECT_EQ(mt.components[0].n_nodes.size(), 2u);
+  EXPECT_TRUE(geom::almost_equal(mt.median[0], {0.5, 0.0}));
+}
+
+TEST(MedianTrace, EmptyPairsEmptyMedian) {
+  const std::vector<Point> p{{0, 0}};
+  const std::vector<Point> n{{0, 1}};
+  const MedianTrace mt = build_median_trace(p, n, {});
+  EXPECT_TRUE(mt.median.empty());
+}
+
+}  // namespace
+}  // namespace lmr::dtw

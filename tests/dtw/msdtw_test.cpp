@@ -1,0 +1,113 @@
+#include "dtw/msdtw.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/diffpair_cases.hpp"
+
+namespace lmr::dtw {
+namespace {
+
+using geom::Point;
+
+TEST(Msdtw, RejectsBadRuleSets) {
+  const std::vector<Point> p{{0, 0}};
+  const std::vector<Point> n{{0, 1}};
+  EXPECT_THROW(msdtw_match(p, n, {}), std::invalid_argument);
+  const std::vector<double> descending{2.0, 1.0};
+  EXPECT_THROW(msdtw_match(p, n, descending), std::invalid_argument);
+}
+
+TEST(Msdtw, CoupledPairFullyMatched) {
+  const std::vector<Point> p{{0, 0.4}, {10, 0.4}, {20, 0.4}};
+  const std::vector<Point> n{{0, -0.4}, {10, -0.4}, {20, -0.4}};
+  const std::vector<double> rules{0.8};
+  const MsdtwResult r = msdtw_match(p, n, rules);
+  for (bool b : r.p_paired) EXPECT_TRUE(b);
+  for (bool b : r.n_paired) EXPECT_TRUE(b);
+  EXPECT_EQ(r.pairs.size(), 3u);
+}
+
+TEST(Msdtw, TinyPatternNodesFiltered) {
+  // N carries a tiny pattern (nodes at depth 1.5): their matched costs
+  // exceed sqrt(2)*0.8, so they must stay unpaired.
+  const std::vector<Point> p{{0, 0.4}, {10, 0.4}, {20, 0.4}};
+  const std::vector<Point> n{{0, -0.4}, {9.7, -0.4},  {9.7, -1.9},
+                             {10.3, -1.9}, {10.3, -0.4}, {20, -0.4}};
+  const std::vector<double> rules{0.8};
+  const MsdtwResult r = msdtw_match(p, n, rules);
+  EXPECT_FALSE(r.n_paired[2]);  // deep pattern nodes filtered
+  EXPECT_FALSE(r.n_paired[3]);
+  EXPECT_TRUE(r.n_paired[0]);
+  EXPECT_TRUE(r.n_paired[5]);
+  for (bool b : r.p_paired) EXPECT_TRUE(b);
+}
+
+TEST(Msdtw, CornerClusterMatchedWithinRule) {
+  // Several short segments at a corner (Fig. 10a): all their nodes stay
+  // paired because they sit within the distance rule of the partner corner.
+  const std::vector<Point> p{{0, 0.4}, {9.8, 0.4}, {10.0, 0.42}, {10.2, 0.4}, {20, 0.4}};
+  const std::vector<Point> n{{0, -0.4}, {10, -0.4}, {20, -0.4}};
+  const std::vector<double> rules{0.8};
+  const MsdtwResult r = msdtw_match(p, n, rules);
+  for (bool b : r.p_paired) EXPECT_TRUE(b);
+  for (bool b : r.n_paired) EXPECT_TRUE(b);
+}
+
+TEST(Msdtw, MultiScaleSplitsAcrossDras) {
+  // Fig. 12 scenario: narrow section (pitch 0.8) followed by a wide section
+  // (pitch 2.4). A tiny-pattern node in the narrow section must be filtered
+  // even though its matching cost is below sqrt(2) * 2.4.
+  const std::vector<Point> p{{0, 0.4},  {8, 0.4},  {16, 0.4},   // narrow
+                             {24, 1.2}, {32, 1.2}};             // wide
+  const std::vector<Point> n{{0, -0.4}, {8, -0.4}, {11, -1.6},  // tiny node
+                             {16, -0.4}, {24, -1.2}, {32, -1.2}};
+  // d(p@16?, n@11..): node (11,-1.6) is 2.06 from (8,-0.4)'s partner... its
+  // nearest P nodes are > sqrt(2)*0.8 away but < sqrt(2)*2.4.
+  const std::vector<double> rules{0.8, 2.4};
+  const MsdtwResult r = msdtw_match(p, n, rules);
+  EXPECT_EQ(r.rounds_run, 2);
+  EXPECT_FALSE(r.n_paired[2]);  // filtered in round 1, isolated from round 2
+  EXPECT_TRUE(r.n_paired[4]);   // wide-DRA nodes matched in round 2
+  EXPECT_TRUE(r.n_paired[5]);
+  EXPECT_TRUE(r.p_paired[3]);
+  EXPECT_TRUE(r.p_paired[4]);
+}
+
+TEST(Msdtw, SingleRuleEqualsFilteredDtw) {
+  const std::vector<Point> p{{0, 0.4}, {5, 0.4}, {10, 0.4}};
+  const std::vector<Point> n{{0, -0.4}, {5, -0.4}, {10, -0.4}};
+  const std::vector<double> rules{0.8};
+  const MsdtwResult ms = msdtw_match(p, n, rules);
+  const DtwResult plain = dtw_match(p, n);
+  ASSERT_EQ(ms.pairs.size(), plain.pairs.size());
+  for (std::size_t i = 0; i < ms.pairs.size(); ++i) {
+    EXPECT_EQ(ms.pairs[i].ip, plain.pairs[i].ip);
+    EXPECT_EQ(ms.pairs[i].in, plain.pairs[i].in);
+  }
+}
+
+TEST(Msdtw, PairsSortedByTraceOrder) {
+  const auto c = workload::decoupled_pair_case();
+  const auto& pp = c.pair.positive.path.points();
+  const auto& nn = c.pair.negative.path.points();
+  const MsdtwResult r = msdtw_match(pp, nn, c.rule_set);
+  for (std::size_t k = 1; k < r.pairs.size(); ++k) {
+    EXPECT_GE(r.pairs[k].ip, r.pairs[k - 1].ip);
+  }
+}
+
+TEST(Msdtw, DecoupledCaseFiltersTinyPattern) {
+  const auto c = workload::decoupled_pair_case();
+  const auto& pp = c.pair.positive.path.points();
+  const auto& nn = c.pair.negative.path.points();
+  const MsdtwResult r = msdtw_match(pp, nn, c.rule_set);
+  // The two deep tiny-pattern nodes of traceN (indices 4 and 5) filtered.
+  EXPECT_FALSE(r.n_paired[4]);
+  EXPECT_FALSE(r.n_paired[5]);
+  // The wide-DRA tail still matches.
+  EXPECT_TRUE(r.n_paired[nn.size() - 1]);
+  EXPECT_TRUE(r.p_paired[pp.size() - 1]);
+}
+
+}  // namespace
+}  // namespace lmr::dtw

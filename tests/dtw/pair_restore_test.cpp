@@ -1,0 +1,141 @@
+#include "dtw/pair_restore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/trace_extender.hpp"
+#include "geom/distance.hpp"
+#include "layout/drc_checker.hpp"
+#include "workload/diffpair_cases.hpp"
+
+namespace lmr::dtw {
+namespace {
+
+TEST(MergePair, CoupledPairMedianBetweenSubTraces) {
+  const auto c = workload::coupled_pair_case();
+  const MergedPair m = merge_pair(c.pair, c.sub_rules, c.rule_set);
+  ASSERT_GE(m.median.path.size(), 3u);
+  // Median length is between the two sub-trace lengths (inner vs outer
+  // corner radii).
+  const double lp = c.pair.positive.path.length();
+  const double ln = c.pair.negative.path.length();
+  const double lm = m.median.path.length();
+  EXPECT_GE(lm, std::min(lp, ln) - 1e-6);
+  EXPECT_LE(lm, std::max(lp, ln) + 1e-6);
+}
+
+TEST(MergePair, VirtualRulesWidened) {
+  const auto c = workload::coupled_pair_case();
+  const MergedPair m = merge_pair(c.pair, c.sub_rules, c.rule_set);
+  EXPECT_NEAR(m.virtual_rules.trace_width,
+              c.sub_rules.trace_width + c.pair.pitch, 1e-12);
+  EXPECT_GT(m.virtual_rules.effective_gap(), c.sub_rules.effective_gap());
+}
+
+TEST(MergePair, DecoupledPairDropsTinyPatternLength) {
+  const auto c = workload::decoupled_pair_case();
+  const MergedPair m = merge_pair(c.pair, c.sub_rules, c.rule_set);
+  // The median must not inherit the tiny pattern detour: its length is close
+  // to the P length (no pattern), not the N length (pattern adds 0.6).
+  EXPECT_LT(m.median.path.length(), c.pair.negative.path.length());
+  EXPECT_GT(m.skipped_n_length, 0.0);
+}
+
+TEST(RestorePair, StraightMedianRoundTrip) {
+  layout::Trace median;
+  median.id = 9;
+  median.name = "m";
+  median.path = geom::Polyline{{{0, 0}, {20, 0}}};
+  const layout::DiffPair pair = restore_pair(median, 0.8, 0.15);
+  EXPECT_NEAR(pair.positive.path[0].y, 0.4, 1e-12);
+  EXPECT_NEAR(pair.negative.path[0].y, -0.4, 1e-12);
+  EXPECT_NEAR(pair.positive.path.length(), 20.0, 1e-9);
+  EXPECT_NEAR(pair.negative.path.length(), 20.0, 1e-9);
+  EXPECT_DOUBLE_EQ(pair.pitch, 0.8);
+}
+
+TEST(RestorePair, CorneredMedianKeepsPitchOnSegments) {
+  layout::Trace median;
+  median.path = geom::Polyline{{{0, 0}, {10, 0}, {10, 10}}};
+  const layout::DiffPair pair = restore_pair(median, 1.0, 0.1);
+  // Mid-segment perpendicular distance between sub-traces equals the pitch.
+  const geom::Segment p0 = pair.positive.path.segment(0);
+  const geom::Segment n0 = pair.negative.path.segment(0);
+  EXPECT_NEAR(geom::dist_segment_segment(p0, n0), 1.0, 1e-9);
+}
+
+TEST(RestorePair, MeanderedMedianStaysParallel) {
+  layout::Trace median;
+  median.path = geom::Polyline{
+      {{0, 0}, {4, 0}, {4, 3}, {7, 3}, {7, 0}, {12, 0}}};
+  const layout::DiffPair pair = restore_pair(median, 0.6, 0.1);
+  // Sub-traces do not self-intersect.
+  EXPECT_FALSE(pair.positive.path.self_intersects());
+  EXPECT_FALSE(pair.negative.path.self_intersects());
+  // A symmetric U-meander has two left and two right turns, so inner/outer
+  // corner effects cancel: both sub-traces match the median length.
+  EXPECT_NEAR(pair.positive.path.length(), median.path.length(), 1e-9);
+  EXPECT_NEAR(pair.negative.path.length(), median.path.length(), 1e-9);
+  // Pitch maintained on every straight run.
+  for (std::size_t i = 0; i < pair.positive.path.segment_count(); ++i) {
+    const geom::Point mid = pair.positive.path.segment(i).midpoint();
+    double d = 1e18;
+    for (std::size_t j = 0; j < pair.negative.path.segment_count(); ++j) {
+      d = std::min(d, geom::dist_point_segment(mid, pair.negative.path.segment(j)));
+    }
+    EXPECT_NEAR(d, 0.6, 1e-6) << "segment " << i;
+  }
+}
+
+TEST(CompensateSkew, InsertsTinyPatternOnShorter) {
+  layout::DiffPair pair;
+  pair.pitch = 0.8;
+  pair.positive.path = geom::Polyline{{{0, 0.4}, {30, 0.4}}};     // 30
+  pair.negative.path = geom::Polyline{
+      {{0, -0.4}, {5, -0.4}, {5, -2.4}, {9, -2.4}, {9, -0.4}, {30, -0.4}}};  // 34
+  drc::DesignRules rules;
+  rules.gap = 0.6;
+  rules.obs = 0.4;
+  rules.protect = 0.3;
+  rules.trace_width = 0.15;
+  const double before = std::abs(pair.positive.path.length() - pair.negative.path.length());
+  const double after = compensate_skew(pair, rules);
+  EXPECT_LT(after, before);
+  EXPECT_NEAR(after, 0.0, 1e-9);
+}
+
+TEST(CompensateSkew, NegligibleSkewLeftAlone) {
+  layout::DiffPair pair;
+  pair.pitch = 0.8;
+  pair.positive.path = geom::Polyline{{{0, 0.4}, {30, 0.4}}};
+  pair.negative.path = geom::Polyline{{{0, -0.4}, {30.2, -0.4}}};
+  drc::DesignRules rules;
+  rules.gap = 0.6;
+  rules.protect = 0.3;
+  const std::size_t nodes_before = pair.positive.path.size();
+  compensate_skew(pair, rules);
+  EXPECT_EQ(pair.positive.path.size(), nodes_before);  // nothing inserted
+}
+
+TEST(FullRoundTrip, MergeExtendRestoreIsDrcClean) {
+  // The MSDTW pipeline end to end on the decoupled case: merge, length-match
+  // the median, restore, compensate; the restored pair must be coupled and
+  // roughly at target.
+  auto c = workload::decoupled_pair_case();
+  MergedPair m = merge_pair(c.pair, c.sub_rules, c.rule_set);
+  const double target = m.median.path.length() + 14.0;
+  core::TraceExtender ext(m.virtual_rules, c.area);
+  const core::ExtendStats stats = ext.extend(m.median, target);
+  EXPECT_TRUE(stats.reached) << stats.final_length;
+  layout::DiffPair restored = restore_pair(m.median, c.pair.pitch, c.sub_rules.trace_width);
+  compensate_skew(restored, c.sub_rules);
+  const double lp = restored.positive.path.length();
+  const double ln = restored.negative.path.length();
+  EXPECT_NEAR(lp, ln, c.sub_rules.protect * 2.0 + 1e-6);
+  // Sub-traces keep the pair pitch along straight runs (spot check at a few
+  // arc-length samples).
+  EXPECT_FALSE(restored.positive.path.self_intersects());
+  EXPECT_FALSE(restored.negative.path.self_intersects());
+}
+
+}  // namespace
+}  // namespace lmr::dtw

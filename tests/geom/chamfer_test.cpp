@@ -1,0 +1,64 @@
+#include "geom/chamfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lmr::geom {
+namespace {
+
+TEST(Chamfer, RightAngleCornerIsCut) {
+  const Polyline pl{{{0, 0}, {10, 0}, {10, 10}}};
+  const Polyline c = chamfer_corners(pl, 2.0);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c[1], Point(8.0, 0.0));
+  EXPECT_EQ(c[2], Point(10.0, 2.0));
+}
+
+TEST(Chamfer, LengthDeltaMatchesFormula) {
+  const Polyline pl{{{0, 0}, {10, 0}, {10, 10}}};
+  const double cut = 2.0;
+  const Polyline c = chamfer_corners(pl, cut);
+  EXPECT_NEAR(c.length(), pl.length() + right_angle_chamfer_delta(cut), 1e-9);
+}
+
+TEST(Chamfer, ObtuseCornerUntouched) {
+  // 135-degree corner (45-degree turn): no miter required.
+  const Polyline pl{{{0, 0}, {10, 0}, {20, 5}}};
+  const Polyline c = chamfer_corners(pl, 2.0);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Chamfer, AcuteCornerIsCut) {
+  const Polyline pl{{{0, 0}, {10, 0}, {0, 2}}};
+  const Polyline c = chamfer_corners(pl, 1.0);
+  EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(Chamfer, CutClampedToShortArms) {
+  const Polyline pl{{{0, 0}, {2, 0}, {2, 10}}};
+  const Polyline c = chamfer_corners(pl, 5.0);  // arm is only 2 long
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c[1], Point(1.0, 0.0));  // clamped to half the short arm
+  EXPECT_EQ(c[2], Point(2.0, 1.0));
+}
+
+TEST(Chamfer, SerpentineAllFourCornersCut) {
+  const Polyline pl{{{0, 0}, {4, 0}, {4, 6}, {8, 6}, {8, 0}, {12, 0}}};
+  const Polyline c = chamfer_corners(pl, 1.0);
+  EXPECT_EQ(c.size(), pl.size() + 4u);
+  EXPECT_NEAR(c.length(), pl.length() + 4.0 * right_angle_chamfer_delta(1.0), 1e-9);
+}
+
+TEST(Chamfer, ZeroMiterIsIdentity) {
+  const Polyline pl{{{0, 0}, {10, 0}, {10, 10}}};
+  EXPECT_EQ(chamfer_corners(pl, 0.0).size(), 3u);
+}
+
+TEST(Chamfer, DeltaFormulaNegative) {
+  EXPECT_LT(right_angle_chamfer_delta(1.0), 0.0);
+  EXPECT_NEAR(right_angle_chamfer_delta(1.0), std::sqrt(2.0) - 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lmr::geom

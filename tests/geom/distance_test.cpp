@@ -1,0 +1,59 @@
+#include "geom/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lmr::geom {
+namespace {
+
+TEST(Distance, PointSegment) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(dist_point_segment({5, 3}, s), 3.0);
+  EXPECT_DOUBLE_EQ(dist_point_segment({-3, 4}, s), 5.0);  // to endpoint
+  EXPECT_DOUBLE_EQ(dist_point_segment({5, 0}, s), 0.0);   // on segment
+}
+
+TEST(Distance, SegmentSegmentParallel) {
+  EXPECT_DOUBLE_EQ(dist_segment_segment({{0, 0}, {10, 0}}, {{0, 3}, {10, 3}}), 3.0);
+}
+
+TEST(Distance, SegmentSegmentCrossingIsZero) {
+  EXPECT_DOUBLE_EQ(dist_segment_segment({{0, 0}, {10, 10}}, {{0, 10}, {10, 0}}), 0.0);
+}
+
+TEST(Distance, SegmentSegmentSkew) {
+  // Closest approach is endpoint-to-interior.
+  const double d = dist_segment_segment({{0, 0}, {10, 0}}, {{12, 1}, {20, 1}});
+  EXPECT_NEAR(d, std::hypot(2.0, 1.0), kEps);
+}
+
+TEST(Distance, SegmentPolygonOutside) {
+  const Polygon r = Polygon::rect({{5, 5}, {10, 10}});
+  EXPECT_DOUBLE_EQ(dist_segment_polygon({{0, 0}, {0, 10}}, r), 5.0);
+}
+
+TEST(Distance, SegmentPolygonInsideIsZero) {
+  const Polygon r = Polygon::rect({{0, 0}, {10, 10}});
+  EXPECT_DOUBLE_EQ(dist_segment_polygon({{2, 2}, {3, 3}}, r), 0.0);
+}
+
+TEST(Distance, SegmentPolygonCrossingIsZero) {
+  const Polygon r = Polygon::rect({{4, -1}, {6, 1}});
+  EXPECT_DOUBLE_EQ(dist_segment_polygon({{0, 0}, {10, 0}}, r), 0.0);
+}
+
+TEST(Distance, PolylinePolyline) {
+  const Polyline a{{{0, 0}, {10, 0}}};
+  const Polyline b{{{0, 2}, {5, 2}, {5, 7}}};
+  EXPECT_DOUBLE_EQ(dist_polyline_polyline(a, b), 2.0);
+}
+
+TEST(Distance, PolylinePolygon) {
+  const Polyline pl{{{0, 0}, {10, 0}, {10, 10}}};
+  const Polygon r = Polygon::rect({{3, 4}, {6, 6}});
+  EXPECT_DOUBLE_EQ(dist_polyline_polygon(pl, r), 4.0);
+}
+
+}  // namespace
+}  // namespace lmr::geom

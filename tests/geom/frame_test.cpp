@@ -1,0 +1,76 @@
+#include "geom/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace lmr::geom {
+namespace {
+
+TEST(Frame, AxisAlignedSegment) {
+  const Frame f = Frame::along({{2, 3}, {7, 3}});
+  EXPECT_EQ(f.to_local({2, 3}), Point(0.0, 0.0));
+  EXPECT_EQ(f.to_local({7, 3}), Point(5.0, 0.0));
+  EXPECT_EQ(f.to_local({2, 4}), Point(0.0, 1.0));  // left of direction = +y
+}
+
+TEST(Frame, FlippedSwapsSide) {
+  const Frame f = Frame::along({{2, 3}, {7, 3}}, /*flip=*/true);
+  EXPECT_EQ(f.to_local({2, 4}), Point(0.0, -1.0));
+  EXPECT_EQ(f.to_local({2, 2}), Point(0.0, 1.0));
+  EXPECT_TRUE(f.flipped());
+  EXPECT_FALSE(Frame::along({{2, 3}, {7, 3}}).flipped());
+}
+
+TEST(Frame, DiagonalSegment) {
+  const Frame f = Frame::along({{0, 0}, {3, 4}});
+  const Point end = f.to_local({3, 4});
+  EXPECT_NEAR(end.x, 5.0, kEps);
+  EXPECT_NEAR(end.y, 0.0, kEps);
+}
+
+TEST(Frame, RoundTripRandomPoints) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> u(-100.0, 100.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Segment s{{u(rng), u(rng)}, {u(rng), u(rng)}};
+    if (s.degenerate(1e-3)) continue;
+    for (const bool flip : {false, true}) {
+      const Frame f = Frame::along(s, flip);
+      const Point p{u(rng), u(rng)};
+      const Point q = f.to_global(f.to_local(p));
+      EXPECT_NEAR(q.x, p.x, 1e-9);
+      EXPECT_NEAR(q.y, p.y, 1e-9);
+    }
+  }
+}
+
+TEST(Frame, PreservesDistances) {
+  const Frame f = Frame::along({{1, 1}, {4, 5}});
+  const Point a{10, -3}, b{-7, 8};
+  EXPECT_NEAR(dist(f.to_local(a), f.to_local(b)), dist(a, b), 1e-9);
+}
+
+TEST(Frame, AnyAngleSegmentMapsOntoXAxis) {
+  // 30-degree trace: the any-direction case of the paper.
+  const double c = std::cos(M_PI / 6.0), s = std::sin(M_PI / 6.0);
+  const Segment seg{{0, 0}, {10 * c, 10 * s}};
+  const Frame f = Frame::along(seg);
+  const Point mid = f.to_local(seg.midpoint());
+  EXPECT_NEAR(mid.x, 5.0, 1e-9);
+  EXPECT_NEAR(mid.y, 0.0, 1e-9);
+}
+
+TEST(Frame, SegmentMapping) {
+  const Frame f = Frame::along({{0, 0}, {0, 10}});
+  const Segment g = f.to_local(Segment{{1, 0}, {1, 10}});
+  // Segment to the right of an upward base maps to y = -1 (left is +y).
+  EXPECT_NEAR(g.a.y, -1.0, kEps);
+  EXPECT_NEAR(g.b.y, -1.0, kEps);
+  EXPECT_NEAR(g.a.x, 0.0, kEps);
+  EXPECT_NEAR(g.b.x, 10.0, kEps);
+}
+
+}  // namespace
+}  // namespace lmr::geom

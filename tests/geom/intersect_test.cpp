@@ -1,0 +1,80 @@
+#include "geom/intersect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::geom {
+namespace {
+
+TEST(SegmentsIntersect, ProperCrossing) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {10, 10}}, {{0, 10}, {10, 0}}));
+}
+
+TEST(SegmentsIntersect, Disjoint) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}));
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 1}}, {{2, 2}, {3, 3}}));
+}
+
+TEST(SegmentsIntersect, EndpointTouch) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {5, 0}}, {{5, 0}, {5, 5}}));
+  EXPECT_TRUE(segments_intersect({{0, 0}, {5, 0}}, {{3, 0}, {3, 5}}));  // T-touch
+}
+
+TEST(SegmentsIntersect, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {5, 0}}, {{3, 0}, {8, 0}}));
+  EXPECT_TRUE(segments_intersect({{0, 0}, {5, 0}}, {{5, 0}, {8, 0}}));   // touch at end
+  EXPECT_FALSE(segments_intersect({{0, 0}, {5, 0}}, {{6, 0}, {8, 0}}));  // gap
+}
+
+TEST(SegmentIntersection, CrossingPoint) {
+  const auto p = segment_intersection({{0, 0}, {10, 10}}, {{0, 10}, {10, 0}});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 5.0, kEps);
+  EXPECT_NEAR(p->y, 5.0, kEps);
+}
+
+TEST(SegmentIntersection, NoneWhenDisjoint) {
+  EXPECT_FALSE(segment_intersection({{0, 0}, {1, 1}}, {{2, 0}, {3, 1}}).has_value());
+}
+
+TEST(SegmentIntersection, NoneWhenParallel) {
+  EXPECT_FALSE(segment_intersection({{0, 0}, {5, 0}}, {{0, 1}, {5, 1}}).has_value());
+  // Collinear overlap deliberately returns nullopt.
+  EXPECT_FALSE(segment_intersection({{0, 0}, {5, 0}}, {{1, 0}, {4, 0}}).has_value());
+}
+
+TEST(SegmentIntersection, EndpointTouchReturnsPoint) {
+  const auto p = segment_intersection({{0, 0}, {5, 0}}, {{5, 0}, {5, 9}});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 5.0, kEps);
+  EXPECT_NEAR(p->y, 0.0, kEps);
+}
+
+TEST(SegmentPolygon, IntersectionPoints) {
+  const Polygon r = Polygon::rect({{2, -1}, {4, 1}});
+  const auto pts = segment_polygon_intersections({{0, 0}, {10, 0}}, r);
+  ASSERT_EQ(pts.size(), 2u);
+  // Crossing at x=2 and x=4 in some order.
+  const double x0 = std::min(pts[0].x, pts[1].x);
+  const double x1 = std::max(pts[0].x, pts[1].x);
+  EXPECT_NEAR(x0, 2.0, kEps);
+  EXPECT_NEAR(x1, 4.0, kEps);
+}
+
+TEST(SegmentPolygon, MissReturnsEmpty) {
+  const Polygon r = Polygon::rect({{2, 2}, {4, 4}});
+  EXPECT_TRUE(segment_polygon_intersections({{0, 0}, {10, 0}}, r).empty());
+}
+
+TEST(PolygonsOverlap, EdgeCrossAndContainment) {
+  const Polygon a = Polygon::rect({{0, 0}, {4, 4}});
+  const Polygon b = Polygon::rect({{2, 2}, {6, 6}});
+  const Polygon inside = Polygon::rect({{1, 1}, {2, 2}});
+  const Polygon far_away = Polygon::rect({{10, 10}, {11, 11}});
+  EXPECT_TRUE(polygons_overlap(a, b));
+  EXPECT_TRUE(polygons_overlap(a, inside));  // containment counts
+  EXPECT_TRUE(polygons_overlap(inside, a));
+  EXPECT_FALSE(polygons_overlap(a, far_away));
+}
+
+}  // namespace
+}  // namespace lmr::geom

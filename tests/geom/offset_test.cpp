@@ -1,0 +1,70 @@
+#include "geom/offset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/distance.hpp"
+
+namespace lmr::geom {
+namespace {
+
+TEST(Offset, RectangleGrowsUniformly) {
+  const Polygon r = Polygon::rect({{0, 0}, {4, 2}});
+  const Polygon g = offset_convex(r, 1.0);
+  const Box b = g.bbox();
+  EXPECT_NEAR(b.lo.x, -1.0, kEps);
+  EXPECT_NEAR(b.lo.y, -1.0, kEps);
+  EXPECT_NEAR(b.hi.x, 5.0, kEps);
+  EXPECT_NEAR(b.hi.y, 3.0, kEps);
+  EXPECT_NEAR(g.area(), 6.0 * 4.0, 1e-9);
+}
+
+TEST(Offset, OctagonEdgesMoveByMargin) {
+  const Polygon oct = Polygon::regular({0, 0}, 2.0, 8);
+  const double margin = 0.7;
+  const Polygon g = offset_convex(oct, margin);
+  // Every original vertex must now be at least `margin` inside the offset
+  // polygon boundary.
+  for (const Point& p : oct.points()) {
+    double d = 1e18;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      d = std::min(d, dist_point_segment(p, g.edge(i)));
+    }
+    EXPECT_NEAR(d, margin, 1e-9);
+  }
+}
+
+TEST(Offset, ZeroMarginIsIdentity) {
+  const Polygon r = Polygon::rect({{0, 0}, {4, 2}});
+  const Polygon g = inflate_polygon(r, 0.0);
+  EXPECT_EQ(g.size(), r.size());
+  EXPECT_DOUBLE_EQ(g.area(), r.area());
+}
+
+TEST(Offset, InflateConvexUsesExactOffset) {
+  const Polygon tri{{{0, 0}, {4, 0}, {2, 3}}};
+  const Polygon g = inflate_polygon(tri, 0.5);
+  EXPECT_TRUE(g.is_convex());
+  EXPECT_GT(g.area(), tri.area());
+  // Original polygon strictly inside.
+  for (const Point& p : tri.points()) EXPECT_TRUE(g.contains(p));
+}
+
+TEST(Offset, InflateNonConvexFallsBackToBBox) {
+  const Polygon concave{{{0, 0}, {4, 0}, {4, 4}, {2, 1}, {0, 4}}};
+  const Polygon g = inflate_polygon(concave, 0.5);
+  EXPECT_EQ(g.size(), 4u);  // bbox rectangle
+  const Box b = g.bbox();
+  EXPECT_NEAR(b.lo.x, -0.5, kEps);
+  EXPECT_NEAR(b.hi.y, 4.5, kEps);
+}
+
+TEST(Offset, ClockwiseInputNormalized) {
+  Polygon cw{{{0, 0}, {0, 2}, {2, 2}, {2, 0}}};
+  const Polygon g = inflate_polygon(cw, 1.0);
+  EXPECT_NEAR(g.area(), 16.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lmr::geom

@@ -1,0 +1,83 @@
+#include "geom/polygon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lmr::geom {
+namespace {
+
+TEST(Polygon, RectFactory) {
+  const Polygon r = Polygon::rect({{0, 0}, {4, 3}});
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_TRUE(r.is_ccw());
+  EXPECT_TRUE(r.is_convex());
+}
+
+TEST(Polygon, RegularFactory) {
+  const Polygon oct = Polygon::regular({0, 0}, 1.0, 8);
+  EXPECT_EQ(oct.size(), 8u);
+  EXPECT_TRUE(oct.is_convex());
+  // Area of a regular octagon with circumradius 1: 2*sqrt(2).
+  EXPECT_NEAR(oct.area(), 2.0 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(Polygon, SignedAreaOrientation) {
+  Polygon ccw{{{0, 0}, {2, 0}, {2, 2}, {0, 2}}};
+  EXPECT_GT(ccw.signed_area(), 0.0);
+  Polygon cw{{{0, 0}, {0, 2}, {2, 2}, {2, 0}}};
+  EXPECT_LT(cw.signed_area(), 0.0);
+  cw.make_ccw();
+  EXPECT_GT(cw.signed_area(), 0.0);
+}
+
+TEST(Polygon, ContainsInteriorExteriorBoundary) {
+  const Polygon r = Polygon::rect({{0, 0}, {4, 3}});
+  EXPECT_TRUE(r.contains({2, 1}));
+  EXPECT_FALSE(r.contains({5, 1}));
+  EXPECT_FALSE(r.contains({-1, -1}));
+  EXPECT_TRUE(r.contains({0, 1}));                 // boundary in
+  EXPECT_FALSE(r.contains({0, 1}, false));         // boundary out
+  EXPECT_TRUE(r.contains({0, 0}));                 // vertex
+}
+
+TEST(Polygon, ContainsConcave) {
+  // U-shaped polygon.
+  const Polygon u{{{0, 0}, {6, 0}, {6, 4}, {4, 4}, {4, 2}, {2, 2}, {2, 4}, {0, 4}}};
+  EXPECT_TRUE(u.contains({1, 3}));
+  EXPECT_TRUE(u.contains({5, 3}));
+  EXPECT_FALSE(u.contains({3, 3}));  // inside the notch
+  EXPECT_TRUE(u.contains({3, 1}));   // below the notch
+}
+
+TEST(Polygon, ContainsRayThroughVertex) {
+  // Point whose +x ray passes exactly through a vertex: parity must hold.
+  const Polygon tri{{{0, 0}, {4, 2}, {0, 4}}};
+  EXPECT_TRUE(tri.contains({1, 2}));
+  EXPECT_FALSE(tri.contains({5, 2}));
+  EXPECT_FALSE(tri.contains({-1, 2}));
+}
+
+TEST(Polygon, IsConvex) {
+  EXPECT_TRUE(Polygon::rect({{0, 0}, {1, 1}}).is_convex());
+  const Polygon concave{{{0, 0}, {4, 0}, {4, 4}, {2, 1}, {0, 4}}};
+  EXPECT_FALSE(concave.is_convex());
+}
+
+TEST(Polygon, CentroidAndTranslate) {
+  const Polygon r = Polygon::rect({{0, 0}, {2, 2}});
+  EXPECT_EQ(r.centroid(), Point(1.0, 1.0));
+  const Polygon t = r.translated({5, -1});
+  EXPECT_EQ(t.centroid(), Point(6.0, 0.0));
+  EXPECT_DOUBLE_EQ(t.area(), r.area());
+}
+
+TEST(Polygon, EdgeWraps) {
+  const Polygon r = Polygon::rect({{0, 0}, {1, 2}});
+  const Segment last = r.edge(3);
+  EXPECT_EQ(last.b, r[0]);
+}
+
+}  // namespace
+}  // namespace lmr::geom

@@ -1,0 +1,86 @@
+#include "geom/polyline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::geom {
+namespace {
+
+Polyline l_shape() { return Polyline{{{0, 0}, {10, 0}, {10, 5}}}; }
+
+TEST(Polyline, LengthOfChain) {
+  EXPECT_DOUBLE_EQ(l_shape().length(), 15.0);
+  EXPECT_DOUBLE_EQ(Polyline().length(), 0.0);
+  const Polyline single{{{1, 1}}};
+  EXPECT_DOUBLE_EQ(single.length(), 0.0);
+}
+
+TEST(Polyline, SegmentAccess) {
+  const Polyline pl = l_shape();
+  EXPECT_EQ(pl.segment_count(), 2u);
+  EXPECT_EQ(pl.segment(0).b, Point(10.0, 0.0));
+  EXPECT_EQ(pl.segment(1).a, Point(10.0, 0.0));
+}
+
+TEST(Polyline, PointAtArclength) {
+  const Polyline pl = l_shape();
+  EXPECT_EQ(pl.point_at_arclength(0.0), Point(0.0, 0.0));
+  EXPECT_EQ(pl.point_at_arclength(5.0), Point(5.0, 0.0));
+  EXPECT_EQ(pl.point_at_arclength(12.0), Point(10.0, 2.0));
+  EXPECT_EQ(pl.point_at_arclength(99.0), Point(10.0, 5.0));
+}
+
+TEST(Polyline, SimplifyRemovesDuplicatesAndCollinear) {
+  Polyline pl{{{0, 0}, {0, 0}, {5, 0}, {10, 0}, {10, 5}, {10, 5}}};
+  pl.simplify();
+  ASSERT_EQ(pl.size(), 3u);
+  EXPECT_EQ(pl[0], Point(0.0, 0.0));
+  EXPECT_EQ(pl[1], Point(10.0, 0.0));
+  EXPECT_EQ(pl[2], Point(10.0, 5.0));
+}
+
+TEST(Polyline, SimplifyKeepsReversals) {
+  // A doubling-back point is collinear but NOT passed through forward;
+  // it must be kept (it is a real geometric feature).
+  Polyline pl{{{0, 0}, {10, 0}, {5, 0}}};
+  pl.simplify();
+  EXPECT_EQ(pl.size(), 3u);
+}
+
+TEST(Polyline, SpliceReplacesRun) {
+  Polyline pl{{{0, 0}, {10, 0}, {20, 0}}};
+  const std::vector<Point> repl{{0, 0}, {5, 0}, {5, 3}, {10, 3}, {10, 0}};
+  pl.splice(0, 1, repl);
+  ASSERT_EQ(pl.size(), 6u);
+  EXPECT_EQ(pl[4], Point(10.0, 0.0));
+  EXPECT_EQ(pl[5], Point(20.0, 0.0));
+  EXPECT_DOUBLE_EQ(pl.length(), 10.0 + 3.0 + 3.0 + 10.0);
+}
+
+TEST(Polyline, SelfIntersectionDetected) {
+  Polyline cross{{{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, -5}}};
+  EXPECT_TRUE(cross.self_intersects());
+  EXPECT_FALSE(l_shape().self_intersects());
+}
+
+TEST(Polyline, SerpentineDoesNotSelfIntersect) {
+  Polyline serp{{{0, 0}, {2, 0}, {2, 4}, {4, 4}, {4, 0}, {6, 0}, {6, 4}, {8, 4}, {8, 0}, {10, 0}}};
+  EXPECT_FALSE(serp.self_intersects());
+  EXPECT_DOUBLE_EQ(serp.length(), 10.0 + 4 * 4.0);
+}
+
+TEST(Polyline, ReversedPreservesLength) {
+  const Polyline pl = l_shape();
+  const Polyline r = pl.reversed();
+  EXPECT_DOUBLE_EQ(r.length(), pl.length());
+  EXPECT_EQ(r.front(), pl.back());
+  EXPECT_EQ(r.back(), pl.front());
+}
+
+TEST(Polyline, BBox) {
+  const Box b = l_shape().bbox();
+  EXPECT_EQ(b.lo, Point(0.0, 0.0));
+  EXPECT_EQ(b.hi, Point(10.0, 5.0));
+}
+
+}  // namespace
+}  // namespace lmr::geom

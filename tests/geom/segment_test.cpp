@@ -1,0 +1,90 @@
+#include "geom/segment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::geom {
+namespace {
+
+TEST(Segment, LengthDirectionMidpoint) {
+  const Segment s{{0, 0}, {6, 8}};
+  EXPECT_DOUBLE_EQ(s.length(), 10.0);
+  EXPECT_EQ(s.direction(), Vec2(6.0, 8.0));
+  EXPECT_NEAR(s.unit().norm(), 1.0, kEps);
+  EXPECT_EQ(s.midpoint(), Point(3.0, 4.0));
+  EXPECT_EQ(s.at(0.25), Point(1.5, 2.0));
+}
+
+TEST(Segment, ReversedAndDegenerate) {
+  const Segment s{{1, 2}, {3, 4}};
+  EXPECT_EQ(s.reversed().a, s.b);
+  EXPECT_EQ(s.reversed().b, s.a);
+  EXPECT_FALSE(s.degenerate());
+  EXPECT_TRUE(Segment({1, 1}, {1, 1}).degenerate());
+}
+
+TEST(Segment, ProjectParamUnclamped) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(project_param(s, {5, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(project_param(s, {-5, 0}), -0.5);
+  EXPECT_DOUBLE_EQ(project_param(s, {15, -2}), 1.5);
+}
+
+TEST(Segment, ClosestPointClamps) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_EQ(closest_point(s, {5, 3}), Point(5.0, 0.0));
+  EXPECT_EQ(closest_point(s, {-5, 3}), Point(0.0, 0.0));
+  EXPECT_EQ(closest_point(s, {15, 3}), Point(10.0, 0.0));
+}
+
+TEST(Segment, ClosestPointOnSlanted) {
+  const Segment s{{0, 0}, {10, 10}};
+  const Point cp = closest_point(s, {10, 0});
+  EXPECT_NEAR(cp.x, 5.0, kEps);
+  EXPECT_NEAR(cp.y, 5.0, kEps);
+}
+
+TEST(Segment, BBox) {
+  const Segment s{{3, -1}, {1, 5}};
+  const Box b = s.bbox();
+  EXPECT_EQ(b.lo, Point(1.0, -1.0));
+  EXPECT_EQ(b.hi, Point(3.0, 5.0));
+}
+
+TEST(Box, EmptyAndExpand) {
+  Box b;
+  EXPECT_TRUE(b.empty());
+  b.expand({1, 1});
+  EXPECT_FALSE(b.empty());
+  b.expand({-1, 3});
+  EXPECT_EQ(b.lo, Point(-1.0, 1.0));
+  EXPECT_EQ(b.hi, Point(1.0, 3.0));
+  EXPECT_DOUBLE_EQ(b.area(), 4.0);
+}
+
+TEST(Box, ContainsAndIntersects) {
+  const Box a{{0, 0}, {2, 2}};
+  const Box b{{1, 1}, {3, 3}};
+  const Box c{{5, 5}, {6, 6}};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(a.contains({1, 1}));
+  EXPECT_TRUE(a.contains({2, 2}));
+  EXPECT_FALSE(a.contains({2.1, 1}));
+  EXPECT_TRUE(a.contains({2.05, 1}, 0.1));
+}
+
+TEST(Box, InflatedGrowsEverySide) {
+  const Box a{{0, 0}, {2, 2}};
+  const Box g = a.inflated(0.5);
+  EXPECT_EQ(g.lo, Point(-0.5, -0.5));
+  EXPECT_EQ(g.hi, Point(2.5, 2.5));
+}
+
+TEST(Box, TouchingBoxesIntersect) {
+  const Box a{{0, 0}, {1, 1}};
+  const Box b{{1, 0}, {2, 1}};
+  EXPECT_TRUE(a.intersects(b));
+}
+
+}  // namespace
+}  // namespace lmr::geom

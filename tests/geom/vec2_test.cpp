@@ -1,0 +1,80 @@
+#include "geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lmr::geom {
+namespace {
+
+TEST(Vec2, ArithmeticOperators) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += {2.0, 3.0};
+  EXPECT_EQ(v, Vec2(3.0, 4.0));
+  v -= {1.0, 1.0};
+  EXPECT_EQ(v, Vec2(2.0, 3.0));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2, NormAndNormalize) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  const Vec2 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, kEps);
+  EXPECT_NEAR(u.x, 0.6, kEps);
+  EXPECT_NEAR(u.y, 0.8, kEps);
+}
+
+TEST(Vec2, PerpIsCounterClockwise) {
+  const Vec2 x{1.0, 0.0};
+  EXPECT_EQ(x.perp(), Vec2(0.0, 1.0));
+  // perp twice = -v
+  EXPECT_EQ(x.perp().perp(), Vec2(-1.0, 0.0));
+  // cross(v, v.perp()) > 0 for any nonzero v
+  const Vec2 v{2.0, -3.0};
+  EXPECT_GT(cross(v, v.perp()), 0.0);
+}
+
+TEST(Vec2, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot({1, 2}, {3, 4}), 11.0);
+  EXPECT_DOUBLE_EQ(cross({1, 0}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(cross({0, 1}, {1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(cross({2, 3}, {4, 6}), 0.0);  // parallel
+}
+
+TEST(Vec2, Distances) {
+  EXPECT_DOUBLE_EQ(dist({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(dist2({1, 1}, {2, 2}), 2.0);
+}
+
+TEST(Vec2, AlmostEqual) {
+  EXPECT_TRUE(almost_equal(Point{1.0, 1.0}, Point{1.0 + 1e-12, 1.0 - 1e-12}));
+  EXPECT_FALSE(almost_equal(Point{1.0, 1.0}, Point{1.0001, 1.0}));
+  EXPECT_TRUE(almost_equal(Point{1.0, 1.0}, Point{1.01, 1.0}, 0.1));
+}
+
+TEST(Orientation, BasicTriples) {
+  EXPECT_EQ(orient({0, 0}, {1, 0}, {1, 1}), Orientation::CounterClockwise);
+  EXPECT_EQ(orient({0, 0}, {1, 0}, {1, -1}), Orientation::Clockwise);
+  EXPECT_EQ(orient({0, 0}, {1, 0}, {2, 0}), Orientation::Collinear);
+}
+
+TEST(Orientation, NearCollinearWithinEps) {
+  EXPECT_EQ(orient({0, 0}, {1, 0}, {2, 1e-12}), Orientation::Collinear);
+}
+
+}  // namespace
+}  // namespace lmr::geom

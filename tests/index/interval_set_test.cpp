@@ -1,0 +1,89 @@
+#include "index/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::index {
+namespace {
+
+TEST(IntervalSet, InsertDisjoint) {
+  IntervalSet s;
+  s.insert(0, 1);
+  s.insert(5, 6);
+  s.insert(2, 3);
+  ASSERT_EQ(s.intervals().size(), 3u);
+  EXPECT_DOUBLE_EQ(s.total_length(), 3.0);
+  EXPECT_DOUBLE_EQ(s.intervals()[1].lo, 2.0);
+}
+
+TEST(IntervalSet, MergeOverlapping) {
+  IntervalSet s;
+  s.insert(0, 2);
+  s.insert(1, 3);
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.total_length(), 3.0);
+}
+
+TEST(IntervalSet, MergeTouching) {
+  IntervalSet s;
+  s.insert(0, 2);
+  s.insert(2, 4);
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].hi, 4.0);
+}
+
+TEST(IntervalSet, MergeSpanningSeveral) {
+  IntervalSet s;
+  s.insert(0, 1);
+  s.insert(2, 3);
+  s.insert(4, 5);
+  s.insert(0.5, 4.5);
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.total_length(), 5.0);
+}
+
+TEST(IntervalSet, ReversedBoundsNormalized) {
+  IntervalSet s;
+  s.insert(3, 1);
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].lo, 1.0);
+}
+
+TEST(IntervalSet, Intersects) {
+  IntervalSet s;
+  s.insert(2, 4);
+  EXPECT_TRUE(s.intersects(3, 5));
+  EXPECT_TRUE(s.intersects(4, 5));       // touching
+  EXPECT_FALSE(s.intersects(4.1, 5));
+  EXPECT_TRUE(s.intersects(4.05, 5, 0.1));  // with tolerance
+  EXPECT_FALSE(s.intersects(-1, 1.9));
+}
+
+TEST(IntervalSet, Gaps) {
+  IntervalSet s;
+  s.insert(2, 3);
+  s.insert(5, 6);
+  const auto g = s.gaps(0, 10);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_DOUBLE_EQ(g[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(g[0].hi, 2.0);
+  EXPECT_DOUBLE_EQ(g[1].lo, 3.0);
+  EXPECT_DOUBLE_EQ(g[1].hi, 5.0);
+  EXPECT_DOUBLE_EQ(g[2].lo, 6.0);
+  EXPECT_DOUBLE_EQ(g[2].hi, 10.0);
+}
+
+TEST(IntervalSet, GapsWhenEmpty) {
+  IntervalSet s;
+  const auto g = s.gaps(1, 4);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_DOUBLE_EQ(g[0].length(), 3.0);
+}
+
+TEST(IntervalSet, GapsFullyCovered) {
+  IntervalSet s;
+  s.insert(0, 10);
+  EXPECT_TRUE(s.gaps(2, 8).empty());
+}
+
+}  // namespace
+}  // namespace lmr::index

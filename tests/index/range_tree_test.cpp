@@ -1,0 +1,94 @@
+#include "index/range_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace lmr::index {
+namespace {
+
+using geom::Box;
+using geom::Point;
+
+TEST(RangeTree, EmptyTree) {
+  RangeTree2D t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.query({{0, 0}, {10, 10}}).empty());
+}
+
+TEST(RangeTree, SinglePoint) {
+  RangeTree2D t{{{{5, 5}, 7}}};
+  auto hit = t.query({{0, 0}, {10, 10}});
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0].payload, 7u);
+  EXPECT_TRUE(t.query({{6, 0}, {10, 10}}).empty());
+  EXPECT_TRUE(t.query({{0, 6}, {10, 10}}).empty());
+}
+
+TEST(RangeTree, InclusiveBoundaries) {
+  RangeTree2D t{{{{1, 1}, 0}, {{5, 5}, 1}}};
+  EXPECT_EQ(t.query({{1, 1}, {5, 5}}).size(), 2u);
+  EXPECT_EQ(t.query({{1, 1}, {4.999, 5}}).size(), 1u);
+}
+
+TEST(RangeTree, GridQuery) {
+  std::vector<RangeTree2D::Entry> entries;
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      entries.push_back({{double(x), double(y)}, static_cast<std::uint32_t>(x * 10 + y)});
+    }
+  }
+  RangeTree2D t{entries};
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_EQ(t.query({{2, 3}, {5, 7}}).size(), 4u * 5u);
+  EXPECT_EQ(t.query({{0, 0}, {9, 9}}).size(), 100u);
+  EXPECT_EQ(t.query({{-5, -5}, {-1, -1}}).size(), 0u);
+}
+
+TEST(RangeTree, MatchesBruteForceOnRandomData) {
+  std::mt19937_64 rng(123);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  std::vector<RangeTree2D::Entry> entries;
+  for (std::uint32_t i = 0; i < 500; ++i) entries.push_back({{u(rng), u(rng)}, i});
+  RangeTree2D t{entries};
+  for (int trial = 0; trial < 40; ++trial) {
+    const double x0 = u(rng), x1 = u(rng), y0 = u(rng), y1 = u(rng);
+    const Box box{{std::min(x0, x1), std::min(y0, y1)}, {std::max(x0, x1), std::max(y0, y1)}};
+    std::size_t expected = 0;
+    for (const auto& e : entries) {
+      if (box.contains(e.p)) ++expected;
+    }
+    EXPECT_EQ(t.query(box).size(), expected) << "trial " << trial;
+  }
+}
+
+TEST(RangeTree, VisitEarlyStop) {
+  std::vector<RangeTree2D::Entry> entries;
+  for (std::uint32_t i = 0; i < 100; ++i) entries.push_back({{double(i), 0.0}, i});
+  RangeTree2D t{entries};
+  int visited = 0;
+  t.visit({{0, -1}, {99, 1}}, [&](const RangeTree2D::Entry&) {
+    ++visited;
+    return visited < 5;  // stop after 5
+  });
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(RangeTree, DuplicateCoordinatesAllReported) {
+  std::vector<RangeTree2D::Entry> entries(8, {{3.0, 3.0}, 0});
+  for (std::uint32_t i = 0; i < entries.size(); ++i) entries[i].payload = i;
+  RangeTree2D t{entries};
+  auto hits = t.query({{3, 3}, {3, 3}});
+  EXPECT_EQ(hits.size(), 8u);
+}
+
+TEST(RangeTree, PayloadsPreserved) {
+  RangeTree2D t{{{{1, 2}, 11}, {{3, 4}, 22}, {{5, 6}, 33}}};
+  auto hits = t.query({{2, 3}, {4, 5}});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].payload, 22u);
+}
+
+}  // namespace
+}  // namespace lmr::index

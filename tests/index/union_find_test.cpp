@@ -1,0 +1,51 @@
+#include "index/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::index {
+namespace {
+
+TEST(UnionFind, InitiallyDisjoint) {
+  UnionFind uf(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) EXPECT_FALSE(uf.connected(i, j));
+  }
+  EXPECT_EQ(uf.component_size(3), 1u);
+}
+
+TEST(UnionFind, UniteAndFind) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));  // already joined
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_FALSE(uf.connected(0, 3));
+  EXPECT_EQ(uf.component_size(0), 3u);
+  EXPECT_EQ(uf.component_size(5), 1u);
+}
+
+TEST(UnionFind, ChainCollapse) {
+  const std::size_t n = 1000;
+  UnionFind uf(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) uf.unite(i, i + 1);
+  EXPECT_TRUE(uf.connected(0, n - 1));
+  EXPECT_EQ(uf.component_size(500), n);
+}
+
+TEST(UnionFind, TwoComponents) {
+  UnionFind uf(8);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(0, 3);
+  uf.unite(4, 5);
+  uf.unite(6, 7);
+  uf.unite(4, 7);
+  EXPECT_TRUE(uf.connected(1, 2));
+  EXPECT_TRUE(uf.connected(5, 6));
+  EXPECT_FALSE(uf.connected(0, 4));
+  EXPECT_EQ(uf.component_size(0), 4u);
+  EXPECT_EQ(uf.component_size(4), 4u);
+}
+
+}  // namespace
+}  // namespace lmr::index

@@ -1,0 +1,77 @@
+#include "layout/layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::layout {
+namespace {
+
+TEST(Layout, AddTraceAssignsIds) {
+  Layout l;
+  Trace t;
+  t.path = geom::Polyline{{{0, 0}, {1, 0}}};
+  const TraceId a = l.add_trace(t);
+  const TraceId b = l.add_trace(t);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(l.trace(a).id, a);
+}
+
+TEST(Layout, ExplicitIdsKept) {
+  Layout l;
+  Trace t;
+  t.id = 42;
+  t.path = geom::Polyline{{{0, 0}, {1, 0}}};
+  EXPECT_EQ(l.add_trace(t), 42u);
+}
+
+TEST(Layout, PairStorage) {
+  Layout l;
+  DiffPair p;
+  p.pitch = 0.6;
+  p.positive.path = geom::Polyline{{{0, 0}, {10, 0}}};
+  p.negative.path = geom::Polyline{{{0, 0.6}, {10, 0.6}}};
+  const TraceId id = l.add_pair(p);
+  EXPECT_DOUBLE_EQ(l.pair(id).pitch, 0.6);
+}
+
+TEST(Layout, RoutableAreaLookup) {
+  Layout l;
+  Trace t;
+  t.path = geom::Polyline{{{0, 0}, {1, 0}}};
+  const TraceId id = l.add_trace(t);
+  EXPECT_EQ(l.routable_area(id), nullptr);
+  RoutableArea area;
+  area.outline = geom::Polygon::rect({{0, 0}, {10, 10}});
+  l.set_routable_area(id, area);
+  ASSERT_NE(l.routable_area(id), nullptr);
+  EXPECT_DOUBLE_EQ(l.routable_area(id)->free_area(), 100.0);
+}
+
+TEST(RoutableArea, ContainsRespectsHoles) {
+  RoutableArea area;
+  area.outline = geom::Polygon::rect({{0, 0}, {10, 10}});
+  area.holes.push_back(geom::Polygon::rect({{4, 4}, {6, 6}}));
+  EXPECT_TRUE(area.contains({1, 1}));
+  EXPECT_FALSE(area.contains({5, 5}));
+  EXPECT_FALSE(area.contains({11, 5}));
+  EXPECT_DOUBLE_EQ(area.free_area(), 96.0);
+}
+
+TEST(MatchGroup, TargetOverrides) {
+  MatchGroup g;
+  g.target_length = 100.0;
+  g.members = {{MemberKind::SingleEnded, 1}, {MemberKind::SingleEnded, 2}};
+  g.member_targets = {0.0, 120.0};
+  EXPECT_DOUBLE_EQ(g.target_for(0), 100.0);
+  EXPECT_DOUBLE_EQ(g.target_for(1), 120.0);
+  EXPECT_DOUBLE_EQ(g.target_for(5), 100.0);  // out of range -> group target
+}
+
+TEST(Trace, LengthDelegation) {
+  Trace t;
+  t.path = geom::Polyline{{{0, 0}, {3, 4}}};
+  EXPECT_DOUBLE_EQ(t.length(), 5.0);
+}
+
+}  // namespace
+}  // namespace lmr::layout

@@ -1,0 +1,129 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lmr::lp {
+namespace {
+
+TEST(Simplex, SimpleMaximization) {
+  // max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6  ->  x=4, y=0, obj=12.
+  SimplexSolver s(2);
+  s.set_objective({3, 2});
+  s.add_less_eq({1, 1}, 4);
+  s.add_less_eq({1, 3}, 6);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 12.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 4.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-7);
+}
+
+TEST(Simplex, ClassicTwoVarProblem) {
+  // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 -> x=3, y=1.5, obj=21.
+  SimplexSolver s(2);
+  s.set_objective({5, 4});
+  s.add_less_eq({6, 4}, 24);
+  s.add_less_eq({1, 2}, 6);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 21.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-7);
+  EXPECT_NEAR(r.x[1], 1.5, 1e-7);
+}
+
+TEST(Simplex, GreaterEqRequiresPhase1) {
+  // max -x s.t. x >= 3 -> x=3.
+  SimplexSolver s(1);
+  s.set_objective({-1});
+  s.add_greater_eq({1}, 3);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // max x + y s.t. x + y = 5, x <= 3 -> obj 5.
+  SimplexSolver s(2);
+  s.set_objective({1, 1});
+  s.add_equal({1, 1}, 5);
+  s.add_less_eq({1, 0}, 3);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-7);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  SimplexSolver s(1);
+  s.add_less_eq({1}, 1);
+  s.add_greater_eq({1}, 2);
+  EXPECT_EQ(s.solve().status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  SimplexSolver s(1);
+  s.set_objective({1});
+  s.add_greater_eq({1}, 0);
+  EXPECT_EQ(s.solve().status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, PureFeasibilityNoObjective) {
+  // The region-assignment pattern: find any feasible point.
+  SimplexSolver s(2);
+  s.add_less_eq({1, 0}, 10);
+  s.add_less_eq({0, 1}, 10);
+  s.add_greater_eq({1, 1}, 5);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_GE(r.x[0] + r.x[1], 5.0 - 1e-7);
+  EXPECT_LE(r.x[0], 10.0 + 1e-7);
+  EXPECT_LE(r.x[1], 10.0 + 1e-7);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // x - y <= -2 (i.e. y >= x + 2), x >= 0 -> feasible with y >= 2.
+  SimplexSolver s(2);
+  s.set_objective({0, -1});  // minimize y
+  s.add_less_eq({1, -1}, -2);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-7);
+}
+
+TEST(Simplex, AssignmentShapedFeasibility) {
+  // 2 regions x 2 traces: x00 + x01 <= 4, x10 + x11 <= 4,
+  // x00 + x10 >= 3, x01 + x11 >= 3 (neighbor validity: all allowed).
+  SimplexSolver s(4);
+  s.add_less_eq({1, 1, 0, 0}, 4);
+  s.add_less_eq({0, 0, 1, 1}, 4);
+  s.add_greater_eq({1, 0, 1, 0}, 3);
+  s.add_greater_eq({0, 1, 0, 1}, 3);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_GE(r.x[0] + r.x[2], 3.0 - 1e-7);
+  EXPECT_GE(r.x[1] + r.x[3], 3.0 - 1e-7);
+}
+
+TEST(Simplex, AssignmentShapedInfeasibility) {
+  // Demands exceed total capacity.
+  SimplexSolver s(4);
+  s.add_less_eq({1, 1, 0, 0}, 2);
+  s.add_less_eq({0, 0, 1, 1}, 2);
+  s.add_greater_eq({1, 0, 1, 0}, 3);
+  s.add_greater_eq({0, 1, 0, 1}, 3);
+  EXPECT_EQ(s.solve().status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DegenerateTiesTerminate) {
+  // Degenerate vertices exercise Bland's rule.
+  SimplexSolver s(2);
+  s.set_objective({1, 1});
+  s.add_less_eq({1, 0}, 0);
+  s.add_less_eq({0, 1}, 5);
+  s.add_less_eq({1, 1}, 5);
+  const LpResult r = s.solve();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace lmr::lp

@@ -1,0 +1,109 @@
+#include "pipeline/group_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/drc_checker.hpp"
+#include "workload/table1_cases.hpp"
+
+namespace lmr::pipeline {
+namespace {
+
+TEST(GroupMatcher, BadGroupIndexThrows) {
+  layout::Layout l;
+  drc::DesignRules r;
+  GroupMatcher gm(l, r);
+  EXPECT_THROW(gm.match_group(0), std::out_of_range);
+}
+
+TEST(GroupMatcher, MissingAreaThrows) {
+  layout::Layout l;
+  layout::Trace t;
+  t.path = geom::Polyline{{{0, 0}, {10, 0}}};
+  const auto id = l.add_trace(t);
+  layout::MatchGroup g;
+  g.target_length = 20.0;
+  g.members.push_back({layout::MemberKind::SingleEnded, id});
+  l.add_group(g);
+  drc::DesignRules r;
+  GroupMatcher gm(l, r);
+  EXPECT_THROW(gm.match_group(0), std::invalid_argument);
+}
+
+TEST(GroupMatcher, SmallSingleEndedGroup) {
+  layout::Layout l;
+  layout::MatchGroup g;
+  g.name = "g0";
+  g.target_length = 50.0;
+  for (int i = 0; i < 3; ++i) {
+    layout::Trace t;
+    t.name = "t" + std::to_string(i);
+    const double y = i * 10.0;
+    t.path = geom::Polyline{{{0, y}, {30.0 + i * 3.0, y}}};
+    const auto id = l.add_trace(t);
+    layout::RoutableArea area;
+    area.outline = geom::Polygon::rect({{-1, y - 4.5}, {41, y + 4.5}});
+    l.set_routable_area(id, area);
+    g.members.push_back({layout::MemberKind::SingleEnded, id});
+  }
+  l.add_group(g);
+  drc::DesignRules r;
+  r.gap = 1.0;
+  r.obs = 0.5;
+  r.protect = 0.5;
+  GroupMatcher gm(l, r);
+  const GroupReport rep = gm.match_group(0);
+  ASSERT_EQ(rep.members.size(), 3u);
+  EXPECT_LT(rep.max_error_pct, 0.1);
+  EXPECT_GT(rep.initial_max_error_pct, 30.0);
+  for (const MemberReport& m : rep.members) {
+    EXPECT_TRUE(m.reached) << m.name;
+    EXPECT_NEAR(m.final_length, 50.0, 1e-4);
+  }
+  // All traces DRC-clean afterwards.
+  layout::DrcChecker checker;
+  for (const auto& [id, t] : l.traces()) {
+    EXPECT_TRUE(checker.check_trace(t, r).empty());
+  }
+}
+
+TEST(GroupMatcher, PerMemberTargetOverride) {
+  layout::Layout l;
+  layout::MatchGroup g;
+  g.target_length = 40.0;
+  layout::Trace t;
+  t.path = geom::Polyline{{{0, 0}, {30, 0}}};
+  const auto id = l.add_trace(t);
+  layout::RoutableArea area;
+  area.outline = geom::Polygon::rect({{-1, -5}, {31, 5}});
+  l.set_routable_area(id, area);
+  g.members.push_back({layout::MemberKind::SingleEnded, id});
+  g.member_targets = {45.0};
+  l.add_group(g);
+  drc::DesignRules r;
+  r.gap = 1.0;
+  r.protect = 0.5;
+  GroupMatcher gm(l, r);
+  const GroupReport rep = gm.match_group(0);
+  EXPECT_NEAR(rep.members[0].final_length, 45.0, 1e-4);
+}
+
+TEST(GroupMatcher, DifferentialGroupFromTable1Case5) {
+  // Slimmed variant of the Table I differential case: one pair.
+  auto c = workload::table1_case(5);
+  // Keep only the first member to bound test runtime.
+  auto& group = c.layout.groups()[0];
+  group.members.resize(1);
+  GroupMatcher gm(c.layout, c.rules);
+  const GroupReport rep = gm.match_group(0);
+  ASSERT_EQ(rep.members.size(), 1u);
+  EXPECT_EQ(rep.members[0].kind, layout::MemberKind::Differential);
+  // The restored pair must be close to target (skew + restoration noise
+  // permitted) and far better than the initial error.
+  EXPECT_LT(rep.max_error_pct, rep.initial_max_error_pct / 3.0);
+  const auto& pair = c.layout.pairs().begin()->second;
+  EXPECT_FALSE(pair.positive.path.self_intersects());
+  EXPECT_FALSE(pair.negative.path.self_intersects());
+}
+
+}  // namespace
+}  // namespace lmr::pipeline

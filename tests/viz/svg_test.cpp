@@ -1,0 +1,77 @@
+#include "viz/render.hpp"
+#include "viz/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lmr::viz {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+TEST(Svg, WritesWellFormedFile) {
+  SvgWriter svg({{0, 0}, {10, 10}}, 10.0);
+  svg.polyline(geom::Polyline{{{0, 0}, {5, 5}}}, Style{});
+  svg.polygon(geom::Polygon::rect({{1, 1}, {2, 2}}), Style{});
+  svg.circle({5, 5}, 1.0, Style{});
+  svg.line({0, 0}, {10, 10}, Style{});
+  svg.text({1, 9}, "hello", 1.0);
+  const std::string path = "/tmp/lmr_svg_test.svg";
+  ASSERT_TRUE(svg.save(path));
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("<svg"), std::string::npos);
+  EXPECT_NE(content.find("</svg>"), std::string::npos);
+  EXPECT_NE(content.find("<polyline"), std::string::npos);
+  EXPECT_NE(content.find("<polygon"), std::string::npos);
+  EXPECT_NE(content.find("<circle"), std::string::npos);
+  EXPECT_NE(content.find("hello"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Svg, YAxisFlipped) {
+  SvgWriter svg({{0, 0}, {10, 10}}, 1.0);
+  svg.circle({0, 0}, 0.5, Style{});  // bottom-left in layout coords
+  const std::string path = "/tmp/lmr_svg_flip.svg";
+  ASSERT_TRUE(svg.save(path));
+  const std::string content = slurp(path);
+  // Bottom-left maps to y = 10 in SVG pixels (flipped), x = 0.
+  EXPECT_NE(content.find("cx=\"0\" cy=\"10\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Render, LayoutSmoke) {
+  layout::Layout l;
+  layout::Trace t;
+  t.name = "t";
+  t.path = geom::Polyline{{{0, 0}, {20, 0}}};
+  const auto id = l.add_trace(t);
+  layout::RoutableArea area;
+  area.outline = geom::Polygon::rect({{-1, -4}, {21, 4}});
+  l.set_routable_area(id, area);
+  l.add_obstacle({geom::Polygon::regular({10, 2}, 0.8, 8), "via"});
+  const std::string path = "/tmp/lmr_render_test.svg";
+  ASSERT_TRUE(render_layout(l, path));
+  EXPECT_FALSE(slurp(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Render, TracePanelSmoke) {
+  layout::Trace t;
+  t.path = geom::Polyline{{{0, 0}, {5, 0}, {5, 5}}};
+  layout::RoutableArea area;
+  area.outline = geom::Polygon::rect({{-1, -1}, {6, 6}});
+  const std::string path = "/tmp/lmr_panel_test.svg";
+  ASSERT_TRUE(render_trace_panel(t, area, path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lmr::viz

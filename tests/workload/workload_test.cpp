@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "layout/drc_checker.hpp"
+#include "workload/diffpair_cases.hpp"
+#include "workload/metrics.hpp"
+#include "workload/table1_cases.hpp"
+#include "workload/table2_cases.hpp"
+
+namespace lmr::workload {
+namespace {
+
+TEST(Metrics, Eq19Errors) {
+  const std::vector<double> lengths{90.0, 95.0, 100.0};
+  const ErrorStats e = matching_errors(lengths, 100.0);
+  EXPECT_NEAR(e.max_error_pct, 10.0, 1e-9);
+  EXPECT_NEAR(e.avg_error_pct, 5.0, 1e-9);
+}
+
+TEST(Metrics, Eq19EmptyAndDegenerate) {
+  EXPECT_DOUBLE_EQ(matching_errors({}, 100.0).max_error_pct, 0.0);
+  const std::vector<double> lengths{50.0};
+  EXPECT_DOUBLE_EQ(matching_errors(lengths, 0.0).max_error_pct, 0.0);
+}
+
+TEST(Metrics, Eq20UpperBound) {
+  EXPECT_NEAR(extension_upper_bound_pct(66.0, 132.0), 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(extension_upper_bound_pct(0.0, 10.0), 0.0);
+}
+
+TEST(Table1, AllCasesGenerate) {
+  for (int k = 1; k <= 5; ++k) {
+    const Table1Case c = table1_case(k);
+    EXPECT_EQ(c.id, k);
+    EXPECT_GT(c.target, 0.0);
+    EXPECT_EQ(c.layout.groups().size(), 1u);
+    const auto& group = c.layout.groups()[0];
+    EXPECT_EQ(static_cast<int>(group.members.size()), c.group_size);
+  }
+  EXPECT_THROW(table1_case(0), std::out_of_range);
+  EXPECT_THROW(table1_case(6), std::out_of_range);
+}
+
+TEST(Table1, InitialErrorsInPaperBand) {
+  // The generator calibrates initial max error into the paper's 26-37 %
+  // band for the single-ended cases.
+  for (int k = 1; k <= 4; ++k) {
+    const Table1Case c = table1_case(k);
+    std::vector<double> lengths;
+    for (const auto& m : c.layout.groups()[0].members) {
+      lengths.push_back(c.layout.trace(m.id).length());
+    }
+    const ErrorStats e = matching_errors(lengths, c.target);
+    EXPECT_GE(e.max_error_pct, 25.0) << "case " << k;
+    EXPECT_LE(e.max_error_pct, 40.0) << "case " << k;
+    EXPECT_GE(e.avg_error_pct, 10.0) << "case " << k;
+  }
+}
+
+TEST(Table1, InitialLayoutIsDrcClean) {
+  // The generated starting point must be a legal design: the extender's
+  // clean-input assumptions depend on it.
+  const Table1Case c = table1_case(1);
+  layout::DrcChecker checker;
+  for (const auto& m : c.layout.groups()[0].members) {
+    const auto& t = c.layout.trace(m.id);
+    const auto v1 = checker.check_trace(t, c.rules);
+    EXPECT_TRUE(v1.empty()) << v1.size() << " violations on " << t.name;
+    const auto* area = c.layout.routable_area(m.id);
+    ASSERT_NE(area, nullptr);
+    EXPECT_TRUE(checker.check_containment(t, *area).empty()) << t.name;
+    std::vector<layout::Obstacle> obs;
+    for (const auto& h : area->holes) obs.push_back({h, "via"});
+    const auto v2 = checker.check_obstacles(t, c.rules, obs);
+    EXPECT_TRUE(v2.empty()) << (v2.empty() ? "" : v2[0].note) << " " << t.name;
+  }
+}
+
+TEST(Table1, DeterministicGeneration) {
+  const Table1Case a = table1_case(2);
+  const Table1Case b = table1_case(2);
+  const auto& ta = a.layout.traces().begin()->second;
+  const auto& tb = b.layout.traces().begin()->second;
+  ASSERT_EQ(ta.path.size(), tb.path.size());
+  EXPECT_DOUBLE_EQ(ta.length(), tb.length());
+  EXPECT_EQ(a.layout.obstacles().size(), b.layout.obstacles().size());
+}
+
+TEST(Table1, DifferentialCaseHasPairs) {
+  const Table1Case c = table1_case(5);
+  EXPECT_EQ(c.trace_type, "differential");
+  EXPECT_EQ(c.layout.pairs().size(), 4u);
+  for (const auto& [id, p] : c.layout.pairs()) {
+    // Sub-traces at the pair pitch along the straight prefix.
+    EXPECT_NEAR(p.positive.path[0].y - p.negative.path[0].y, p.pitch, 1e-9);
+  }
+}
+
+TEST(Table2, SweepParameters) {
+  for (int k = 1; k <= 6; ++k) {
+    const Table2Case c = table2_case(k);
+    EXPECT_NEAR(c.rules.gap, 2.5 + 0.5 * (k - 1), 1e-12);
+    EXPECT_DOUBLE_EQ(c.l_original, 66.0);
+    EXPECT_GT(c.area.holes.size(), 10u);
+  }
+  EXPECT_THROW(table2_case(0), std::out_of_range);
+  EXPECT_THROW(table2_case(7), std::out_of_range);
+}
+
+TEST(Table2, GeometryIdenticalAcrossCases) {
+  // Only the DRC changes; the dummy design is fixed.
+  const Table2Case a = table2_case(1);
+  const Table2Case b = table2_case(6);
+  ASSERT_EQ(a.area.holes.size(), b.area.holes.size());
+  for (std::size_t i = 0; i < a.area.holes.size(); ++i) {
+    EXPECT_TRUE(geom::almost_equal(a.area.holes[i].centroid(), b.area.holes[i].centroid()));
+  }
+}
+
+TEST(Table2, InitialTraceClean) {
+  const Table2Case c = table2_case(6);  // tightest rules
+  layout::DrcChecker checker;
+  std::vector<layout::Obstacle> obs;
+  for (const auto& h : c.area.holes) obs.push_back({h, "via"});
+  const auto v = checker.check_obstacles(c.trace, c.rules, obs);
+  EXPECT_TRUE(v.empty()) << (v.empty() ? "" : v[0].note);
+}
+
+TEST(DiffPairCases, DecoupledShapes) {
+  const DiffPairCase c = decoupled_pair_case();
+  EXPECT_EQ(c.rule_set.size(), 2u);
+  EXPECT_LT(c.rule_set[0], c.rule_set[1]);
+  EXPECT_GT(c.tiny_pattern_nodes, 0);
+  EXPECT_GT(c.pair.negative.path.size(), c.pair.positive.path.size());
+}
+
+TEST(DiffPairCases, CoupledControl) {
+  const DiffPairCase c = coupled_pair_case();
+  EXPECT_EQ(c.rule_set.size(), 1u);
+  EXPECT_NEAR(c.pair.positive.path[0].y - c.pair.negative.path[0].y, c.pair.pitch, 1e-9);
+}
+
+}  // namespace
+}  // namespace lmr::workload
