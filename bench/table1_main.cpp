@@ -1,28 +1,18 @@
 /// \file table1_main.cpp
 /// Regenerates Table I: overall length-matching performance on the five
 /// generated cases — Initial vs AiDT-style baseline vs Ours (DP + MSDTW).
-/// Prints measured Max/Avg error (Eq. 19) and runtime, with the paper's
-/// reported values alongside for shape comparison (see EXPERIMENTS.md).
+/// Both flows run through the `pipeline::Router` facade (baseline selection
+/// via `RouterOptions::engine`). Prints measured Max/Avg error (Eq. 19) and
+/// runtime, with the paper's reported values alongside for shape comparison
+/// (see EXPERIMENTS.md).
 
-#include <chrono>
 #include <cstdio>
-#include <vector>
 
-#include "baseline/aidt_style.hpp"
-#include "dtw/dtw.hpp"
-#include "dtw/median_trace.hpp"
-#include "dtw/pair_restore.hpp"
-#include "pipeline/group_matcher.hpp"
+#include "pipeline/router.hpp"
 #include "workload/metrics.hpp"
 #include "workload/table1_cases.hpp"
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double secs(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
 
 struct Row {
   int id;
@@ -35,53 +25,6 @@ struct Row {
   double t_aidt, t_ours;
 };
 
-/// Lengths of all group members (min sub-trace length for pairs).
-std::vector<double> member_lengths(const lmr::layout::Layout& l) {
-  std::vector<double> out;
-  for (const auto& m : l.groups()[0].members) {
-    if (m.kind == lmr::layout::MemberKind::SingleEnded) {
-      out.push_back(l.trace(m.id).length());
-    } else {
-      const auto& p = l.pair(m.id);
-      out.push_back(std::min(p.positive.path.length(), p.negative.path.length()));
-    }
-  }
-  return out;
-}
-
-/// The AiDT-style run: greedy fixed-geometry tuning per member. Pairs are
-/// handled the "common way" (§V-A): naive DTW median as a wide single-ended
-/// trace, tuned, then restored.
-double run_aidt(lmr::workload::Table1Case& c) {
-  const auto t0 = Clock::now();
-  for (const auto& m : c.layout.groups()[0].members) {
-    const auto* area = c.layout.routable_area(m.id);
-    const double target = c.layout.groups()[0].target_length;
-    if (m.kind == lmr::layout::MemberKind::SingleEnded) {
-      auto& trace = c.layout.trace(m.id);
-      lmr::baseline::AidtStyleTuner tuner(c.rules, *area);
-      tuner.tune(trace, target);
-    } else {
-      auto& pair = c.layout.pair(m.id);
-      const auto& pp = pair.positive.path.points();
-      const auto& nn = pair.negative.path.points();
-      const auto match = lmr::dtw::dtw_match(pp, nn);  // naive: no filtering
-      const auto mt = lmr::dtw::build_median_trace(pp, nn, match.pairs);
-      lmr::layout::Trace median;
-      median.path = mt.median;
-      median.width = 2.0 * pair.positive.width + pair.pitch;
-      lmr::drc::DesignRules vr = lmr::drc::virtual_pair_rules(c.rules, pair.pitch);
-      lmr::baseline::AidtStyleTuner tuner(vr, *area);
-      tuner.tune(median, target);
-      const auto restored =
-          lmr::dtw::restore_pair(median, pair.pitch, pair.positive.width);
-      pair.positive.path = restored.positive.path;
-      pair.negative.path = restored.negative.path;
-    }
-  }
-  return secs(t0);
-}
-
 Row run_case(int k) {
   Row row{};
   {
@@ -92,25 +35,33 @@ Row run_case(int k) {
     row.group_size = c.group_size;
     row.type = c.trace_type == "differential" ? "differential" : "single-ended";
     row.spacing = c.spacing == "dense" ? "dense" : "sparse";
-    row.initial = lmr::workload::matching_errors(member_lengths(c.layout), c.target);
+    row.initial = lmr::workload::matching_errors(
+        lmr::workload::group_member_lengths(c.layout), c.target);
+  }
+  {
+    // The AiDT-style run: greedy fixed-geometry tuning per member; pairs the
+    // "common way" (§V-A) — naive DTW median tuned as a wide trace, restored.
+    auto c = lmr::workload::table1_case(k);
+    lmr::pipeline::RouterOptions opts;
+    opts.engine = lmr::pipeline::Engine::AidtStyle;
+    opts.run_drc = false;  // Table I times the matching flow only
+    const lmr::pipeline::Router router(c.rules, opts);
+    row.t_aidt = router.route(c.layout).group.runtime_s;
+    row.aidt = lmr::workload::matching_errors(
+        lmr::workload::group_member_lengths(c.layout), c.target);
   }
   {
     auto c = lmr::workload::table1_case(k);
-    row.t_aidt = run_aidt(c);
-    row.aidt = lmr::workload::matching_errors(member_lengths(c.layout), c.target);
-  }
-  {
-    auto c = lmr::workload::table1_case(k);
-    lmr::pipeline::GroupMatcher gm(c.layout, c.rules);
-    lmr::core::ExtenderConfig cfg;
+    lmr::pipeline::RouterOptions opts;
     // Fine grid: quantized pattern widths stay within one step of the gap
     // rule, matching the baseline's constant width.
-    cfg.l_disc = 0.5;
-    cfg.max_width_steps = 24;
-    const auto t0 = Clock::now();
-    gm.match_group(0, cfg);
-    row.t_ours = secs(t0);
-    row.ours = lmr::workload::matching_errors(member_lengths(c.layout), c.target);
+    opts.extender.l_disc = 0.5;
+    opts.extender.max_width_steps = 24;
+    opts.run_drc = false;
+    const lmr::pipeline::Router router(c.rules, opts);
+    row.t_ours = router.route(c.layout).group.runtime_s;
+    row.ours = lmr::workload::matching_errors(
+        lmr::workload::group_member_lengths(c.layout), c.target);
   }
   return row;
 }

@@ -1,6 +1,8 @@
 /// \file quickstart.cpp
 /// Minimal lmroute usage: define rules, a trace and its routable area, and
-/// length-match it to a target. Prints before/after stats and writes an SVG.
+/// length-match it to a target with one `pipeline::Router::route()` call —
+/// the facade runs the whole paper flow (DP extension, Eq. 19 accounting,
+/// final DRC sweep). Prints before/after stats and writes an SVG.
 ///
 ///   ./quickstart [target_length]
 
@@ -8,8 +10,7 @@
 #include <cstdlib>
 #include <filesystem>
 
-#include "core/trace_extender.hpp"
-#include "layout/drc_checker.hpp"
+#include "pipeline/router.hpp"
 #include "viz/render.hpp"
 
 int main(int argc, char** argv) {
@@ -35,28 +36,41 @@ int main(int argc, char** argv) {
 
   const double target = argc > 1 ? std::atof(argv[1]) : 70.0;
 
-  // 4. Length-match.
-  lmr::core::TraceExtender extender(rules, area);
-  const lmr::core::ExtendStats stats = extender.extend(trace, target);
-
-  std::printf("trace '%s': %.3f -> %.3f (target %.3f, %s)\n", trace.name.c_str(),
-              stats.initial_length, stats.final_length, stats.target,
-              stats.reached ? "matched" : "NOT matched");
-  std::printf("patterns inserted: %d over %d segment extensions\n",
-              stats.patterns_inserted, stats.segments_processed);
-
-  // 5. Verify with the DRC oracle (always do this in production flows).
-  lmr::layout::DrcChecker checker;
-  const auto violations = checker.check_trace(trace, rules);
-  std::printf("DRC violations: %zu\n", violations.size());
-
-  // 6. Render.
-  std::filesystem::create_directories("out");
+  // 4. Assemble the layout: trace + area + a one-member matching group.
   lmr::layout::Layout l;
   const auto id = l.add_trace(trace);
   l.set_routable_area(id, area);
   for (const auto& h : area.holes) l.add_obstacle({h, "via"});
+  lmr::layout::MatchGroup group;
+  group.name = "quickstart";
+  group.target_length = target;
+  group.members.push_back({lmr::layout::MemberKind::SingleEnded, id});
+  l.add_group(group);
+
+  // 5. Length-match + DRC-verify in one call. The facade throws
+  //    std::invalid_argument for unroutable inputs (e.g. a target below the
+  //    current trace length).
+  const lmr::pipeline::Router router(rules);
+  lmr::pipeline::RouteResult result;
+  try {
+    result = router.route(l);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "routing failed: %s\n", e.what());
+    return 2;
+  }
+
+  const lmr::pipeline::NetResult& net = result.nets.front();
+  std::printf("trace '%s': %.3f -> %.3f (target %.3f, %s)\n",
+              net.member.name.c_str(), net.member.initial_length,
+              net.member.final_length, net.member.target,
+              net.member.reached ? "matched" : "NOT matched");
+  std::printf("patterns inserted: %d in %.3f s\n", net.member.patterns,
+              net.member.runtime_s);
+  std::printf("DRC violations: %zu\n", result.violation_count());
+
+  // 6. Render.
+  std::filesystem::create_directories("out");
   lmr::viz::render_layout(l, "out/quickstart.svg");
   std::printf("wrote out/quickstart.svg\n");
-  return violations.empty() && stats.reached ? 0 : 1;
+  return result.ok() ? 0 : 1;
 }

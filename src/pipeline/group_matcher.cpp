@@ -1,109 +1,14 @@
 #include "pipeline/group_matcher.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <stdexcept>
-
-#include "dtw/pair_restore.hpp"
-
 namespace lmr::pipeline {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-}  // namespace
 
 GroupReport GroupMatcher::match_group(std::size_t group_index,
                                       const core::ExtenderConfig& cfg) {
-  if (group_index >= layout_.groups().size()) {
-    throw std::out_of_range("GroupMatcher: bad group index");
-  }
-  const layout::MatchGroup& group = layout_.groups()[group_index];
-  GroupReport report;
-  report.group_name = group.name;
-  report.target = group.target_length;
-
-  const auto t_group = Clock::now();
-  for (std::size_t m = 0; m < group.members.size(); ++m) {
-    const layout::GroupMember& member = group.members[m];
-    const double target = group.target_for(m);
-    MemberReport mr;
-    mr.id = member.id;
-    mr.kind = member.kind;
-    mr.target = target;
-    const auto t0 = Clock::now();
-
-    const layout::RoutableArea* area = layout_.routable_area(member.id);
-    if (area == nullptr) {
-      throw std::invalid_argument("GroupMatcher: member has no routable area");
-    }
-
-    if (member.kind == layout::MemberKind::SingleEnded) {
-      layout::Trace& trace = layout_.trace(member.id);
-      mr.name = trace.name;
-      mr.initial_length = trace.length();
-      core::TraceExtender ext(rules_, *area);
-      const core::ExtendStats stats = ext.extend(trace, target, cfg);
-      mr.final_length = stats.final_length;
-      mr.reached = stats.reached;
-      mr.patterns = stats.patterns_inserted;
-    } else {
-      layout::DiffPair& pair = layout_.pair(member.id);
-      mr.name = pair.name;
-      mr.initial_length =
-          std::max(pair.positive.path.length(), pair.negative.path.length());
-
-      // Merge -> extend median under virtual rules -> restore -> compensate.
-      drc::DesignRules sub_rules = rules_;
-      sub_rules.trace_width = pair.positive.width;
-      dtw::MergedPair merged = dtw::merge_pair(pair, sub_rules, {pair.pitch});
-      // The median is shorter than the sub-traces by half the pair spread at
-      // corners; target the median so the *sub-traces* reach the group
-      // target (sub length ≈ median length + skipped detours).
-      const double median_target =
-          target - std::max(merged.skipped_p_length, merged.skipped_n_length);
-      core::TraceExtender ext(merged.virtual_rules, *area);
-      const core::ExtendStats stats =
-          ext.extend(merged.median, std::max(median_target, merged.median.length()), cfg);
-      layout::DiffPair restored =
-          dtw::restore_pair(merged.median, pair.pitch, pair.positive.width);
-      dtw::compensate_skew(restored, sub_rules);
-      restored.breakout_nodes = pair.breakout_nodes;
-      pair.positive.path = restored.positive.path;
-      pair.negative.path = restored.negative.path;
-
-      mr.final_length =
-          std::min(pair.positive.path.length(), pair.negative.path.length());
-      mr.reached = stats.reached;
-      mr.patterns = stats.patterns_inserted;
-    }
-    mr.runtime_s = seconds_since(t0);
-    report.members.push_back(mr);
-  }
-  report.runtime_s = seconds_since(t_group);
-
-  // Eq. 19 over final and initial lengths.
-  const auto errors = [&](bool initial) {
-    double max_e = 0.0, sum_e = 0.0;
-    for (const MemberReport& mr : report.members) {
-      const double len = initial ? mr.initial_length : mr.final_length;
-      const double e = mr.target > 0.0 ? (mr.target - len) / mr.target : 0.0;
-      max_e = std::max(max_e, e);
-      sum_e += e;
-    }
-    return std::pair{100.0 * max_e,
-                     report.members.empty()
-                         ? 0.0
-                         : 100.0 * sum_e / static_cast<double>(report.members.size())};
-  };
-  std::tie(report.initial_max_error_pct, report.initial_avg_error_pct) = errors(true);
-  std::tie(report.max_error_pct, report.avg_error_pct) = errors(false);
-  return report;
+  RouterOptions options;
+  options.extender = cfg;
+  options.run_drc = false;  // callers of the shim run their own oracle
+  Router router(rules_, options);
+  return router.route(layout_, group_index).group;
 }
 
 }  // namespace lmr::pipeline

@@ -10,44 +10,20 @@
 ///    restored (offset ± pitch/2) with tiny-pattern skew compensation.
 /// Results are written back into the layout and reported with the Eq. 19
 /// error metrics per member.
+///
+/// This class is a thin compatibility shim over `pipeline::Router`, which
+/// owns the flow (plus DRC sweep, baseline selection and threading) — new
+/// code should use the Router facade directly. `MemberReport` / `GroupReport`
+/// live in router.hpp and are re-exported here.
 
-#include <string>
-#include <vector>
+#include <cstddef>
 
 #include "core/trace_extender.hpp"
 #include "drc/rules.hpp"
 #include "layout/layout.hpp"
+#include "pipeline/router.hpp"
 
 namespace lmr::pipeline {
-
-/// Per-member outcome.
-struct MemberReport {
-  layout::TraceId id = 0;
-  layout::MemberKind kind = layout::MemberKind::SingleEnded;
-  std::string name;
-  double initial_length = 0.0;
-  double final_length = 0.0;
-  double target = 0.0;
-  double runtime_s = 0.0;
-  bool reached = false;
-  int patterns = 0;
-
-  [[nodiscard]] double error_fraction() const {
-    return target > 0.0 ? (target - final_length) / target : 0.0;
-  }
-};
-
-/// Per-group outcome with the paper's error metrics (Eq. 19).
-struct GroupReport {
-  std::string group_name;
-  double target = 0.0;
-  double max_error_pct = 0.0;
-  double avg_error_pct = 0.0;
-  double initial_max_error_pct = 0.0;
-  double initial_avg_error_pct = 0.0;
-  double runtime_s = 0.0;
-  std::vector<MemberReport> members;
-};
 
 /// Drives matching of the groups in a layout.
 class GroupMatcher {

@@ -1,0 +1,298 @@
+#include "pipeline/router.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "baseline/aidt_style.hpp"
+#include "dtw/dtw.hpp"
+#include "dtw/median_trace.hpp"
+#include "dtw/pair_restore.hpp"
+
+namespace lmr::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One net's inputs, copied out of the layout so that workers never touch
+/// shared state: extension runs entirely on this private copy.
+struct MemberWork {
+  layout::GroupMember member;
+  double target = 0.0;
+  const layout::RoutableArea* area = nullptr;
+  layout::Trace trace;    ///< single-ended members
+  layout::DiffPair pair;  ///< differential members
+};
+
+void route_single_ended(const drc::DesignRules& rules, const RouterOptions& opts,
+                        MemberWork& w, MemberReport& mr) {
+  mr.name = w.trace.name;
+  mr.initial_length = w.trace.length();
+  if (opts.engine == Engine::AidtStyle) {
+    baseline::AidtStyleTuner tuner(rules, *w.area);
+    const baseline::AidtStats stats = tuner.tune(w.trace, w.target);
+    mr.final_length = stats.final_length;
+    mr.reached = stats.reached;
+  } else {
+    core::TraceExtender ext(rules, *w.area);
+    const core::ExtendStats stats = ext.extend(w.trace, w.target, opts.extender);
+    mr.final_length = stats.final_length;
+    mr.reached = stats.reached;
+    mr.patterns = stats.patterns_inserted;
+  }
+}
+
+void route_pair(const drc::DesignRules& rules, const RouterOptions& opts,
+                MemberWork& w, MemberReport& mr) {
+  layout::DiffPair& pair = w.pair;
+  mr.name = pair.name;
+  mr.initial_length =
+      std::max(pair.positive.path.length(), pair.negative.path.length());
+
+  if (opts.engine == Engine::AidtStyle) {
+    // The "common way" of §V-A: naive DTW median (no filtering) tuned as one
+    // wide trace under the virtual rules, restored without skew
+    // compensation.
+    const auto& pp = pair.positive.path.points();
+    const auto& nn = pair.negative.path.points();
+    const dtw::DtwResult match = dtw::dtw_match(pp, nn);
+    const dtw::MedianTrace mt = dtw::build_median_trace(pp, nn, match.pairs);
+    layout::Trace median;
+    median.path = mt.median;
+    median.width = 2.0 * pair.positive.width + pair.pitch;
+    const drc::DesignRules vr = drc::virtual_pair_rules(rules, pair.pitch);
+    baseline::AidtStyleTuner tuner(vr, *w.area);
+    const baseline::AidtStats stats = tuner.tune(median, w.target);
+    const layout::DiffPair restored =
+        dtw::restore_pair(median, pair.pitch, pair.positive.width);
+    pair.positive.path = restored.positive.path;
+    pair.negative.path = restored.negative.path;
+    mr.reached = stats.reached;
+  } else {
+    // Merge -> extend median under virtual rules -> restore -> compensate.
+    drc::DesignRules sub_rules = rules;
+    sub_rules.trace_width = pair.positive.width;
+    dtw::MergedPair merged = dtw::merge_pair(pair, sub_rules, {pair.pitch});
+    // The median is shorter than the sub-traces by half the pair spread at
+    // corners; target the median so the *sub-traces* reach the group target
+    // (sub length ≈ median length + skipped detours).
+    const double median_target =
+        w.target - std::max(merged.skipped_p_length, merged.skipped_n_length);
+    core::TraceExtender ext(merged.virtual_rules, *w.area);
+    const core::ExtendStats stats = ext.extend(
+        merged.median, std::max(median_target, merged.median.length()), opts.extender);
+    layout::DiffPair restored =
+        dtw::restore_pair(merged.median, pair.pitch, pair.positive.width);
+    dtw::compensate_skew(restored, sub_rules);
+    pair.positive.path = restored.positive.path;
+    pair.negative.path = restored.negative.path;
+    mr.reached = stats.reached;
+    mr.patterns = stats.patterns_inserted;
+  }
+  mr.final_length =
+      std::min(pair.positive.path.length(), pair.negative.path.length());
+}
+
+MemberReport route_member(const drc::DesignRules& rules, const RouterOptions& opts,
+                          MemberWork& w) {
+  MemberReport mr;
+  mr.id = w.member.id;
+  mr.kind = w.member.kind;
+  mr.target = w.target;
+  const auto t0 = Clock::now();
+  if (w.member.kind == layout::MemberKind::SingleEnded) {
+    route_single_ended(rules, opts, w, mr);
+  } else {
+    route_pair(rules, opts, w, mr);
+  }
+  mr.runtime_s = seconds_since(t0);
+  return mr;
+}
+
+void append(std::vector<layout::Violation>& out, std::vector<layout::Violation> v) {
+  out.insert(out.end(), std::make_move_iterator(v.begin()),
+             std::make_move_iterator(v.end()));
+}
+
+}  // namespace
+
+bool RouteResult::matched() const {
+  return std::all_of(group.members.begin(), group.members.end(),
+                     [](const MemberReport& m) { return m.reached; });
+}
+
+bool RouteResult::drc_clean() const { return violation_count() == 0; }
+
+std::size_t RouteResult::violation_count() const {
+  std::size_t n = cross_violations.size();
+  for (const NetResult& net : nets) n += net.violations.size();
+  return n;
+}
+
+Router::Router(drc::DesignRules rules, RouterOptions options)
+    : rules_(rules), options_(std::move(options)) {
+  rules_.validate();
+}
+
+RouteResult Router::route(layout::Layout& layout, std::size_t group_index) const {
+  return run(layout, group_index, 1);
+}
+
+RouteResult Router::route_batch(layout::Layout& layout, std::size_t group_index) const {
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return run(layout, group_index, threads);
+}
+
+RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
+                        std::size_t threads) const {
+  if (group_index >= layout.groups().size()) {
+    throw std::out_of_range("Router: bad group index");
+  }
+  const layout::MatchGroup& group = layout.groups()[group_index];
+  const auto t_run = Clock::now();
+
+  // Stage inputs: validate and snapshot every member before any extension
+  // starts, so a bad member aborts the run with the layout untouched.
+  std::vector<MemberWork> work;
+  work.reserve(group.members.size());
+  for (std::size_t m = 0; m < group.members.size(); ++m) {
+    MemberWork w;
+    w.member = group.members[m];
+    w.target = group.target_for(m);
+    w.area = layout.routable_area(w.member.id);
+    if (w.area == nullptr) {
+      throw std::invalid_argument("Router: member has no routable area");
+    }
+    if (w.member.kind == layout::MemberKind::SingleEnded) {
+      w.trace = layout.trace(w.member.id);
+    } else {
+      w.pair = layout.pair(w.member.id);
+    }
+    work.push_back(std::move(w));
+  }
+
+  // Extend. Workers claim the next unrouted net; each result lands at its
+  // member index, so the outcome is independent of scheduling order.
+  std::vector<MemberReport> reports(work.size());
+  const std::size_t n_workers = std::min(std::max<std::size_t>(threads, 1), work.size());
+  if (n_workers <= 1) {
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      reports[i] = route_member(rules_, options_, work[i]);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::future<void>> workers;
+    workers.reserve(n_workers);
+    for (std::size_t t = 0; t < n_workers; ++t) {
+      workers.push_back(std::async(std::launch::async, [&] {
+        for (std::size_t i = next.fetch_add(1); i < work.size();
+             i = next.fetch_add(1)) {
+          reports[i] = route_member(rules_, options_, work[i]);
+        }
+      }));
+    }
+    for (auto& f : workers) f.get();  // rethrows worker exceptions
+  }
+
+  // Write results back in member order.
+  for (const MemberWork& w : work) {
+    if (w.member.kind == layout::MemberKind::SingleEnded) {
+      layout.trace(w.member.id).path = w.trace.path;
+    } else {
+      layout::DiffPair& pair = layout.pair(w.member.id);
+      pair.positive.path = w.pair.positive.path;
+      pair.negative.path = w.pair.negative.path;
+    }
+  }
+
+  RouteResult result;
+  result.group.group_name = group.name;
+  result.group.target = group.target_length;
+  result.group.members = std::move(reports);
+  result.group.runtime_s = seconds_since(t_run);
+
+  // Eq. 19 over final and initial lengths.
+  const auto errors = [&](bool initial) {
+    double max_e = 0.0, sum_e = 0.0;
+    for (const MemberReport& mr : result.group.members) {
+      const double len = initial ? mr.initial_length : mr.final_length;
+      const double e = mr.target > 0.0 ? (mr.target - len) / mr.target : 0.0;
+      max_e = std::max(max_e, e);
+      sum_e += e;
+    }
+    const auto n = static_cast<double>(result.group.members.size());
+    return std::pair{100.0 * max_e,
+                     result.group.members.empty() ? 0.0 : 100.0 * sum_e / n};
+  };
+  std::tie(result.group.initial_max_error_pct, result.group.initial_avg_error_pct) =
+      errors(true);
+  std::tie(result.group.max_error_pct, result.group.avg_error_pct) = errors(false);
+
+  // Final oracle sweep: per-net rules, then clearance across members.
+  if (options_.run_drc) {
+    const layout::DrcChecker checker(options_.drc);
+    // All traces of one member, with the width-adjusted rules they obey.
+    struct NetTrace {
+      const layout::Trace* trace;
+      drc::DesignRules rules;
+    };
+    const auto net_traces = [&](const MemberWork& w) {
+      std::vector<NetTrace> out;
+      if (w.member.kind == layout::MemberKind::SingleEnded) {
+        out.push_back({&layout.trace(w.member.id), rules_});
+      } else {
+        const layout::DiffPair& pair = layout.pair(w.member.id);
+        drc::DesignRules sub_rules = rules_;
+        sub_rules.trace_width = pair.positive.width;
+        out.push_back({&pair.positive, sub_rules});
+        out.push_back({&pair.negative, sub_rules});
+      }
+      return out;
+    };
+    std::vector<std::vector<NetTrace>> traces_by_member;
+    traces_by_member.reserve(work.size());
+    for (const MemberWork& w : work) traces_by_member.push_back(net_traces(w));
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      NetResult net;
+      net.member = result.group.members[i];
+      for (const NetTrace& nt : traces_by_member[i]) {
+        append(net.violations, checker.check_trace(*nt.trace, nt.rules));
+        append(net.violations,
+               checker.check_obstacles(*nt.trace, nt.rules, layout.obstacles()));
+        append(net.violations, checker.check_containment(*nt.trace, *work[i].area));
+      }
+      result.nets.push_back(std::move(net));
+    }
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      for (std::size_t j = i + 1; j < work.size(); ++j) {
+        for (const NetTrace& a : traces_by_member[i]) {
+          for (const NetTrace& b : traces_by_member[j]) {
+            append(result.cross_violations,
+                   checker.check_trace_pair(*a.trace, *b.trace, rules_));
+          }
+        }
+      }
+    }
+  } else {
+    for (const MemberReport& mr : result.group.members) {
+      result.nets.push_back({mr, {}});
+    }
+  }
+
+  result.runtime_s = seconds_since(t_run);
+  return result;
+}
+
+}  // namespace lmr::pipeline

@@ -1,0 +1,127 @@
+#pragma once
+/// \file router.hpp
+/// One-call facade over the paper's full length-matching flow (Fig. 2).
+///
+/// `Router` wires together everything callers previously had to hand-wire
+/// (as `bench/table1_main.cpp` once did): per-trace URA extraction and
+/// segment DP extension (core/trace_extender), MSDTW median merging and
+/// pair restoration for differential members (dtw/*), group-level Eq. 19
+/// error accounting, and the final DRC oracle sweep (layout/drc_checker).
+///
+/// One `route()` call length-matches a group of a layout and returns
+/// per-net diagnostics; `route_batch()` runs the same flow with independent
+/// nets extended on worker threads. Both produce identical results by
+/// construction: every net is extended on a private copy of its geometry
+/// (nets of one group own disjoint routable areas, so they are independent)
+/// and written back in member order.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/trace_extender.hpp"
+#include "drc/rules.hpp"
+#include "layout/drc_checker.hpp"
+#include "layout/layout.hpp"
+
+namespace lmr::pipeline {
+
+/// Extension engine selection.
+enum class Engine {
+  DpMsdtw,    ///< the paper's flow: segment DP + MSDTW medians (default)
+  AidtStyle,  ///< greedy fixed-geometry baseline (the Table I comparator)
+};
+
+/// Per-member outcome.
+struct MemberReport {
+  layout::TraceId id = 0;
+  layout::MemberKind kind = layout::MemberKind::SingleEnded;
+  std::string name;
+  double initial_length = 0.0;
+  double final_length = 0.0;
+  double target = 0.0;
+  double runtime_s = 0.0;
+  bool reached = false;
+  int patterns = 0;
+
+  [[nodiscard]] double error_fraction() const {
+    return target > 0.0 ? (target - final_length) / target : 0.0;
+  }
+};
+
+/// Per-group outcome with the paper's error metrics (Eq. 19).
+struct GroupReport {
+  std::string group_name;
+  double target = 0.0;
+  double max_error_pct = 0.0;
+  double avg_error_pct = 0.0;
+  double initial_max_error_pct = 0.0;
+  double initial_avg_error_pct = 0.0;
+  double runtime_s = 0.0;
+  std::vector<MemberReport> members;
+};
+
+/// Facade knobs.
+struct RouterOptions {
+  core::ExtenderConfig extender;   ///< DP iteration caps, tolerance, grid
+  Engine engine = Engine::DpMsdtw; ///< baseline selection
+  bool run_drc = true;             ///< final oracle sweep after matching
+  layout::DrcCheckOptions drc;     ///< oracle tolerances
+  std::size_t threads = 0;         ///< route_batch workers; 0 = hardware
+};
+
+/// Per-net diagnostics: the matching report plus this net's oracle verdict.
+struct NetResult {
+  MemberReport member;
+  /// Violations involving only this net (self rules, obstacle clearance,
+  /// area containment; both sub-traces for a differential member).
+  std::vector<layout::Violation> violations;
+
+  [[nodiscard]] bool drc_clean() const { return violations.empty(); }
+};
+
+/// Whole-run outcome of `route()` / `route_batch()`.
+struct RouteResult {
+  GroupReport group;            ///< Eq. 19 error metrics + member reports
+  std::vector<NetResult> nets;  ///< one entry per group member
+  /// Clearance violations between traces of *different* members.
+  std::vector<layout::Violation> cross_violations;
+  double runtime_s = 0.0;
+
+  [[nodiscard]] bool matched() const;
+  [[nodiscard]] bool drc_clean() const;
+  [[nodiscard]] std::size_t violation_count() const;
+  [[nodiscard]] bool ok() const { return matched() && drc_clean(); }
+};
+
+/// The end-to-end facade. Construct once with the design rules, then route
+/// as many layouts as needed (the Router itself is immutable and
+/// thread-compatible: concurrent `route()` calls on distinct layouts are
+/// safe).
+class Router {
+ public:
+  /// Throws std::invalid_argument on inconsistent rules.
+  explicit Router(drc::DesignRules rules, RouterOptions options = {});
+
+  /// Match group `group_index` of `layout` sequentially. Throws
+  /// std::out_of_range on a bad index and std::invalid_argument when a
+  /// member lacks a routable area.
+  RouteResult route(layout::Layout& layout, std::size_t group_index = 0) const;
+
+  /// Same flow with independent nets extended across `options.threads`
+  /// worker threads (the first scale lever). Bit-identical trace geometry
+  /// to `route()`; only the timing fields differ.
+  RouteResult route_batch(layout::Layout& layout, std::size_t group_index = 0) const;
+
+  [[nodiscard]] const drc::DesignRules& rules() const { return rules_; }
+  [[nodiscard]] const RouterOptions& options() const { return options_; }
+
+ private:
+  RouteResult run(layout::Layout& layout, std::size_t group_index,
+                  std::size_t threads) const;
+
+  drc::DesignRules rules_;
+  RouterOptions options_;
+};
+
+}  // namespace lmr::pipeline

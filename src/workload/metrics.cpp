@@ -23,4 +23,18 @@ double extension_upper_bound_pct(double original, double extended) {
   return 100.0 * (extended - original) / original;
 }
 
+std::vector<double> group_member_lengths(const layout::Layout& l,
+                                         std::size_t group_index) {
+  std::vector<double> out;
+  for (const auto& m : l.groups().at(group_index).members) {
+    if (m.kind == layout::MemberKind::SingleEnded) {
+      out.push_back(l.trace(m.id).length());
+    } else {
+      const auto& p = l.pair(m.id);
+      out.push_back(std::min(p.positive.path.length(), p.negative.path.length()));
+    }
+  }
+  return out;
+}
+
 }  // namespace lmr::workload

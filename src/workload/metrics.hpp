@@ -2,7 +2,11 @@
 /// \file metrics.hpp
 /// The evaluation metrics of §VI (Eqs. 19 and 20).
 
+#include <cstddef>
 #include <span>
+#include <vector>
+
+#include "layout/layout.hpp"
 
 namespace lmr::workload {
 
@@ -17,5 +21,11 @@ struct ErrorStats {
 
 /// Extension upper bound (Eq. 20), in percent.
 [[nodiscard]] double extension_upper_bound_pct(double original, double extended);
+
+/// Lengths of all members of group `group_index` in member order (for pairs:
+/// the min sub-trace length, the paper's conservative reading). Feed into
+/// `matching_errors` to evaluate a layout before/after matching.
+[[nodiscard]] std::vector<double> group_member_lengths(const layout::Layout& l,
+                                                       std::size_t group_index = 0);
 
 }  // namespace lmr::workload

@@ -105,7 +105,9 @@ TEST(FixedTrack, NoEnclosureOfObstacles) {
   // baseline cannot produce any point beyond 2.0 - effective clearance
   // in that window).
   for (const auto& p : t.path.points()) {
-    if (p.x > 13.9 && p.x < 16.1) EXPECT_LT(p.y, 2.01);
+    if (p.x > 13.9 && p.x < 16.1) {
+      EXPECT_LT(p.y, 2.01);
+    }
   }
   expect_clean(t, area);
 }

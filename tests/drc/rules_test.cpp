@@ -88,8 +88,8 @@ TEST(Quantize, WidthFoldedIntoGapSteps) {
 
 TEST(Quantize, RejectsNonPositiveStep) {
   DesignRules r;
-  EXPECT_THROW(quantize(r, 0.0), std::invalid_argument);
-  EXPECT_THROW(quantize(r, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)quantize(r, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)quantize(r, -1.0), std::invalid_argument);
 }
 
 TEST(VirtualPairRules, WidthCarriesBand) {

@@ -49,7 +49,9 @@ TEST(Dtw, ManyToOneAtCornerCluster) {
   for (bool b : n_seen) EXPECT_TRUE(b);
   // The cluster nodes 1..3 of P all match N node 1.
   for (const MatchPair& m : r.pairs) {
-    if (m.ip >= 1 && m.ip <= 3) EXPECT_EQ(m.in, 1u);
+    if (m.ip >= 1 && m.ip <= 3) {
+      EXPECT_EQ(m.in, 1u);
+    }
   }
 }
 

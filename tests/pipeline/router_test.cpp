@@ -1,0 +1,179 @@
+#include "pipeline/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "workload/metrics.hpp"
+#include "workload/table1_cases.hpp"
+
+namespace lmr::pipeline {
+namespace {
+
+/// The bench configuration of Table I ("Ours"): fine grid, capped width loop.
+RouterOptions table1_options() {
+  RouterOptions opts;
+  opts.extender.l_disc = 0.5;
+  opts.extender.max_width_steps = 24;
+  return opts;
+}
+
+/// Three staggered single-ended traces in private corridors, target 50.
+layout::Layout small_group(drc::DesignRules& rules) {
+  layout::Layout l;
+  layout::MatchGroup g;
+  g.name = "g0";
+  g.target_length = 50.0;
+  for (int i = 0; i < 3; ++i) {
+    layout::Trace t;
+    t.name = "t" + std::to_string(i);
+    const double y = i * 10.0;
+    t.path = geom::Polyline{{{0, y}, {30.0 + i * 3.0, y}}};
+    const auto id = l.add_trace(t);
+    layout::RoutableArea area;
+    area.outline = geom::Polygon::rect({{-1, y - 4.5}, {41, y + 4.5}});
+    l.set_routable_area(id, area);
+    g.members.push_back({layout::MemberKind::SingleEnded, id});
+  }
+  l.add_group(g);
+  rules = drc::DesignRules{};
+  rules.gap = 1.0;
+  rules.obs = 0.5;
+  rules.protect = 0.5;
+  return l;
+}
+
+TEST(Router, BadGroupIndexThrows) {
+  layout::Layout l;
+  const Router router{drc::DesignRules{}};
+  EXPECT_THROW((void)router.route(l, 0), std::out_of_range);
+}
+
+TEST(Router, MissingAreaThrows) {
+  layout::Layout l;
+  layout::Trace t;
+  t.path = geom::Polyline{{{0, 0}, {10, 0}}};
+  const auto id = l.add_trace(t);
+  layout::MatchGroup g;
+  g.target_length = 20.0;
+  g.members.push_back({layout::MemberKind::SingleEnded, id});
+  l.add_group(g);
+  const Router router{drc::DesignRules{}};
+  EXPECT_THROW((void)router.route(l), std::invalid_argument);
+}
+
+TEST(Router, SmallGroupMatchesAndPassesDrc) {
+  drc::DesignRules rules;
+  layout::Layout l = small_group(rules);
+  const Router router{rules};
+  const RouteResult res = router.route(l);
+
+  ASSERT_EQ(res.nets.size(), 3u);
+  EXPECT_TRUE(res.matched());
+  EXPECT_TRUE(res.drc_clean());
+  EXPECT_TRUE(res.ok());
+  EXPECT_LT(res.group.max_error_pct, 0.1);
+  EXPECT_GT(res.group.initial_max_error_pct, 30.0);
+  for (const NetResult& net : res.nets) {
+    EXPECT_FALSE(net.member.name.empty());
+    EXPECT_TRUE(net.member.reached) << net.member.name;
+    EXPECT_NEAR(net.member.final_length, 50.0, 1e-4);
+    EXPECT_TRUE(net.drc_clean()) << net.member.name;
+    EXPECT_GT(net.member.patterns, 0);
+  }
+}
+
+TEST(Router, Table1CaseEndToEnd) {
+  // A full Table I dense single-ended case through the one-call facade:
+  // errors collapse from the ~30 % initial band to the paper's few-percent
+  // band and the oracle sweep stays clean.
+  auto c = workload::table1_case(3);
+  const Router router(c.rules, table1_options());
+  const RouteResult res = router.route(c.layout);
+
+  ASSERT_EQ(res.nets.size(), static_cast<std::size_t>(c.group_size));
+  EXPECT_GT(res.group.initial_max_error_pct, 25.0);
+  EXPECT_LT(res.group.max_error_pct, 5.0);
+  EXPECT_TRUE(res.drc_clean());
+  // The facade's write-back must agree with the layout's own lengths.
+  const auto lengths = workload::group_member_lengths(c.layout);
+  ASSERT_EQ(lengths.size(), res.nets.size());
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    EXPECT_DOUBLE_EQ(lengths[i], res.nets[i].member.final_length);
+  }
+}
+
+TEST(Router, DifferentialCaseDiagnostics) {
+  auto c = workload::table1_case(5);
+  const Router router(c.rules, table1_options());
+  const RouteResult res = router.route(c.layout);
+
+  ASSERT_EQ(res.nets.size(), static_cast<std::size_t>(c.group_size));
+  for (const NetResult& net : res.nets) {
+    EXPECT_EQ(net.member.kind, layout::MemberKind::Differential);
+    EXPECT_GE(net.member.final_length, net.member.initial_length);
+  }
+  EXPECT_LT(res.group.max_error_pct, res.group.initial_max_error_pct / 2.0);
+}
+
+TEST(Router, AidtBaselineSelection) {
+  auto c = workload::table1_case(2);
+  RouterOptions opts;
+  opts.engine = Engine::AidtStyle;
+  opts.run_drc = false;
+  const Router router(c.rules, opts);
+  const RouteResult res = router.route(c.layout);
+  // The greedy baseline improves on the initial state but (on dense cases)
+  // stays behind the DP flow's few-percent band.
+  EXPECT_LT(res.group.max_error_pct, res.group.initial_max_error_pct);
+  EXPECT_GT(res.group.max_error_pct, 0.0);
+  EXPECT_TRUE(res.nets[0].violations.empty());  // run_drc=false: no sweep ran
+}
+
+/// route_batch must be bit-identical to route() on every trace, whatever the
+/// thread count.
+TEST(Router, BatchIdenticalSingleVsMultiThreaded) {
+  for (const int case_id : {1, 5}) {
+    auto sequential = workload::table1_case(case_id);
+    auto threaded = workload::table1_case(case_id);
+
+    RouterOptions opts = table1_options();
+    opts.threads = 1;
+    const RouteResult res_seq =
+        Router(sequential.rules, opts).route_batch(sequential.layout);
+    opts.threads = 8;
+    const RouteResult res_par =
+        Router(threaded.rules, opts).route_batch(threaded.layout);
+
+    ASSERT_EQ(res_seq.nets.size(), res_par.nets.size());
+    for (std::size_t i = 0; i < res_seq.nets.size(); ++i) {
+      EXPECT_DOUBLE_EQ(res_seq.nets[i].member.final_length,
+                       res_par.nets[i].member.final_length);
+      EXPECT_EQ(res_seq.nets[i].member.patterns, res_par.nets[i].member.patterns);
+      EXPECT_EQ(res_seq.nets[i].violations.size(), res_par.nets[i].violations.size());
+    }
+    EXPECT_DOUBLE_EQ(res_seq.group.max_error_pct, res_par.group.max_error_pct);
+    // Geometry identical point for point.
+    for (const auto& [id, t] : sequential.layout.traces()) {
+      const auto& other = threaded.layout.trace(id).path.points();
+      const auto& mine = t.path.points();
+      ASSERT_EQ(mine.size(), other.size());
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        EXPECT_EQ(mine[i].x, other[i].x);
+        EXPECT_EQ(mine[i].y, other[i].y);
+      }
+    }
+    for (const auto& [id, p] : sequential.layout.pairs()) {
+      EXPECT_EQ(p.positive.path.points().size(),
+                threaded.layout.pair(id).positive.path.points().size());
+      EXPECT_DOUBLE_EQ(p.positive.path.length(),
+                       threaded.layout.pair(id).positive.path.length());
+      EXPECT_DOUBLE_EQ(p.negative.path.length(),
+                       threaded.layout.pair(id).negative.path.length());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lmr::pipeline
