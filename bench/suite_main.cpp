@@ -1,0 +1,100 @@
+/// \file suite_main.cpp
+/// `bench_suite` — run the scenario-family benchmark suite and write the
+/// tracked results file (see EXPERIMENTS.md "Benchmark suite").
+///
+///   bench_suite [--smoke] [--out PATH] [--family NAME]... [--threads N]
+///               [--no-drc] [--list]
+///
+/// Exit code 0 when every case is ok (matched where expected, DRC-clean).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_harness/report.hpp"
+#include "bench_harness/suite.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--smoke] [--out PATH] [--family NAME]... [--threads N] [--no-drc] "
+      "[--list]\n"
+      "  --smoke        tiny per-family variants (CI-sized seeds)\n"
+      "  --out PATH     results file (default BENCH_results.json)\n"
+      "  --family NAME  run only this family (repeatable; default all)\n"
+      "  --threads N    route_batch workers (default hardware)\n"
+      "  --no-drc       skip the final oracle sweep\n"
+      "  --list         print family names and exit\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lmr::bench::SuiteOptions opts;
+  std::string out_path = "BENCH_results.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      opts.smoke = true;
+    } else if (arg == "--no-drc") {
+      opts.run_drc = false;
+    } else if (arg == "--list") {
+      for (const std::string& name : lmr::scenario::family_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--family" && i + 1 < argc) {
+      opts.families.emplace_back(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opts.threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const lmr::bench::Suite suite(opts);
+  lmr::bench::SuiteResult result;
+  try {
+    result = suite.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "suite failed: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("%-16s %-24s %-5s %-8s %-8s %-8s %-6s %-5s %-8s\n", "family", "scenario",
+              "seed", "MaxIni%", "Max%", "Avg%", "drc", "ok", "t[s]");
+  for (const lmr::bench::CaseOutcome& c : result.cases) {
+    double max_ini = 0.0, max_e = 0.0, avg_sum = 0.0;
+    std::size_t members = 0, viol = 0;
+    for (const lmr::bench::GroupOutcome& g : c.groups) {
+      max_ini = std::max(max_ini, g.initial_max_error_pct);
+      max_e = std::max(max_e, g.max_error_pct);
+      avg_sum += g.avg_error_pct * static_cast<double>(g.members);
+      members += g.members;
+      viol += g.net_violations + g.cross_violations;
+    }
+    const double avg_e = members > 0 ? avg_sum / static_cast<double>(members) : 0.0;
+    std::printf("%-16s %-24s %-5llu %-8.2f %-8.2f %-8.2f %-6zu %-5s %-8.2f\n",
+                c.family.c_str(), c.scenario.c_str(),
+                static_cast<unsigned long long>(c.seed), max_ini, max_e, avg_e, viol,
+                c.ok() ? "yes" : "NO", c.runtime_s);
+  }
+  std::printf("total: %zu cases in %.2f s\n", result.cases.size(), result.runtime_s);
+
+  const int write_rc =
+      lmr::bench::write_results_file(out_path, lmr::bench::Suite::to_json(result, opts));
+  if (write_rc != 0) return write_rc;
+  return result.all_ok() ? 0 : 1;
+}

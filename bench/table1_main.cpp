@@ -4,10 +4,16 @@
 /// Both flows run through the `pipeline::Router` facade (baseline selection
 /// via `RouterOptions::engine`). Prints measured Max/Avg error (Eq. 19) and
 /// runtime, with the paper's reported values alongside for shape comparison
-/// (see EXPERIMENTS.md).
+/// (see EXPERIMENTS.md), and writes the measurements through the harness
+/// writer:
+///
+///   bench_table1 [--json PATH]     (default BENCH_table1.json)
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "bench_harness/report.hpp"
 #include "pipeline/router.hpp"
 #include "workload/metrics.hpp"
 #include "workload/table1_cases.hpp"
@@ -68,7 +74,16 @@ Row run_case(int k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_table1.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
   std::printf("Table I: length-matching performance (AiDT-style baseline vs Ours)\n");
   std::printf(
       "%-4s %-8s %-5s %-4s %-13s %-7s | %-7s %-7s %-7s | %-7s %-7s %-7s | %-8s %-8s\n",
@@ -83,6 +98,7 @@ int main() {
       {30.99, 22.25, 5.46, 17.22, 9.85, 1.83, 0.72, 2.86},
       {26.55, 10.21, 10.30, 15.18, 5.14, 3.32, 5.07, 3.22},
   };
+  lmr::bench::Json cases = lmr::bench::Json::array();
   for (int k = 1; k <= 5; ++k) {
     const Row r = run_case(k);
     std::printf(
@@ -96,6 +112,27 @@ int main() {
         "     (paper: Max %5.2f / %5.2f / %5.2f   Avg %5.2f / %5.2f / %5.2f   t %4.2f / "
         "%4.2f)\n",
         p[0], p[1], p[2], p[3], p[4], p[5], p[6], p[7]);
+
+    lmr::bench::Json jc = lmr::bench::Json::object();
+    jc["case"] = static_cast<std::int64_t>(r.id);
+    jc["target"] = r.target;
+    jc["group_size"] = static_cast<std::int64_t>(r.group_size);
+    jc["type"] = r.type;
+    jc["spacing"] = r.spacing;
+    jc["initial_max_error_pct"] = r.initial.max_error_pct;
+    jc["initial_avg_error_pct"] = r.initial.avg_error_pct;
+    jc["aidt_max_error_pct"] = r.aidt.max_error_pct;
+    jc["aidt_avg_error_pct"] = r.aidt.avg_error_pct;
+    jc["ours_max_error_pct"] = r.ours.max_error_pct;
+    jc["ours_avg_error_pct"] = r.ours.avg_error_pct;
+    jc["aidt_runtime_s"] = r.t_aidt;
+    jc["ours_runtime_s"] = r.t_ours;
+    cases.push_back(std::move(jc));
   }
-  return 0;
+
+  lmr::bench::Json doc = lmr::bench::Json::object();
+  doc["schema"] = "lmroute-bench-table1/v1";
+  doc["run"] = lmr::bench::run_info_json(lmr::bench::collect_run_info());
+  doc["cases"] = std::move(cases);
+  return lmr::bench::write_results_file(json_path, doc);
 }

@@ -1,25 +1,43 @@
 /// \file table2_main.cpp
 /// Regenerates Table II: extension upper bound (Eq. 20) with vs without DP
-/// on the dummy dense-via design while d_gap tightens from 2.5 to 5.0.
+/// on the dummy dense-via design while d_gap tightens from 2.5 to 5.0, and
+/// writes the measurements through the harness writer:
+///
+///   bench_table2 [--json PATH]     (default BENCH_table2.json)
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "baseline/fixed_track.hpp"
+#include "bench_harness/report.hpp"
 #include "core/trace_extender.hpp"
 #include "workload/metrics.hpp"
 #include "workload/table2_cases.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_table2.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("Table II: extension upper bound with and without DP\n");
   std::printf("%-4s %-5s %-7s %-14s | %-10s %-12s | %-10s %-12s\n", "case", "dgap",
               "wtrace", "lorig/dgap", "withDP(%)", "paper", "noDP(%)", "paper");
   const double paper_with[6] = {879.30, 718.79, 581.42, 481.14, 428.33, 327.41};
   const double paper_without[6] = {845.80, 742.16, 345.62, 229.79, 177.92, 80.20};
 
+  lmr::bench::Json cases = lmr::bench::Json::array();
   for (int k = 1; k <= 6; ++k) {
     double with_dp = 0.0, without_dp = 0.0;
     double ratio = 0.0, dgap = 0.0, wtrace = 0.0;
+    double t_with = 0.0, t_without = 0.0;
     {
       auto c = lmr::workload::table2_case(k);
       dgap = c.rules.gap;
@@ -28,7 +46,9 @@ int main() {
       lmr::core::TraceExtender ext(c.rules, c.area);
       lmr::core::ExtenderConfig cfg;
       cfg.max_width_steps = 24;
+      const auto t0 = std::chrono::steady_clock::now();
       ext.maximize(c.trace, cfg);
+      t_with = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
       with_dp = lmr::workload::extension_upper_bound_pct(c.l_original,
                                                          c.trace.path.length());
     }
@@ -39,13 +59,32 @@ int main() {
       // Gridded safety tracks at the d_protect grid (the paper's "fixed
       // routing tracks"); pattern width stays at the constant default.
       cfg.track_pitch = c.rules.protect;
+      const auto t0 = std::chrono::steady_clock::now();
       base.maximize(c.trace, cfg);
+      t_without =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
       without_dp = lmr::workload::extension_upper_bound_pct(c.l_original,
                                                             c.trace.path.length());
     }
     std::printf("%-4d %-5.2f %-7.2f %-14.2f | %-10.2f %-12.2f | %-10.2f %-12.2f\n", k,
                 dgap, wtrace, ratio, with_dp, paper_with[k - 1], without_dp,
                 paper_without[k - 1]);
+
+    lmr::bench::Json jc = lmr::bench::Json::object();
+    jc["case"] = static_cast<std::int64_t>(k);
+    jc["dgap"] = dgap;
+    jc["trace_width"] = wtrace;
+    jc["lorig_over_dgap"] = ratio;
+    jc["with_dp_pct"] = with_dp;
+    jc["without_dp_pct"] = without_dp;
+    jc["with_dp_runtime_s"] = t_with;
+    jc["without_dp_runtime_s"] = t_without;
+    cases.push_back(std::move(jc));
   }
-  return 0;
+
+  lmr::bench::Json doc = lmr::bench::Json::object();
+  doc["schema"] = "lmroute-bench-table2/v1";
+  doc["run"] = lmr::bench::run_info_json(lmr::bench::collect_run_info());
+  doc["cases"] = std::move(cases);
+  return lmr::bench::write_results_file(json_path, doc);
 }

@@ -1,0 +1,347 @@
+#include "bench_harness/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace lmr::bench {
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_double(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; the harness never produces them, but a defensive
+    // null beats emitting an unparseable token.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);
+  std::string_view sv{buf, static_cast<std::size_t>(res.ptr - buf)};
+  out.append(sv);
+  // Keep doubles distinguishable from ints on re-parse (round-trip types).
+  if (sv.find('.') == std::string_view::npos && sv.find('e') == std::string_view::npos &&
+      sv.find("inf") == std::string_view::npos) {
+    out += ".0";
+  }
+}
+
+/// Recursive-descent parser over a string view with offset-tagged errors.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at byte " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json{parse_string()};
+      case 't':
+        if (consume_literal("true")) return Json{true};
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json{false};
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json{nullptr};
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.members().emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.items().push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // BMP-only UTF-8 encoding; the harness never emits surrogates.
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string_view tok{s_.data() + start, pos_ - start};
+    if (tok.empty() || tok == "-") fail("bad number");
+    const bool floating = tok.find('.') != std::string_view::npos ||
+                          tok.find('e') != std::string_view::npos ||
+                          tok.find('E') != std::string_view::npos;
+    if (!floating) {
+      std::int64_t i = 0;
+      const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (res.ec == std::errc{} && res.ptr == tok.data() + tok.size()) return Json{i};
+    }
+    double d = 0.0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size()) fail("bad number");
+    return Json{d};
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::int64_t Json::checked_int64(std::uint64_t i) {
+  if (i > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+    throw std::overflow_error("Json: unsigned value exceeds int64 range");
+  }
+  return static_cast<std::int64_t>(i);
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) v_ = Object{};
+  Object& obj = std::get<Object>(v_);
+  for (Member& m : obj) {
+    if (m.first == key) return m.second;
+  }
+  obj.emplace_back(key, Json{});
+  return obj.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& m : std::get<Object>(v_)) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+void Json::erase(const std::string& key) {
+  if (!is_object()) return;
+  Object& obj = std::get<Object>(v_);
+  for (auto it = obj.begin(); it != obj.end(); ++it) {
+    if (it->first == key) {
+      obj.erase(it);
+      return;
+    }
+  }
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) v_ = Array{};
+  std::get<Array>(v_).push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return std::get<Array>(v_).size();
+  if (is_object()) return std::get<Object>(v_).size();
+  return 0;
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  const auto pad = [&](int depth) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+  };
+  const auto rec = [&](const auto& self, const Json& v, int depth) -> void {
+    if (v.is_null()) {
+      out += "null";
+    } else if (v.is_bool()) {
+      out += v.as_bool() ? "true" : "false";
+    } else if (v.is_int()) {
+      out += std::to_string(v.as_int());
+    } else if (v.is_double()) {
+      dump_double(std::get<double>(v.v_), out);
+    } else if (v.is_string()) {
+      dump_string(v.as_string(), out);
+    } else if (v.is_array()) {
+      const Array& a = v.items();
+      if (a.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        pad(depth + 1);
+        self(self, a[i], depth + 1);
+      }
+      pad(depth);
+      out.push_back(']');
+    } else {
+      const Object& o = v.members();
+      if (o.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        pad(depth + 1);
+        dump_string(o[i].first, out);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        self(self, o[i].second, depth + 1);
+      }
+      pad(depth);
+      out.push_back('}');
+    }
+  };
+  rec(rec, *this, 0);
+  return out;
+}
+
+Json Json::parse(const std::string& text) { return Parser{text}.parse_document(); }
+
+}  // namespace lmr::bench

@@ -1,0 +1,103 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON value model for the benchmark harness.
+///
+/// Design constraints that rule out an off-the-shelf library:
+///  * objects preserve insertion order, so a dump is deterministic and
+///    `BENCH_results.json` diffs stay readable across runs;
+///  * doubles serialize via std::to_chars (shortest round-trip form), so the
+///    same metric value always produces the same bytes — the reproducibility
+///    contract of the suite ("bit-identical modulo timing fields") rests on
+///    this;
+///  * a parser is included so tests can assert round-trip fidelity and tools
+///    can post-process tracked results without another dependency.
+///
+/// The model is deliberately small: null, bool, int64, double, string,
+/// array, ordered object. Everything the harness writes fits these.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace lmr::bench {
+
+/// One JSON value. Copyable; object member order is insertion order.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(std::int64_t i) : v_(i) {}
+  /// Throws std::overflow_error above INT64_MAX: silently wrapping to a
+  /// negative number would corrupt round-tripped values (e.g. the
+  /// `(spec, seed)` pairs tracked results are regenerated from).
+  Json(std::uint64_t i) : v_(checked_int64(i)) {}
+  Json(double d) : v_(d) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  static Json object() { return Json{Object{}}; }
+  static Json array() { return Json{Array{}}; }
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors; throw std::bad_variant_access on mismatch.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  /// Numeric read that accepts both int and double storage.
+  [[nodiscard]] double as_double() const {
+    return is_int() ? static_cast<double>(std::get<std::int64_t>(v_)) : std::get<double>(v_);
+  }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(v_); }
+  [[nodiscard]] const Array& items() const { return std::get<Array>(v_); }
+  [[nodiscard]] Array& items() { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& members() const { return std::get<Object>(v_); }
+  [[nodiscard]] Object& members() { return std::get<Object>(v_); }
+
+  /// Object access: returns the member, inserting a null member (and
+  /// converting a null value into an object) when absent.
+  Json& operator[](const std::string& key);
+  /// Lookup without insertion; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Remove an object member if present; no-op otherwise.
+  void erase(const std::string& key);
+
+  /// Array append (converts a null value into an array).
+  void push_back(Json v);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serialize. indent = 0 is compact one-line; indent > 0 pretty-prints
+  /// with that many spaces per level. Key order is insertion order, so the
+  /// output is deterministic for deterministically built values.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document. Throws std::runtime_error (with a byte
+  /// offset in the message) on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& o) const = default;
+
+ private:
+  static std::int64_t checked_int64(std::uint64_t i);
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object> v_;
+};
+
+}  // namespace lmr::bench

@@ -1,0 +1,53 @@
+#pragma once
+/// \file report.hpp
+/// Result-file conventions of the benchmark harness.
+///
+/// Every tracked result document follows two rules that make regression
+/// diffing mechanical:
+///  * all machine-dependent context lives under the top-level `"run"`
+///    object (host, OS, compiler, thread count, timestamp);
+///  * every volatile measurement key ends in `"_s"` (seconds).
+/// `strip_volatile` removes exactly those, so two runs with the same seeds
+/// must produce byte-identical stripped dumps — the reproducibility check
+/// CI and the unit tests perform.
+
+#include <string>
+
+#include "bench_harness/json.hpp"
+
+namespace lmr::bench {
+
+/// Machine / build context recorded with every result file.
+struct RunInfo {
+  std::string host;
+  std::string os;
+  std::string compiler;
+  std::string build_type;
+  std::string timestamp_utc;  ///< ISO-8601, collection time
+  int hardware_threads = 0;
+};
+
+/// Collect the current machine's context.
+[[nodiscard]] RunInfo collect_run_info();
+
+/// `run` object for a result document.
+[[nodiscard]] Json run_info_json(const RunInfo& info);
+
+/// Deep copy with the `"run"` object and every `*_s`-suffixed member
+/// removed — the deterministic view of a result document.
+[[nodiscard]] Json strip_volatile(const Json& doc);
+
+/// Write `doc` (pretty-printed, trailing newline) to `path`. Throws
+/// std::runtime_error when the file cannot be written.
+void write_json_file(const std::string& path, const Json& doc);
+
+/// Bench-main epilogue: write `doc` to `path`, print "wrote PATH" on
+/// stdout, report failures on stderr. Returns a process exit code (0 ok,
+/// 2 on write failure) so mains can `return write_results_file(...)`.
+[[nodiscard]] int write_results_file(const std::string& path, const Json& doc);
+
+/// Read and parse a JSON document from `path`. Throws std::runtime_error on
+/// I/O or parse failure.
+[[nodiscard]] Json read_json_file(const std::string& path);
+
+}  // namespace lmr::bench

@@ -1,0 +1,212 @@
+#include "bench_harness/suite.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "bench_harness/report.hpp"
+
+namespace lmr::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+Json spec_json(const scenario::ScenarioSpec& s) {
+  Json j = Json::object();
+  j["corridor_length"] = s.corridor_length;
+  j["band_height"] = s.band_height;
+  j["corridor_angle_deg"] = s.corridor_angle_deg;
+  j["groups"] = static_cast<std::int64_t>(s.groups);
+  j["members_per_group"] = static_cast<std::int64_t>(s.members_per_group);
+  j["diff_fraction"] = s.diff_fraction;
+  j["pair_pitch"] = s.pair_pitch;
+  j["dra_sections"] = static_cast<std::int64_t>(s.dra_sections);
+  j["vias_per_band"] = static_cast<std::int64_t>(s.vias_per_band);
+  j["target_fraction"] = s.target_fraction;
+  Json rules = Json::object();
+  rules["gap"] = s.rules.gap;
+  rules["obs"] = s.rules.obs;
+  rules["protect"] = s.rules.protect;
+  rules["miter"] = s.rules.miter;
+  rules["trace_width"] = s.rules.trace_width;
+  j["rules"] = std::move(rules);
+  return j;
+}
+
+Json group_json(const GroupOutcome& g) {
+  Json j = Json::object();
+  j["group"] = g.group;
+  j["target"] = g.target;
+  j["members"] = static_cast<std::int64_t>(g.members);
+  j["initial_max_error_pct"] = g.initial_max_error_pct;
+  j["initial_avg_error_pct"] = g.initial_avg_error_pct;
+  j["max_error_pct"] = g.max_error_pct;
+  j["avg_error_pct"] = g.avg_error_pct;
+  j["matched"] = g.matched;
+  j["patterns"] = static_cast<std::int64_t>(g.patterns);
+  j["net_violations"] = static_cast<std::int64_t>(g.net_violations);
+  j["cross_violations"] = static_cast<std::int64_t>(g.cross_violations);
+  j["runtime_s"] = g.runtime_s;
+  j["drc_runtime_s"] = g.drc_runtime_s;
+  return j;
+}
+
+std::vector<scenario::Family> selected_families(const SuiteOptions& opts) {
+  if (opts.families.empty()) return scenario::standard_families(opts.smoke);
+  std::vector<scenario::Family> families;
+  for (const std::string& name : opts.families) {
+    families.push_back(scenario::family(name, opts.smoke));
+  }
+  return families;
+}
+
+}  // namespace
+
+bool CaseOutcome::matched() const {
+  return std::all_of(groups.begin(), groups.end(),
+                     [](const GroupOutcome& g) { return g.matched; });
+}
+
+bool CaseOutcome::drc_clean() const {
+  return std::all_of(groups.begin(), groups.end(), [](const GroupOutcome& g) {
+    return g.net_violations == 0 && g.cross_violations == 0;
+  });
+}
+
+double CaseOutcome::worst_error_pct() const {
+  double worst = 0.0;
+  for (const GroupOutcome& g : groups) worst = std::max(worst, g.max_error_pct);
+  return worst;
+}
+
+bool SuiteResult::all_ok() const {
+  return std::all_of(cases.begin(), cases.end(),
+                     [](const CaseOutcome& c) { return c.ok(); });
+}
+
+Suite::Suite(SuiteOptions opts) : opts_(std::move(opts)) {}
+
+SuiteResult Suite::run() const {
+  SuiteResult result;
+  const auto t_suite = Clock::now();
+
+  for (const scenario::Family& fam : selected_families(opts_)) {
+    for (const scenario::FamilyCase& fc : fam.cases) {
+      const auto t_case = Clock::now();
+      scenario::Scenario sc = scenario::materialize(fc);
+
+      CaseOutcome outcome;
+      outcome.family = fam.name;
+      outcome.scenario = sc.spec.name;
+      outcome.seed = sc.seed;
+      outcome.max_error_gate_pct = fam.max_error_gate_pct;
+      outcome.expect_drc_clean = fc.expect_drc_clean;
+      outcome.traces = sc.layout.traces().size();
+      outcome.pairs = sc.layout.pairs().size();
+      outcome.obstacles = sc.layout.obstacles().size();
+
+      pipeline::RouterOptions ropts = opts_.router;
+      ropts.threads = opts_.threads;
+      ropts.run_drc = opts_.run_drc;
+      if (sc.spec.extender_tolerance > 0.0) {
+        ropts.extender.tolerance = sc.spec.extender_tolerance;
+      }
+      if (sc.pair_rule_set.size() > 1) ropts.pair_rule_set = sc.pair_rule_set;
+      const pipeline::Router router(sc.rules, ropts);
+
+      for (std::size_t g = 0; g < sc.layout.groups().size(); ++g) {
+        const pipeline::RouteResult rr = router.route_batch(sc.layout, g);
+        GroupOutcome go;
+        go.group = rr.group.group_name;
+        go.target = rr.group.target;
+        go.initial_max_error_pct = rr.group.initial_max_error_pct;
+        go.initial_avg_error_pct = rr.group.initial_avg_error_pct;
+        go.max_error_pct = rr.group.max_error_pct;
+        go.avg_error_pct = rr.group.avg_error_pct;
+        go.matched = rr.matched();
+        go.members = rr.group.members.size();
+        for (const pipeline::MemberReport& mr : rr.group.members) go.patterns += mr.patterns;
+        for (const pipeline::NetResult& net : rr.nets) {
+          go.net_violations += net.violations.size();
+        }
+        go.cross_violations = rr.cross_violations.size();
+        go.runtime_s = rr.runtime_s;
+        go.drc_runtime_s = rr.drc_runtime_s;
+        outcome.groups.push_back(std::move(go));
+      }
+      outcome.runtime_s = seconds_since(t_case);
+      result.cases.push_back(std::move(outcome));
+    }
+  }
+  result.runtime_s = seconds_since(t_suite);
+  return result;
+}
+
+Json Suite::to_json(const SuiteResult& result, const SuiteOptions& opts) {
+  Json doc = Json::object();
+  doc["schema"] = kSchema;
+  doc["run"] = run_info_json(collect_run_info());
+
+  Json jopts = Json::object();
+  jopts["smoke"] = opts.smoke;
+  jopts["run_drc"] = opts.run_drc;
+  jopts["l_disc"] = opts.router.extender.l_disc;
+  jopts["max_width_steps"] = static_cast<std::int64_t>(opts.router.extender.max_width_steps);
+  doc["options"] = std::move(jopts);
+
+  // Group cases by family, preserving run order.
+  Json jfams = Json::array();
+  for (std::size_t i = 0; i < result.cases.size();) {
+    const std::string& fam = result.cases[i].family;
+    Json jf = Json::object();
+    jf["family"] = fam;
+    Json jcases = Json::array();
+    for (; i < result.cases.size() && result.cases[i].family == fam; ++i) {
+      const CaseOutcome& c = result.cases[i];
+      Json jc = Json::object();
+      jc["scenario"] = c.scenario;
+      jc["seed"] = Json{c.seed};  // checked: throws above INT64_MAX
+      jc["max_error_gate_pct"] = c.max_error_gate_pct;
+      jc["expect_drc_clean"] = c.expect_drc_clean;
+      jc["traces"] = static_cast<std::int64_t>(c.traces);
+      jc["pairs"] = static_cast<std::int64_t>(c.pairs);
+      jc["obstacles"] = static_cast<std::int64_t>(c.obstacles);
+      jc["ok"] = c.ok();
+      Json jgroups = Json::array();
+      for (const GroupOutcome& g : c.groups) jgroups.push_back(group_json(g));
+      jc["groups"] = std::move(jgroups);
+      jc["runtime_s"] = c.runtime_s;
+      jcases.push_back(std::move(jc));
+    }
+    jf["cases"] = std::move(jcases);
+    jfams.push_back(std::move(jf));
+  }
+  doc["families"] = std::move(jfams);
+  doc["runtime_s"] = result.runtime_s;
+
+  // Self-description of the generated workloads: one entry per case that
+  // actually ran, so `(spec, seed)` pairs in the file regenerate the boards.
+  Json jspecs = Json::array();
+  for (const scenario::Family& fam : selected_families(opts)) {
+    for (const scenario::FamilyCase& fc : fam.cases) {
+      Json js = Json::object();
+      js["family"] = fam.name;
+      js["scenario"] = fc.spec.name;
+      js["seed"] = Json{fc.seed};  // checked: throws above INT64_MAX
+      if (fc.table1_case > 0) {
+        js["table1_case"] = static_cast<std::int64_t>(fc.table1_case);
+      } else {
+        js["spec"] = spec_json(fc.spec);
+      }
+      jspecs.push_back(std::move(js));
+    }
+  }
+  doc["specs"] = std::move(jspecs);
+  return doc;
+}
+
+}  // namespace lmr::bench

@@ -1,0 +1,107 @@
+#pragma once
+/// \file suite.hpp
+/// Benchmark-suite runner: scenario families -> Router -> tracked JSON.
+///
+/// `Suite::run()` materializes every case of the selected scenario
+/// families, drives `pipeline::Router::route_batch()` over every matching
+/// group, and collects the paper's Eq. 19 quality metrics, runtimes and DRC
+/// verdicts. `to_json` serializes the outcome under the report conventions
+/// of report.hpp, so `BENCH_results.json` can be committed and re-generated
+/// bit-identically (modulo `"run"` and `*_s` timing fields) from the same
+/// seeds.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_harness/json.hpp"
+#include "pipeline/router.hpp"
+#include "scenario/scenario_families.hpp"
+
+namespace lmr::bench {
+
+/// Runner configuration.
+struct SuiteOptions {
+  bool smoke = false;                  ///< tiny variants of every family
+  std::vector<std::string> families;   ///< empty = all standard families
+  std::size_t threads = 0;             ///< route_batch workers; 0 = hardware
+  bool run_drc = true;                 ///< final oracle sweep per group
+  pipeline::RouterOptions router;      ///< engine/extender base options
+
+  SuiteOptions() {
+    // The Table I bench configuration: fine grid, capped width loop.
+    router.extender.l_disc = 0.5;
+    router.extender.max_width_steps = 24;
+  }
+};
+
+/// One routed group's outcome.
+struct GroupOutcome {
+  std::string group;
+  double target = 0.0;
+  double initial_max_error_pct = 0.0;
+  double initial_avg_error_pct = 0.0;
+  double max_error_pct = 0.0;
+  double avg_error_pct = 0.0;
+  bool matched = false;
+  std::size_t members = 0;
+  int patterns = 0;                    ///< total inserted patterns
+  std::size_t net_violations = 0;      ///< per-net oracle violations
+  std::size_t cross_violations = 0;    ///< cross-member clearance violations
+  double runtime_s = 0.0;
+  double drc_runtime_s = 0.0;          ///< oracle-sweep share of runtime_s
+};
+
+/// One scenario's outcome.
+struct CaseOutcome {
+  std::string family;
+  std::string scenario;
+  std::uint64_t seed = 0;
+  double max_error_gate_pct = 0.0;  ///< family pass ceiling; <= 0 = no gate
+  bool expect_drc_clean = true;
+  std::size_t traces = 0;
+  std::size_t pairs = 0;
+  std::size_t obstacles = 0;
+  std::vector<GroupOutcome> groups;
+  double runtime_s = 0.0;
+
+  [[nodiscard]] bool matched() const;
+  [[nodiscard]] bool drc_clean() const;
+  [[nodiscard]] double worst_error_pct() const;
+  /// Under the family's error gate, and DRC-clean where expected.
+  [[nodiscard]] bool ok() const {
+    if (expect_drc_clean && !drc_clean()) return false;
+    return max_error_gate_pct <= 0.0 || worst_error_pct() <= max_error_gate_pct;
+  }
+};
+
+/// Whole-suite outcome.
+struct SuiteResult {
+  std::vector<CaseOutcome> cases;
+  double runtime_s = 0.0;
+
+  [[nodiscard]] bool all_ok() const;
+};
+
+/// The runner. Construct with options, `run()` as often as needed.
+class Suite {
+ public:
+  explicit Suite(SuiteOptions opts = {});
+
+  /// Run the selected families. Throws std::out_of_range on an unknown
+  /// family name.
+  [[nodiscard]] SuiteResult run() const;
+
+  /// Full result document (schema + run info + options + cases).
+  [[nodiscard]] static Json to_json(const SuiteResult& result, const SuiteOptions& opts);
+
+  [[nodiscard]] const SuiteOptions& options() const { return opts_; }
+
+  /// Document schema id written into every result file.
+  static constexpr const char* kSchema = "lmroute-bench-suite/v1";
+
+ private:
+  SuiteOptions opts_;
+};
+
+}  // namespace lmr::bench

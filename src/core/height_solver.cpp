@@ -162,6 +162,24 @@ double HeightSolver::max_height(double x0, double x1, double h_request) const {
   }
   if (cand.empty()) return b.pattern_height();
 
+  // Solid polygons that straddle the base line inside the border are
+  // invisible to the node-based shrinking below: their sub-base nodes fail
+  // `strictly_inside` and a side edge that coincides with the border crosses
+  // it only collinearly, so neither Eq. 12 nor the side rule fires. The one
+  // producer of such polygons is the untrimmed URA of an adjacent segment
+  // shorter than `half` (self_uras keeps its far end protected, so the URA
+  // reaches across the joint). Any pattern on this span would rise straight
+  // through it — the exhaustive oracle rejects every such height, so the
+  // fast path must too.
+  for (std::size_t idx : cand) {
+    const LocalPoly& lp = polys_[idx];
+    if (lp.kind == EnvKind::AreaOutline) continue;
+    if (lp.bbox.lo.y < -kStrict && lp.bbox.hi.y > kStrict &&
+        lp.bbox.lo.x < outer.hi.x - kStrict && lp.bbox.hi.x > outer.lo.x + kStrict) {
+      return 0.0;
+    }
+  }
+
   b.hob = shrink_by_sides(b, cand);
   if (b.hob <= half_) return 0.0;
   b.hob = shrink_by_nodes(b, cand);

@@ -77,7 +77,10 @@ double compensate_skew(layout::DiffPair& pair, const drc::DesignRules& sub_rules
       best = i;
     }
   }
-  const double w = 2.0 * sub_rules.protect;
+  // Pattern legs are same-side parallel runs, so the hat width must meet
+  // the gap rule as well as d_protect — the same minimum-width constraint
+  // the segment DP enforces for its patterns.
+  const double w = std::max(2.0 * sub_rules.protect, sub_rules.effective_gap());
   if (best_len < w + 2.0 * sub_rules.protect) return skew;  // no room
 
   const geom::Segment seg = path.segment(best);

@@ -1,0 +1,39 @@
+#pragma once
+/// \file clearance_sweep.hpp
+/// Indexed cross-net clearance sweep.
+///
+/// The naive TraceGap check compares every segment of every trace against
+/// every segment of every other trace — O(m² s²) for m traces of s segments,
+/// the dominant DRC cost on large matching groups. This sweep reuses the
+/// paper's 2-D range tree (§IV-D): sample points along every segment go into
+/// one tree, each segment queries a window inflated by the worst-case gap,
+/// and only the surviving candidate pairs pay an exact distance check.
+/// Output is the naive loop's violation set, deterministically ordered by
+/// (trace index, other trace index, segment, other segment).
+
+#include <cstdint>
+#include <vector>
+
+#include "drc/rules.hpp"
+#include "layout/drc_checker.hpp"
+#include "layout/trace.hpp"
+
+namespace lmr::layout {
+
+/// One trace participating in the sweep. Traces with equal `net` are never
+/// checked against each other (sub-traces of one differential member, or
+/// one matching-group member's geometry).
+struct SweepTrace {
+  const Trace* trace = nullptr;
+  std::uint32_t net = 0;
+};
+
+/// All TraceGap violations between traces of different nets — the same set
+/// `DrcChecker::check_trace_pair` finds over every (i, j) input pair with
+/// `net_i < net_j`. Runs in O(S log² S + k) for S total segments instead of
+/// O(S²).
+[[nodiscard]] std::vector<Violation> cross_clearance_sweep(
+    const std::vector<SweepTrace>& traces, const drc::DesignRules& rules,
+    const DrcCheckOptions& opts = {});
+
+}  // namespace lmr::layout

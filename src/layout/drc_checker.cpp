@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geom/distance.hpp"
+#include "layout/clearance_sweep.hpp"
 
 namespace lmr::layout {
 
@@ -181,11 +182,14 @@ std::vector<Violation> DrcChecker::check_layout(const Layout& layout,
       append(check_containment(t, *area));
     }
   }
-  for (auto it = layout.traces().begin(); it != layout.traces().end(); ++it) {
-    for (auto jt = std::next(it); jt != layout.traces().end(); ++jt) {
-      append(check_trace_pair(it->second, jt->second, rules));
-    }
+  // Pairwise clearance via the indexed sweep (each trace is its own net).
+  std::vector<SweepTrace> sweep;
+  std::uint32_t net = 0;
+  for (const auto& [id, t] : layout.traces()) {
+    (void)id;
+    sweep.push_back({&t, net++});
   }
+  append(cross_clearance_sweep(sweep, rules, opts_));
   return out;
 }
 

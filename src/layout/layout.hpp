@@ -38,6 +38,7 @@ class Layout {
     return obstacles_.size() - 1;
   }
   [[nodiscard]] const std::vector<Obstacle>& obstacles() const { return obstacles_; }
+  [[nodiscard]] std::vector<Obstacle>& obstacles() { return obstacles_; }
 
   // --- traces / pairs ---
   TraceId add_trace(Trace t);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <stdexcept>
 #include <thread>
@@ -12,6 +13,7 @@
 #include "dtw/dtw.hpp"
 #include "dtw/median_trace.hpp"
 #include "dtw/pair_restore.hpp"
+#include "layout/clearance_sweep.hpp"
 
 namespace lmr::pipeline {
 
@@ -81,7 +83,9 @@ void route_pair(const drc::DesignRules& rules, const RouterOptions& opts,
     // Merge -> extend median under virtual rules -> restore -> compensate.
     drc::DesignRules sub_rules = rules;
     sub_rules.trace_width = pair.positive.width;
-    dtw::MergedPair merged = dtw::merge_pair(pair, sub_rules, {pair.pitch});
+    dtw::MergedPair merged = dtw::merge_pair(
+        pair, sub_rules,
+        opts.pair_rule_set.empty() ? std::vector<double>{pair.pitch} : opts.pair_rule_set);
     // The median is shorter than the sub-traces by half the pair spread at
     // corners; target the median so the *sub-traces* reach the group target
     // (sub length ≈ median length + skipped detours).
@@ -92,6 +96,13 @@ void route_pair(const drc::DesignRules& rules, const RouterOptions& opts,
         merged.median, std::max(median_target, merged.median.length()), opts.extender);
     layout::DiffPair restored =
         dtw::restore_pair(merged.median, pair.pitch, pair.positive.width);
+    // Restoration keeps the median's base nodes where meander legs cross the
+    // pair axis; after the +/- pitch/2 offset those collinear splits can
+    // leave sub-d_protect half-segments that the oracle would flag as stubs.
+    // They carry no geometry, so drop them — before skew compensation, whose
+    // host-segment search needs the un-fragmented straight runs.
+    restored.positive.path.simplify(1e-9);
+    restored.negative.path.simplify(1e-9);
     dtw::compensate_skew(restored, sub_rules);
     pair.positive.path = restored.positive.path;
     pair.negative.path = restored.negative.path;
@@ -223,12 +234,14 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
   result.group.members = std::move(reports);
   result.group.runtime_s = seconds_since(t_run);
 
-  // Eq. 19 over final and initial lengths.
+  // Eq. 19 over final and initial lengths, on error magnitudes (overshoot
+  // counts like undershoot — same convention as workload::matching_errors;
+  // not shared code because members may carry individual targets here).
   const auto errors = [&](bool initial) {
     double max_e = 0.0, sum_e = 0.0;
     for (const MemberReport& mr : result.group.members) {
       const double len = initial ? mr.initial_length : mr.final_length;
-      const double e = mr.target > 0.0 ? (mr.target - len) / mr.target : 0.0;
+      const double e = mr.target > 0.0 ? std::abs(mr.target - len) / mr.target : 0.0;
       max_e = std::max(max_e, e);
       sum_e += e;
     }
@@ -242,6 +255,7 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
 
   // Final oracle sweep: per-net rules, then clearance across members.
   if (options_.run_drc) {
+    const auto t_drc = Clock::now();
     const layout::DrcChecker checker(options_.drc);
     // All traces of one member, with the width-adjusted rules they obey.
     struct NetTrace {
@@ -275,16 +289,17 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
       }
       result.nets.push_back(std::move(net));
     }
-    for (std::size_t i = 0; i < work.size(); ++i) {
-      for (std::size_t j = i + 1; j < work.size(); ++j) {
-        for (const NetTrace& a : traces_by_member[i]) {
-          for (const NetTrace& b : traces_by_member[j]) {
-            append(result.cross_violations,
-                   checker.check_trace_pair(*a.trace, *b.trace, rules_));
-          }
-        }
+    // Cross-member clearance through the range-tree sweep: one indexed pass
+    // over all S segments instead of the all-pairs O(m² s²) loop.
+    std::vector<layout::SweepTrace> sweep;
+    for (std::size_t i = 0; i < traces_by_member.size(); ++i) {
+      for (const NetTrace& nt : traces_by_member[i]) {
+        sweep.push_back({nt.trace, static_cast<std::uint32_t>(i)});
       }
     }
+    append(result.cross_violations,
+           layout::cross_clearance_sweep(sweep, rules_, options_.drc));
+    result.drc_runtime_s = seconds_since(t_drc);
   } else {
     for (const MemberReport& mr : result.group.members) {
       result.nets.push_back({mr, {}});

@@ -68,6 +68,10 @@ struct RouterOptions {
   bool run_drc = true;             ///< final oracle sweep after matching
   layout::DrcCheckOptions drc;     ///< oracle tolerances
   std::size_t threads = 0;         ///< route_batch workers; 0 = hardware
+  /// Ascending MSDTW distance-rule set for differential members (Alg. 3's
+  /// R) when a pair crosses several Design Rule Areas; empty means the
+  /// single-DRA default {pair.pitch}.
+  std::vector<double> pair_rule_set;
 };
 
 /// Per-net diagnostics: the matching report plus this net's oracle verdict.
@@ -87,6 +91,7 @@ struct RouteResult {
   /// Clearance violations between traces of *different* members.
   std::vector<layout::Violation> cross_violations;
   double runtime_s = 0.0;
+  double drc_runtime_s = 0.0;   ///< share of runtime_s spent in the oracle sweep
 
   [[nodiscard]] bool matched() const;
   [[nodiscard]] bool drc_clean() const;

@@ -1,0 +1,49 @@
+#pragma once
+/// \file scenario_generator.hpp
+/// Seeded, deterministic board synthesizer.
+///
+/// Turns a `ScenarioSpec` + seed into a complete `layout::Layout` far beyond
+/// the hand-coded workload tables: multi-group boards, mixed single-ended +
+/// differential groups, multi-DRA pair corridors (stepwise pitch/corridor
+/// widening that forces MSDTW's multi-scale rounds), randomized
+/// obstacle-density corridors, any-direction rotation and saturated
+/// corridors. All randomness flows through the portable generators in
+/// `workload/synth.hpp`, so a `(spec, seed)` pair reproduces the identical
+/// layout on every platform.
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout.hpp"
+#include "scenario/scenario_spec.hpp"
+
+namespace lmr::scenario {
+
+/// One generated board, ready for `pipeline::Router`.
+struct Scenario {
+  ScenarioSpec spec;
+  std::uint64_t seed = 0;
+  drc::DesignRules rules;          ///< copy of spec.rules (router input)
+  layout::Layout layout;           ///< groups + traces/pairs + areas + obstacles
+  /// Ascending MSDTW distance-rule set for differential members: one rule
+  /// per DRA section ({pitch} for single-DRA boards).
+  std::vector<double> pair_rule_set;
+};
+
+/// Stateless synthesizer; `generate` may be called concurrently.
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(ScenarioSpec spec);
+
+  /// Build the board for `seed`. Deterministic: byte-identical geometry for
+  /// equal (spec, seed). Throws std::invalid_argument on a degenerate spec
+  /// (no members, non-positive corridor).
+  [[nodiscard]] Scenario generate(std::uint64_t seed) const;
+
+  [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
+
+ private:
+  ScenarioSpec spec_;
+};
+
+}  // namespace lmr::scenario

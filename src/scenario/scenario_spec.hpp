@@ -1,0 +1,62 @@
+#pragma once
+/// \file scenario_spec.hpp
+/// Parameter bundle for the seeded board synthesizer.
+///
+/// A `(ScenarioSpec, seed)` pair fully determines a generated board: the
+/// spec carries every structural knob, the seed drives the (portable,
+/// implementation-independent) random stream for obstacle placement and
+/// initial-length staggering. The same pair always reproduces the same
+/// `layout::Layout` byte for byte — the contract the determinism tests and
+/// the tracked benchmark results depend on.
+
+#include <string>
+
+#include "drc/rules.hpp"
+
+namespace lmr::scenario {
+
+/// Structural knobs of one synthetic board. Defaults describe a moderate
+/// single-group single-ended corridor board in the Table I style.
+struct ScenarioSpec {
+  std::string name;           ///< scenario id used in reports
+
+  drc::DesignRules rules{1.2, 0.6, 0.6, 0.0, 0.25};
+
+  // --- corridor geometry ---
+  double corridor_length = 130.0;  ///< straight run of every member
+  double band_height = 5.0;        ///< per-member corridor height
+  double corridor_angle_deg = 0.0; ///< rotate the whole board (any-direction)
+
+  // --- group structure ---
+  int groups = 1;                  ///< number of matching groups (stacked)
+  int members_per_group = 8;       ///< members per group
+  double diff_fraction = 0.0;      ///< fraction of members that are diff pairs
+  double pair_pitch = 0.8;         ///< sub-trace centerline pitch (section 1)
+
+  // --- multi-DRA pair corridors ---
+  /// Number of Design Rule Areas a pair crosses. With > 1, the corridor and
+  /// the pair pitch widen stepwise along the run, so MSDTW must match in
+  /// several ascending-rule rounds.
+  int dra_sections = 1;
+  double dra_width_factor = 2.0;   ///< pitch/corridor widening of the last DRA
+
+  // --- obstacles ---
+  int vias_per_band = 12;          ///< target via count per member corridor
+  double via_radius = 0.35;        ///< via octagon circumradius
+
+  // --- matching targets ---
+  /// Group target = target_fraction * corridor_length. Fractions well above
+  /// the corridor's meander capacity produce saturated scenarios that must
+  /// stay DRC-clean even though they cannot match.
+  double target_fraction = 1.5;
+  double initial_frac_lo = 0.63;   ///< initial lengths: low end, rel. target
+  double initial_frac_hi = 0.97;   ///< high end (paper's initial band)
+
+  /// Override of the extender's |l_trace - l_target| acceptance band; 0 =
+  /// harness default. Rotated corridors need a loose band: their irrational
+  /// segment lengths leave a sub-pattern-gain residual that axis-aligned
+  /// grids never see.
+  double extender_tolerance = 0.0;
+};
+
+}  // namespace lmr::scenario

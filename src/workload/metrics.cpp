@@ -1,6 +1,7 @@
 #include "workload/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace lmr::workload {
 
@@ -9,7 +10,10 @@ ErrorStats matching_errors(std::span<const double> lengths, double target) {
   if (lengths.empty() || target <= 0.0) return out;
   double max_e = 0.0, sum_e = 0.0;
   for (const double l : lengths) {
-    const double e = (target - l) / target;
+    // Error magnitude: an overshooting member is as mismatched as an
+    // undershooting one, and signed errors would let overshoot cancel
+    // undershoot in the average (or hide entirely from the max).
+    const double e = std::abs(target - l) / target;
     max_e = std::max(max_e, e);
     sum_e += e;
   }

@@ -16,7 +16,9 @@ struct ErrorStats {
   double avg_error_pct = 0.0;
 };
 
-/// Compute Eq. 19 over final trace lengths against a common target.
+/// Compute Eq. 19 over final trace lengths against a common target. Errors
+/// are magnitudes: overshoot counts like undershoot (signed errors would
+/// cancel in the average and overshoot would hide from the max).
 [[nodiscard]] ErrorStats matching_errors(std::span<const double> lengths, double target);
 
 /// Extension upper bound (Eq. 20), in percent.

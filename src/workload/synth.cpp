@@ -1,0 +1,38 @@
+#include "workload/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace lmr::workload {
+
+geom::Polyline pretuned_path(double x0, double x1, double y, double extra, double h_max,
+                             double bump_width) {
+  using geom::Point;
+  if (extra <= 1e-9) return geom::Polyline{{{x0, y}, {x1, y}}};
+  int k = static_cast<int>(std::ceil(extra / (2.0 * h_max)));
+  k = std::max(k, 1);
+  const double h = extra / (2.0 * k);
+  const double span = x1 - x0;
+  const double pitch = span / (k + 1);
+  std::vector<Point> pts{{x0, y}};
+  for (int i = 1; i <= k; ++i) {
+    const double xc = x0 + i * pitch;
+    pts.push_back({xc - bump_width / 2.0, y});
+    pts.push_back({xc - bump_width / 2.0, y - h});
+    pts.push_back({xc + bump_width / 2.0, y - h});
+    pts.push_back({xc + bump_width / 2.0, y});
+  }
+  pts.push_back({x1, y});
+  geom::Polyline pl{std::move(pts)};
+  pl.simplify(1e-12);
+  return pl;
+}
+
+double uniform_real(std::mt19937_64& rng, double lo, double hi) {
+  // 53 high bits -> [0, 1) with full double precision.
+  const double u = static_cast<double>(rng() >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+}  // namespace lmr::workload

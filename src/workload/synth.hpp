@@ -1,0 +1,26 @@
+#pragma once
+/// \file synth.hpp
+/// Shared board-synthesis primitives used by the fixed workload generators
+/// (Table I/II) and the seeded scenario generator (`lmr::scenario`).
+
+#include <cstdint>
+#include <random>
+
+#include "geom/polyline.hpp"
+
+namespace lmr::workload {
+
+/// Pre-routed path whose length exceeds the straight run by `extra`: a row
+/// of k rectangular bumps of height extra/(2k) dropped below the centerline
+/// — the profile of a hand-tuned bus member before final length matching.
+/// Bump height is capped at `h_max` (k grows instead). Deterministic.
+[[nodiscard]] geom::Polyline pretuned_path(double x0, double x1, double y, double extra,
+                                           double h_max, double bump_width);
+
+/// Uniform double in [lo, hi) driven only by raw mt19937_64 output, so the
+/// value stream is identical on every platform (std::uniform_real_distribution
+/// is implementation-defined and would break the bit-identical-results
+/// contract of tracked benchmark JSON).
+[[nodiscard]] double uniform_real(std::mt19937_64& rng, double lo, double hi);
+
+}  // namespace lmr::workload

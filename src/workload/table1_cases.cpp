@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "geom/offset.hpp"
+#include "workload/synth.hpp"
 
 namespace lmr::workload {
 
@@ -14,44 +15,23 @@ using geom::Point;
 using geom::Polygon;
 using geom::Polyline;
 
-/// Pre-routed path whose length exceeds the straight run by `extra`: a row
-/// of k rectangular bumps of height extra/(2k) dropped below the centerline
-/// — the profile of a hand-tuned bus member before final length matching.
-/// Bump height is capped at `h_max` (k grows instead).
-Polyline pretuned_path(double x0, double x1, double y, double extra, double h_max,
-                       double bump_width) {
-  if (extra <= 1e-9) return Polyline{{{x0, y}, {x1, y}}};
-  int k = static_cast<int>(std::ceil(extra / (2.0 * h_max)));
-  k = std::max(k, 1);
-  const double h = extra / (2.0 * k);
-  const double span = x1 - x0;
-  const double pitch = span / (k + 1);
-  std::vector<Point> pts{{x0, y}};
-  for (int i = 1; i <= k; ++i) {
-    const double xc = x0 + i * pitch;
-    pts.push_back({xc - bump_width / 2.0, y});
-    pts.push_back({xc - bump_width / 2.0, y - h});
-    pts.push_back({xc + bump_width / 2.0, y - h});
-    pts.push_back({xc + bump_width / 2.0, y});
-  }
-  pts.push_back({x1, y});
-  Polyline pl{std::move(pts)};
-  pl.simplify(1e-12);
-  return pl;
-}
-
 /// Sprinkle via octagons into the band above the trace (the bumps occupy
-/// the band below), keeping `keep_clear` away from the centerline.
+/// the band below), keeping `keep_clear` away from the centerline. This is
+/// deliberately a different placement policy from the scenario generator's
+/// `sprinkle_vias` (which scatters across the whole band, rejecting against
+/// the actual path): Table I wants the free space above the trace
+/// fragmented, the "dense" profile that defeats fixed-geometry tuners.
+/// Randomness flows through workload::uniform_real so the cases are
+/// identical on every platform.
 void add_band_vias(layout::Layout& l, layout::RoutableArea& area, std::mt19937_64& rng,
                    int count, double x0, double x1, double y_trace, double y_hi,
                    double keep_clear, double radius) {
-  std::uniform_real_distribution<double> ux(x0 + 2.0, x1 - 2.0);
-  std::uniform_real_distribution<double> uy(y_trace + keep_clear + radius, y_hi - radius);
   if (y_trace + keep_clear + radius >= y_hi - radius) return;
   int placed = 0, attempts = 0;
   while (placed < count && attempts < count * 30) {
     ++attempts;
-    const Point c{ux(rng), uy(rng)};
+    const Point c{uniform_real(rng, x0 + 2.0, x1 - 2.0),
+                  uniform_real(rng, y_trace + keep_clear + radius, y_hi - radius)};
     bool clash = false;
     for (const auto& h : area.holes) {
       if (geom::dist(h.centroid(), c) < 3.0 * radius) clash = true;

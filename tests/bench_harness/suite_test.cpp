@@ -1,0 +1,106 @@
+#include "bench_harness/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "bench_harness/report.hpp"
+
+namespace lmr::bench {
+namespace {
+
+SuiteOptions tiny_options() {
+  SuiteOptions opts;
+  opts.smoke = true;
+  // Two cheap families: one generated sweep and the saturation probe.
+  opts.families = {"obstacle_sweep", "saturated"};
+  opts.threads = 2;
+  return opts;
+}
+
+TEST(Suite, RunsSelectedFamilies) {
+  const Suite suite(tiny_options());
+  const SuiteResult result = suite.run();
+  ASSERT_GE(result.cases.size(), 3u);  // two sweep densities + saturated
+  for (const CaseOutcome& c : result.cases) {
+    EXPECT_TRUE(c.family == "obstacle_sweep" || c.family == "saturated") << c.family;
+    ASSERT_FALSE(c.groups.empty());
+    for (const GroupOutcome& g : c.groups) {
+      EXPECT_GT(g.members, 0u);
+      EXPECT_GT(g.target, 0.0);
+      EXPECT_GE(g.initial_max_error_pct, g.initial_avg_error_pct);
+    }
+  }
+  EXPECT_TRUE(result.all_ok());
+}
+
+TEST(Suite, SaturatedCaseIsCleanButUnmatched) {
+  SuiteOptions opts;
+  opts.smoke = true;
+  opts.families = {"saturated"};
+  const SuiteResult result = Suite(opts).run();
+  ASSERT_EQ(result.cases.size(), 1u);
+  const CaseOutcome& c = result.cases[0];
+  EXPECT_FALSE(c.matched());
+  EXPECT_TRUE(c.drc_clean());
+  EXPECT_TRUE(c.ok());  // no error gate on the capacity probe
+  EXPECT_GT(c.worst_error_pct(), 10.0);
+}
+
+TEST(Suite, UnknownFamilyThrows) {
+  SuiteOptions opts;
+  opts.families = {"definitely_not_a_family"};
+  EXPECT_THROW((void)Suite(opts).run(), std::out_of_range);
+}
+
+TEST(Suite, JsonFollowsSchema) {
+  const SuiteOptions opts = tiny_options();
+  const SuiteResult result = Suite(opts).run();
+  const Json doc = Suite::to_json(result, opts);
+
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->as_string(), Suite::kSchema);
+  ASSERT_NE(doc.find("run"), nullptr);
+  EXPECT_NE(doc.find("run")->find("host"), nullptr);
+  ASSERT_NE(doc.find("families"), nullptr);
+  ASSERT_NE(doc.find("specs"), nullptr);
+  EXPECT_EQ(doc.find("families")->items().size(), 2u);
+
+  const Json& fam0 = doc.find("families")->items()[0];
+  ASSERT_NE(fam0.find("cases"), nullptr);
+  const Json& case0 = fam0.find("cases")->items()[0];
+  for (const char* key : {"scenario", "seed", "ok", "groups", "runtime_s"}) {
+    EXPECT_NE(case0.find(key), nullptr) << key;
+  }
+  const Json& group0 = case0.find("groups")->items()[0];
+  for (const char* key :
+       {"group", "target", "max_error_pct", "avg_error_pct", "matched", "runtime_s",
+        "net_violations", "cross_violations"}) {
+    EXPECT_NE(group0.find(key), nullptr) << key;
+  }
+
+  // Round trip through the parser.
+  EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+}
+
+TEST(Suite, RerunIsBitIdenticalModuloTiming) {
+  // The tracked-results contract: same seeds in, byte-identical stripped
+  // document out — including every routed metric.
+  const SuiteOptions opts = tiny_options();
+  const Json a = Suite::to_json(Suite(opts).run(), opts);
+  const Json b = Suite::to_json(Suite(opts).run(), opts);
+  EXPECT_EQ(strip_volatile(a).dump(2), strip_volatile(b).dump(2));
+}
+
+TEST(Suite, ThreadCountDoesNotChangeMetrics) {
+  SuiteOptions seq = tiny_options();
+  seq.threads = 1;
+  SuiteOptions par = tiny_options();
+  par.threads = 8;
+  const Json a = Suite::to_json(Suite(seq).run(), seq);
+  const Json b = Suite::to_json(Suite(par).run(), par);
+  EXPECT_EQ(strip_volatile(a).dump(2), strip_volatile(b).dump(2));
+}
+
+}  // namespace
+}  // namespace lmr::bench

@@ -235,5 +235,55 @@ TEST(TraceExtender, RepeatedExtensionIsStable) {
   expect_clean(t, rules(), area);
 }
 
+TEST(TraceExtender, SaturatedCorridorStaysDrcClean) {
+  // Regression (ROADMAP "extender saturation corner"): a far-unreachable
+  // target saturates the corridor; the meander must stay legal. The fast
+  // height solver used to approve patterns whose hat collided with an
+  // adjacent sub-`half` stub (whose untrimmed URA crosses the base line and
+  // is invisible to the node-based shrinking), leaving the quickstart
+  // geometry with SelfGap fold-backs at target 1000.
+  drc::DesignRules r = rules();
+  r.trace_width = 0.2;
+  layout::RoutableArea area;
+  area.outline = Polygon{{{-2, -6}, {42, -6}, {42, 12}, {-2, 12}}};
+  area.holes.push_back(Polygon::regular({12, 2.5}, 1.0, 8));
+  area.holes.push_back(Polygon::regular({24, -2.5}, 1.0, 8));
+  layout::Trace t;
+  t.id = 1;
+  t.width = r.trace_width;
+  t.path = Polyline{{{0, 0}, {28, 0}, {40, 6}}};
+
+  TraceExtender ext(r, area);
+  const ExtendStats stats = ext.extend(t, 1000.0);
+  EXPECT_FALSE(stats.reached);
+  EXPECT_GT(stats.final_length, 300.0);  // saturation, not a stall
+  EXPECT_LT(stats.final_length, 1000.0);
+  expect_clean(t, r, area);
+
+  // No fold-backs: consecutive vertices never repeat two apart.
+  const auto& pts = t.path.points();
+  for (std::size_t i = 0; i + 2 < pts.size(); ++i) {
+    EXPECT_FALSE(geom::almost_equal(pts[i], pts[i + 2], 1e-9))
+        << "fold-back at vertex " << i;
+  }
+}
+
+TEST(TraceExtender, SaturatedRunMatchesExhaustiveOracle) {
+  // The same saturated run with per-height oracle validation: the fast
+  // shrinking path must never accept a height the exhaustive check rejects.
+  drc::DesignRules r = rules();
+  layout::RoutableArea area;
+  area.outline = Polygon::rect({{-1, -4}, {41, 4}});
+  area.holes.push_back(Polygon::regular({20, 1.5}, 0.8, 8));
+  layout::Trace t = straight_trace(0.0, 0.0, 40.0);
+  TraceExtender ext(r, area);
+  ExtenderConfig cfg;
+  cfg.exhaustive_checks = true;
+  const ExtendStats stats = ext.extend(t, 500.0, cfg);
+  EXPECT_FALSE(stats.reached);
+  EXPECT_EQ(stats.oracle_mismatches, 0);
+  expect_clean(t, r, area);
+}
+
 }  // namespace
 }  // namespace lmr::core
