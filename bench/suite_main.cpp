@@ -3,9 +3,12 @@
 /// tracked results file (see EXPERIMENTS.md "Benchmark suite").
 ///
 ///   bench_suite [--smoke] [--out PATH] [--family NAME]... [--threads N]
-///               [--no-drc] [--list]
+///               [--no-drc] [--scaling] [--list]
 ///
 /// Exit code 0 when every case is ok (matched where expected, DRC-clean).
+/// `--scaling` additionally sweeps thread counts over the parallelism
+/// workloads (`large_group`, `multi_group`) and attaches the speedup curve
+/// to the result document under `"scaling"` (volatile: timing-only).
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,12 +24,14 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--smoke] [--out PATH] [--family NAME]... [--threads N] [--no-drc] "
-      "[--list]\n"
+      "[--scaling] [--list]\n"
       "  --smoke        tiny per-family variants (CI-sized seeds)\n"
       "  --out PATH     results file (default BENCH_results.json)\n"
       "  --family NAME  run only this family (repeatable; default all)\n"
-      "  --threads N    route_batch workers (default hardware)\n"
+      "  --threads N    pool parallelism across cases/groups/members (0 = hardware)\n"
       "  --no-drc       skip the final oracle sweep\n"
+      "  --scaling      also sweep thread counts on large_group/multi_group and\n"
+      "                 attach the speedup curve to the results file\n"
       "  --list         print family names and exit\n",
       argv0);
 }
@@ -36,11 +41,14 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
   lmr::bench::SuiteOptions opts;
   std::string out_path = "BENCH_results.json";
+  bool scaling = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       opts.smoke = true;
+    } else if (arg == "--scaling") {
+      scaling = true;
     } else if (arg == "--no-drc") {
       opts.run_drc = false;
     } else if (arg == "--list") {
@@ -93,8 +101,29 @@ int main(int argc, char** argv) {
   }
   std::printf("total: %zu cases in %.2f s\n", result.cases.size(), result.runtime_s);
 
-  const int write_rc =
-      lmr::bench::write_results_file(out_path, lmr::bench::Suite::to_json(result, opts));
+  lmr::bench::Json doc = lmr::bench::Suite::to_json(result, opts);
+
+  if (scaling) {
+    const std::vector<std::size_t> counts = lmr::bench::Suite::default_scaling_threads();
+    std::vector<lmr::bench::ScalingCurve> curves;
+    try {
+      curves = lmr::bench::Suite::run_scaling(opts, {"large_group", "multi_group"}, counts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "scaling sweep failed: %s\n", e.what());
+      return 2;
+    }
+    std::printf("\nscaling sweep (speedup vs 1 thread):\n");
+    std::printf("%-16s %-8s %-10s %-8s\n", "family", "threads", "t[s]", "speedup");
+    for (const lmr::bench::ScalingCurve& c : curves) {
+      for (const lmr::bench::ScalingPoint& p : c.points) {
+        std::printf("%-16s %-8zu %-10.3f %-8.2f\n", c.family.c_str(), p.threads,
+                    p.runtime_s, p.speedup);
+      }
+    }
+    doc["scaling"] = lmr::bench::Suite::scaling_json(curves);
+  }
+
+  const int write_rc = lmr::bench::write_results_file(out_path, doc);
   if (write_rc != 0) return write_rc;
   return result.all_ok() ? 0 : 1;
 }

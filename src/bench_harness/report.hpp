@@ -2,14 +2,18 @@
 /// \file report.hpp
 /// Result-file conventions of the benchmark harness.
 ///
-/// Every tracked result document follows two rules that make regression
+/// Every tracked result document follows rules that make regression
 /// diffing mechanical:
 ///  * all machine-dependent context lives under the top-level `"run"`
 ///    object (host, OS, compiler, thread count, timestamp);
-///  * every volatile measurement key ends in `"_s"` (seconds).
+///  * every volatile measurement key ends in `"_s"` (seconds);
+///  * parallelism context (`threads_used`, `pool_policy`) and the
+///    timing-only `"scaling"` sweep section are volatile wherever they
+///    appear: routed metrics are thread-count-invariant by construction,
+///    so the executor configuration must never change the stripped bytes.
 /// `strip_volatile` removes exactly those, so two runs with the same seeds
-/// must produce byte-identical stripped dumps — the reproducibility check
-/// CI and the unit tests perform.
+/// — at *any* thread counts — must produce byte-identical stripped dumps:
+/// the reproducibility check CI and the unit tests perform.
 
 #include <string>
 
@@ -33,8 +37,9 @@ struct RunInfo {
 /// `run` object for a result document.
 [[nodiscard]] Json run_info_json(const RunInfo& info);
 
-/// Deep copy with the `"run"` object and every `*_s`-suffixed member
-/// removed — the deterministic view of a result document.
+/// Deep copy with the volatile members removed — the `"run"` object, the
+/// `"scaling"` section, `threads_used`/`pool_policy`, and every
+/// `*_s`-suffixed key — the deterministic view of a result document.
 [[nodiscard]] Json strip_volatile(const Json& doc);
 
 /// Write `doc` (pretty-printed, trailing newline) to `path`. Throws

@@ -88,68 +88,163 @@ bool SuiteResult::all_ok() const {
                      [](const CaseOutcome& c) { return c.ok(); });
 }
 
-Suite::Suite(SuiteOptions opts) : opts_(std::move(opts)) {}
+Suite::Suite(SuiteOptions opts)
+    : opts_(std::move(opts)), pool_handle_(opts_.threads) {}
+
+exec::TaskPool* Suite::pool() const { return pool_handle_.acquire(); }
+
+CaseOutcome Suite::run_case(const scenario::Family& fam,
+                            const scenario::FamilyCase& fc) const {
+  const auto t_case = Clock::now();
+  scenario::Scenario sc = scenario::materialize(fc);
+
+  CaseOutcome outcome;
+  outcome.family = fam.name;
+  outcome.scenario = sc.spec.name;
+  outcome.seed = sc.seed;
+  outcome.max_error_gate_pct = fam.max_error_gate_pct;
+  outcome.expect_drc_clean = fc.expect_drc_clean;
+  outcome.traces = sc.layout.traces().size();
+  outcome.pairs = sc.layout.pairs().size();
+  outcome.obstacles = sc.layout.obstacles().size();
+  outcome.threads_used = exec::resolve_threads(opts_.threads);
+
+  pipeline::RouterOptions ropts = opts_.router;
+  ropts.threads = opts_.threads;
+  ropts.run_drc = opts_.run_drc;
+  ropts.pool = pool();  // one executor across cases, groups and members
+  if (sc.spec.extender_tolerance > 0.0) {
+    ropts.extender.tolerance = sc.spec.extender_tolerance;
+  }
+  if (sc.pair_rule_set.size() > 1) ropts.pair_rule_set = sc.pair_rule_set;
+  const pipeline::Router router(sc.rules, ropts);
+
+  for (const pipeline::RouteResult& rr : router.route_all(sc.layout)) {
+    GroupOutcome go;
+    go.group = rr.group.group_name;
+    go.target = rr.group.target;
+    go.initial_max_error_pct = rr.group.initial_max_error_pct;
+    go.initial_avg_error_pct = rr.group.initial_avg_error_pct;
+    go.max_error_pct = rr.group.max_error_pct;
+    go.avg_error_pct = rr.group.avg_error_pct;
+    go.matched = rr.matched();
+    go.members = rr.group.members.size();
+    for (const pipeline::MemberReport& mr : rr.group.members) go.patterns += mr.patterns;
+    for (const pipeline::NetResult& net : rr.nets) {
+      go.net_violations += net.violations.size();
+    }
+    go.cross_violations = rr.cross_violations.size();
+    go.runtime_s = rr.runtime_s;
+    go.drc_runtime_s = rr.drc_runtime_s;
+    outcome.groups.push_back(std::move(go));
+  }
+  outcome.runtime_s = seconds_since(t_case);
+  return outcome;
+}
 
 SuiteResult Suite::run() const {
   SuiteResult result;
   const auto t_suite = Clock::now();
 
-  for (const scenario::Family& fam : selected_families(opts_)) {
-    for (const scenario::FamilyCase& fc : fam.cases) {
-      const auto t_case = Clock::now();
-      scenario::Scenario sc = scenario::materialize(fc);
+  // Flatten (family, case) so independent boards become one task batch;
+  // every outcome is written at its flat index, which keeps the report
+  // order — and therefore the JSON bytes — identical across thread counts.
+  struct Flat {
+    const scenario::Family* fam;
+    const scenario::FamilyCase* fc;
+  };
+  const std::vector<scenario::Family> families = selected_families(opts_);
+  std::vector<Flat> flat;
+  for (const scenario::Family& fam : families) {
+    for (const scenario::FamilyCase& fc : fam.cases) flat.push_back({&fam, &fc});
+  }
 
-      CaseOutcome outcome;
-      outcome.family = fam.name;
-      outcome.scenario = sc.spec.name;
-      outcome.seed = sc.seed;
-      outcome.max_error_gate_pct = fam.max_error_gate_pct;
-      outcome.expect_drc_clean = fc.expect_drc_clean;
-      outcome.traces = sc.layout.traces().size();
-      outcome.pairs = sc.layout.pairs().size();
-      outcome.obstacles = sc.layout.obstacles().size();
-
-      pipeline::RouterOptions ropts = opts_.router;
-      ropts.threads = opts_.threads;
-      ropts.run_drc = opts_.run_drc;
-      if (sc.spec.extender_tolerance > 0.0) {
-        ropts.extender.tolerance = sc.spec.extender_tolerance;
-      }
-      if (sc.pair_rule_set.size() > 1) ropts.pair_rule_set = sc.pair_rule_set;
-      const pipeline::Router router(sc.rules, ropts);
-
-      for (std::size_t g = 0; g < sc.layout.groups().size(); ++g) {
-        const pipeline::RouteResult rr = router.route_batch(sc.layout, g);
-        GroupOutcome go;
-        go.group = rr.group.group_name;
-        go.target = rr.group.target;
-        go.initial_max_error_pct = rr.group.initial_max_error_pct;
-        go.initial_avg_error_pct = rr.group.initial_avg_error_pct;
-        go.max_error_pct = rr.group.max_error_pct;
-        go.avg_error_pct = rr.group.avg_error_pct;
-        go.matched = rr.matched();
-        go.members = rr.group.members.size();
-        for (const pipeline::MemberReport& mr : rr.group.members) go.patterns += mr.patterns;
-        for (const pipeline::NetResult& net : rr.nets) {
-          go.net_violations += net.violations.size();
-        }
-        go.cross_violations = rr.cross_violations.size();
-        go.runtime_s = rr.runtime_s;
-        go.drc_runtime_s = rr.drc_runtime_s;
-        outcome.groups.push_back(std::move(go));
-      }
-      outcome.runtime_s = seconds_since(t_case);
-      result.cases.push_back(std::move(outcome));
+  result.cases.resize(flat.size());
+  exec::TaskPool* pool_ptr = pool();
+  const std::size_t threads = exec::resolve_threads(opts_.threads);
+  if (pool_ptr == nullptr || threads <= 1) {
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      result.cases[i] = run_case(*flat[i].fam, *flat[i].fc);
     }
+  } else {
+    exec::parallel_for_dynamic(*pool_ptr, flat.size(), threads, [&](std::size_t i) {
+      result.cases[i] = run_case(*flat[i].fam, *flat[i].fc);
+    });
   }
   result.runtime_s = seconds_since(t_suite);
   return result;
 }
 
+std::vector<std::size_t> Suite::default_scaling_threads() {
+  std::vector<std::size_t> counts = {1, 2, 4};
+  const std::size_t hw = exec::resolve_threads(0);
+  if (hw > 4) counts.push_back(hw);
+  return counts;
+}
+
+std::vector<ScalingCurve> Suite::run_scaling(const SuiteOptions& base,
+                                             const std::vector<std::string>& families,
+                                             const std::vector<std::size_t>& thread_counts) {
+  std::vector<ScalingCurve> curves;
+  for (const std::string& fam : families) {
+    ScalingCurve curve;
+    curve.family = fam;
+    double t_ref = 0.0;
+    for (const std::size_t threads : thread_counts) {
+      SuiteOptions opts = base;
+      opts.families = {fam};
+      opts.threads = threads;
+      const Suite suite(opts);
+      const SuiteResult r = suite.run();
+      ScalingPoint p;
+      p.threads = threads;
+      p.runtime_s = r.runtime_s;
+      // The first entry is the baseline by position (conventionally 1
+      // thread); its speedup is 1 by definition even if the clock
+      // resolution rounds a smoke-sized run down to zero.
+      if (curve.points.empty()) {
+        t_ref = r.runtime_s;
+        p.speedup = 1.0;
+      } else {
+        p.speedup = p.runtime_s > 0.0 ? t_ref / p.runtime_s : 0.0;
+      }
+      curve.points.push_back(p);
+    }
+    curves.push_back(std::move(curve));
+  }
+  return curves;
+}
+
+Json Suite::scaling_json(const std::vector<ScalingCurve>& curves) {
+  Json jcurves = Json::array();
+  for (const ScalingCurve& c : curves) {
+    Json jc = Json::object();
+    jc["family"] = c.family;
+    Json jpoints = Json::array();
+    for (const ScalingPoint& p : c.points) {
+      Json jp = Json::object();
+      jp["threads"] = static_cast<std::int64_t>(p.threads);
+      jp["runtime_s"] = p.runtime_s;
+      jp["speedup"] = p.speedup;
+      jpoints.push_back(std::move(jp));
+    }
+    jc["points"] = std::move(jpoints);
+    jcurves.push_back(std::move(jc));
+  }
+  return jcurves;
+}
+
 Json Suite::to_json(const SuiteResult& result, const SuiteOptions& opts) {
   Json doc = Json::object();
   doc["schema"] = kSchema;
-  doc["run"] = run_info_json(collect_run_info());
+  Json jrun = run_info_json(collect_run_info());
+  // Effective parallelism next to the machine context: `hardware_threads`
+  // alone says nothing about what the run actually used.
+  jrun["threads_used"] = static_cast<std::int64_t>(exec::resolve_threads(opts.threads));
+  jrun["pool_policy"] = opts.threads == 0   ? "shared-pool"
+                        : opts.threads == 1 ? "serial"
+                                            : "explicit-pool";
+  doc["run"] = std::move(jrun);
 
   Json jopts = Json::object();
   jopts["smoke"] = opts.smoke;
@@ -175,6 +270,7 @@ Json Suite::to_json(const SuiteResult& result, const SuiteOptions& opts) {
       jc["traces"] = static_cast<std::int64_t>(c.traces);
       jc["pairs"] = static_cast<std::int64_t>(c.pairs);
       jc["obstacles"] = static_cast<std::int64_t>(c.obstacles);
+      jc["threads_used"] = static_cast<std::int64_t>(c.threads_used);
       jc["ok"] = c.ok();
       Json jgroups = Json::array();
       for (const GroupOutcome& g : c.groups) jgroups.push_back(group_json(g));

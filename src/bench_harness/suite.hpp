@@ -3,18 +3,24 @@
 /// Benchmark-suite runner: scenario families -> Router -> tracked JSON.
 ///
 /// `Suite::run()` materializes every case of the selected scenario
-/// families, drives `pipeline::Router::route_batch()` over every matching
-/// group, and collects the paper's Eq. 19 quality metrics, runtimes and DRC
-/// verdicts. `to_json` serializes the outcome under the report conventions
-/// of report.hpp, so `BENCH_results.json` can be committed and re-generated
-/// bit-identically (modulo `"run"` and `*_s` timing fields) from the same
-/// seeds.
+/// families, drives `pipeline::Router::route_all()` over every board, and
+/// collects the paper's Eq. 19 quality metrics, runtimes and DRC verdicts.
+/// Independent cases run concurrently on one persistent work-stealing pool
+/// (exec/task_pool) shared with the Routers' group/member fan-outs; every
+/// metric is written by case index, so the report is byte-identical across
+/// thread counts. `to_json` serializes the outcome under the report
+/// conventions of report.hpp, so `BENCH_results.json` can be committed and
+/// re-generated bit-identically (modulo the volatile context: `"run"`,
+/// `"scaling"`, `threads_used`/`pool_policy`, and `*_s` timing fields) from
+/// the same seeds. `run_scaling` sweeps thread counts over selected
+/// families and reports the speedup curve.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "bench_harness/json.hpp"
+#include "exec/task_pool.hpp"
 #include "pipeline/router.hpp"
 #include "scenario/scenario_families.hpp"
 
@@ -24,7 +30,9 @@ namespace lmr::bench {
 struct SuiteOptions {
   bool smoke = false;                  ///< tiny variants of every family
   std::vector<std::string> families;   ///< empty = all standard families
-  std::size_t threads = 0;             ///< route_batch workers; 0 = hardware
+  /// Pool-wide parallelism across cases, groups and members; 0 = hardware
+  /// (exec::resolve_threads), 1 = fully serial.
+  std::size_t threads = 0;
   bool run_drc = true;                 ///< final oracle sweep per group
   pipeline::RouterOptions router;      ///< engine/extender base options
 
@@ -62,6 +70,10 @@ struct CaseOutcome {
   std::size_t traces = 0;
   std::size_t pairs = 0;
   std::size_t obstacles = 0;
+  /// Effective parallelism the case ran under (volatile context, like
+  /// "run": stripped by strip_volatile so thread counts never change the
+  /// tracked quality document).
+  std::size_t threads_used = 1;
   std::vector<GroupOutcome> groups;
   double runtime_s = 0.0;
 
@@ -83,7 +95,26 @@ struct SuiteResult {
   [[nodiscard]] bool all_ok() const;
 };
 
-/// The runner. Construct with options, `run()` as often as needed.
+/// One measured point of a thread-count sweep.
+struct ScalingPoint {
+  std::size_t threads = 0;
+  double runtime_s = 0.0;
+  /// Baseline runtime / runtime at `threads`. The baseline is the sweep's
+  /// *first* entry by position (1.0 there by definition); pass 1 as the
+  /// first thread count — as `default_scaling_threads()` does — to read
+  /// this as absolute speedup over serial.
+  double speedup = 0.0;
+};
+
+/// The speedup curve of one family under the sweep.
+struct ScalingCurve {
+  std::string family;
+  std::vector<ScalingPoint> points;  ///< in `thread_counts` order
+};
+
+/// The runner. Construct with options, `run()` as often as needed — the
+/// executor persists for the Suite's lifetime, so repeated runs reuse the
+/// same workers.
 class Suite {
  public:
   explicit Suite(SuiteOptions opts = {});
@@ -95,13 +126,41 @@ class Suite {
   /// Full result document (schema + run info + options + cases).
   [[nodiscard]] static Json to_json(const SuiteResult& result, const SuiteOptions& opts);
 
+  /// Thread-count sweep: rerun `families` once per entry of
+  /// `thread_counts` (each through its own pinned-size pool) and report
+  /// wall-clock plus speedup relative to the first entry — conventionally
+  /// 1, giving the absolute scaling curve. Quality metrics are discarded:
+  /// they are thread-count-invariant by construction (and separately
+  /// enforced by the reproducibility tests); only the timings differ.
+  [[nodiscard]] static std::vector<ScalingCurve> run_scaling(
+      const SuiteOptions& base, const std::vector<std::string>& families,
+      const std::vector<std::size_t>& thread_counts);
+
+  /// Default sweep {1, 2, 4, (hardware if > 4)} — small enough for CI,
+  /// wide enough to see the knee.
+  [[nodiscard]] static std::vector<std::size_t> default_scaling_threads();
+
+  /// `"scaling"` section for a result document (volatile by definition:
+  /// strip_volatile removes the whole section).
+  [[nodiscard]] static Json scaling_json(const std::vector<ScalingCurve>& curves);
+
   [[nodiscard]] const SuiteOptions& options() const { return opts_; }
+
+  /// The executor `run()` fans out on: nullptr when fully serial
+  /// (threads == 1), the shared singleton for the hardware default
+  /// (threads == 0), a private pinned-size pool otherwise.
+  [[nodiscard]] exec::TaskPool* pool() const;
 
   /// Document schema id written into every result file.
   static constexpr const char* kSchema = "lmroute-bench-suite/v1";
 
  private:
+  [[nodiscard]] CaseOutcome run_case(const scenario::Family& fam,
+                                     const scenario::FamilyCase& fc) const;
+
   SuiteOptions opts_;
+  /// Owns-or-borrows the executor per the exec 0/1/N convention (lazy).
+  mutable exec::PoolHandle pool_handle_;
 };
 
 }  // namespace lmr::bench

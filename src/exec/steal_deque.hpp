@@ -1,0 +1,131 @@
+#pragma once
+/// \file steal_deque.hpp
+/// Chase–Lev work-stealing deque (SPAA'05), with the C++11 memory orderings
+/// of Lê, Pop, Cohen & Nardelli, "Correct and Efficient Work-Stealing for
+/// Weak Memory Models" (PPoPP'13).
+///
+/// Single-owner, multi-thief: the owning worker pushes and pops at the
+/// *bottom* (LIFO, cache-warm continuation of its own fan-out), while any
+/// other thread steals from the *top* (FIFO, the oldest — typically largest
+/// — task). All three operations are lock-free; only `pop` and `steal`
+/// contend, and only on the last remaining element.
+///
+/// The ring buffer grows on demand. Retired buffers cannot be freed
+/// immediately (a concurrent thief may still be reading a slot), so they
+/// are parked until the deque itself is destroyed — the classic
+/// leak-until-quiescent reclamation, bounded because growth doubles.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lmr::exec {
+
+/// Deque of `T*` (ownership stays with the caller). The owner thread is the
+/// only one allowed to call `push`/`pop`; `steal` is safe from any thread.
+template <typename T>
+class StealDeque {
+ public:
+  explicit StealDeque(std::size_t capacity = 64) {
+    std::int64_t cap = 1;
+    while (cap < static_cast<std::int64_t>(capacity)) cap <<= 1;
+    array_.store(new Array(cap), std::memory_order_relaxed);
+  }
+
+  ~StealDeque() {
+    delete array_.load(std::memory_order_relaxed);
+    for (Array* a : retired_) delete a;
+  }
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only: append at the bottom, growing the ring when full.
+  void push(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t > a->size - 1) a = grow(a, t, b);
+    a->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: take the most recently pushed item; nullptr when empty.
+  T* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    T* item = nullptr;
+    if (t <= b) {
+      item = a->get(b);
+      if (t == b) {
+        // Last element: race thieves for it; either way the deque empties.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          item = nullptr;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread: take the oldest item. nullptr when empty *or* on a lost
+  /// race with the owner / another thief — callers treat both as "try
+  /// elsewhere and come back".
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t < b) {
+      Array* a = array_.load(std::memory_order_acquire);
+      T* item = a->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return nullptr;
+      }
+      return item;
+    }
+    return nullptr;
+  }
+
+  /// Racy emptiness hint (exact only for the owner between operations).
+  [[nodiscard]] bool empty() const {
+    return bottom_.load(std::memory_order_relaxed) <=
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Array {
+    explicit Array(std::int64_t n)
+        : size(n), mask(n - 1), slots(new std::atomic<T*>[static_cast<std::size_t>(n)]) {}
+    ~Array() { delete[] slots; }
+    const std::int64_t size;
+    const std::int64_t mask;
+    std::atomic<T*>* slots;
+
+    T* get(std::int64_t i) const { return slots[i & mask].load(std::memory_order_relaxed); }
+    void put(std::int64_t i, T* x) { slots[i & mask].store(x, std::memory_order_relaxed); }
+  };
+
+  Array* grow(Array* a, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Array(a->size * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, a->get(i));
+    retired_.push_back(a);  // thieves may still read it; freed with *this
+    array_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Array*> array_{nullptr};
+  std::vector<Array*> retired_;  ///< owner-only; reclaimed at destruction
+};
+
+}  // namespace lmr::exec

@@ -1,12 +1,9 @@
 #include "pipeline/router.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
-#include <future>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "baseline/aidt_style.hpp"
@@ -67,17 +64,17 @@ void route_pair(const drc::DesignRules& rules, const RouterOptions& opts,
     const auto& pp = pair.positive.path.points();
     const auto& nn = pair.negative.path.points();
     const dtw::DtwResult match = dtw::dtw_match(pp, nn);
-    const dtw::MedianTrace mt = dtw::build_median_trace(pp, nn, match.pairs);
+    dtw::MedianTrace mt = dtw::build_median_trace(pp, nn, match.pairs);
     layout::Trace median;
-    median.path = mt.median;
+    median.path = std::move(mt.median);
     median.width = 2.0 * pair.positive.width + pair.pitch;
     const drc::DesignRules vr = drc::virtual_pair_rules(rules, pair.pitch);
     baseline::AidtStyleTuner tuner(vr, *w.area);
     const baseline::AidtStats stats = tuner.tune(median, w.target);
-    const layout::DiffPair restored =
+    layout::DiffPair restored =
         dtw::restore_pair(median, pair.pitch, pair.positive.width);
-    pair.positive.path = restored.positive.path;
-    pair.negative.path = restored.negative.path;
+    pair.positive.path = std::move(restored.positive.path);
+    pair.negative.path = std::move(restored.negative.path);
     mr.reached = stats.reached;
   } else {
     // Merge -> extend median under virtual rules -> restore -> compensate.
@@ -104,8 +101,8 @@ void route_pair(const drc::DesignRules& rules, const RouterOptions& opts,
     restored.positive.path.simplify(1e-9);
     restored.negative.path.simplify(1e-9);
     dtw::compensate_skew(restored, sub_rules);
-    pair.positive.path = restored.positive.path;
-    pair.negative.path = restored.negative.path;
+    pair.positive.path = std::move(restored.positive.path);
+    pair.negative.path = std::move(restored.negative.path);
     mr.reached = stats.reached;
     mr.patterns = stats.patterns_inserted;
   }
@@ -150,7 +147,7 @@ std::size_t RouteResult::violation_count() const {
 }
 
 Router::Router(drc::DesignRules rules, RouterOptions options)
-    : rules_(rules), options_(std::move(options)) {
+    : rules_(rules), options_(std::move(options)), pool_handle_(options_.threads) {
   rules_.validate();
 }
 
@@ -159,11 +156,34 @@ RouteResult Router::route(layout::Layout& layout, std::size_t group_index) const
 }
 
 RouteResult Router::route_batch(layout::Layout& layout, std::size_t group_index) const {
-  std::size_t threads = options_.threads;
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return run(layout, group_index, exec::resolve_threads(options_.threads));
+}
+
+std::vector<RouteResult> Router::route_all(layout::Layout& layout) const {
+  const std::size_t n_groups = layout.groups().size();
+  const std::size_t threads = exec::resolve_threads(options_.threads);
+  std::vector<RouteResult> results(n_groups);
+  if (threads <= 1 || n_groups <= 1) {
+    for (std::size_t g = 0; g < n_groups; ++g) results[g] = run(layout, g, threads);
+    return results;
   }
-  return run(layout, group_index, threads);
+  // One task per group; the nested member fan-out inside run() lands on the
+  // same pool (workers push to their own deques, idle workers steal), so a
+  // board of many small groups fills every worker instead of running its
+  // groups back to back.
+  exec::parallel_for_dynamic(pool(), n_groups, threads, [&](std::size_t g) {
+    results[g] = run(layout, g, threads);
+  });
+  return results;
+}
+
+exec::TaskPool& Router::pool() const {
+  if (options_.pool != nullptr) return *options_.pool;
+  exec::TaskPool* pool = pool_handle_.acquire();
+  // acquire() is null only for the serial configuration (threads == 1),
+  // which never reaches the fan-out paths; for a direct accessor call the
+  // shared singleton is the only sensible executor to hand out.
+  return pool != nullptr ? *pool : exec::TaskPool::shared();
 }
 
 RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
@@ -175,7 +195,10 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
   const auto t_run = Clock::now();
 
   // Stage inputs: validate and snapshot every member before any extension
-  // starts, so a bad member aborts the run with the layout untouched.
+  // starts, so a bad member (or a mid-run extension failure) aborts with
+  // the layout untouched. The geometry copy here is exactly that
+  // abort-safety snapshot — the write-back below moves it back instead of
+  // copying a second time.
   std::vector<MemberWork> work;
   work.reserve(group.members.size());
   for (std::size_t m = 0; m < group.members.size(); ++m) {
@@ -194,37 +217,31 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
     work.push_back(std::move(w));
   }
 
-  // Extend. Workers claim the next unrouted net; each result lands at its
-  // member index, so the outcome is independent of scheduling order.
+  // Extend. Claimers on the persistent pool grab the next unrouted net;
+  // each result lands at its member index, so the outcome is independent of
+  // scheduling order. A thrown extension rethrows here (first one wins)
+  // after the fan-out drains — before any write-back.
   std::vector<MemberReport> reports(work.size());
-  const std::size_t n_workers = std::min(std::max<std::size_t>(threads, 1), work.size());
-  if (n_workers <= 1) {
+  const std::size_t n_claimers = std::min(std::max<std::size_t>(threads, 1), work.size());
+  if (n_claimers <= 1) {
     for (std::size_t i = 0; i < work.size(); ++i) {
       reports[i] = route_member(rules_, options_, work[i]);
     }
   } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::future<void>> workers;
-    workers.reserve(n_workers);
-    for (std::size_t t = 0; t < n_workers; ++t) {
-      workers.push_back(std::async(std::launch::async, [&] {
-        for (std::size_t i = next.fetch_add(1); i < work.size();
-             i = next.fetch_add(1)) {
-          reports[i] = route_member(rules_, options_, work[i]);
-        }
-      }));
-    }
-    for (auto& f : workers) f.get();  // rethrows worker exceptions
+    exec::parallel_for_dynamic(pool(), work.size(), n_claimers, [&](std::size_t i) {
+      reports[i] = route_member(rules_, options_, work[i]);
+    });
   }
 
-  // Write results back in member order.
-  for (const MemberWork& w : work) {
+  // Write results back in member order, moving the extended geometry out of
+  // the staging snapshots (nothing below reads the staged paths again).
+  for (MemberWork& w : work) {
     if (w.member.kind == layout::MemberKind::SingleEnded) {
-      layout.trace(w.member.id).path = w.trace.path;
+      layout.trace(w.member.id).path = std::move(w.trace.path);
     } else {
       layout::DiffPair& pair = layout.pair(w.member.id);
-      pair.positive.path = w.pair.positive.path;
-      pair.negative.path = w.pair.negative.path;
+      pair.positive.path = std::move(w.pair.positive.path);
+      pair.negative.path = std::move(w.pair.negative.path);
     }
   }
 

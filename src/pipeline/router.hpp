@@ -10,10 +10,12 @@
 ///
 /// One `route()` call length-matches a group of a layout and returns
 /// per-net diagnostics; `route_batch()` runs the same flow with independent
-/// nets extended on worker threads. Both produce identical results by
-/// construction: every net is extended on a private copy of its geometry
-/// (nets of one group own disjoint routable areas, so they are independent)
-/// and written back in member order.
+/// nets extended on the persistent work-stealing executor (exec/task_pool);
+/// `route_all()` batches every group of a layout into one task fan-out so
+/// small groups never serialize behind each other. All of them produce
+/// identical results by construction: every net is extended on a private
+/// copy of its geometry (nets of one group own disjoint routable areas, so
+/// they are independent) and written back in member order.
 
 #include <cstddef>
 #include <string>
@@ -21,6 +23,7 @@
 
 #include "core/trace_extender.hpp"
 #include "drc/rules.hpp"
+#include "exec/task_pool.hpp"
 #include "layout/drc_checker.hpp"
 #include "layout/layout.hpp"
 
@@ -67,7 +70,15 @@ struct RouterOptions {
   Engine engine = Engine::DpMsdtw; ///< baseline selection
   bool run_drc = true;             ///< final oracle sweep after matching
   layout::DrcCheckOptions drc;     ///< oracle tolerances
-  std::size_t threads = 0;         ///< route_batch workers; 0 = hardware
+  /// Parallelism cap for route_batch / route_all (claimer count per
+  /// fan-out); 0 = hardware concurrency (exec::resolve_threads).
+  std::size_t threads = 0;
+  /// Executor running the fan-out. Non-owning; nullptr lets the Router
+  /// pick: the lazy shared singleton when `threads == 0`, otherwise a
+  /// private pool of `threads - 1` workers created on first parallel call
+  /// and reused for the Router's lifetime. Callers that batch many Routers
+  /// (bench::Suite) pass one pool here so every layer shares its workers.
+  exec::TaskPool* pool = nullptr;
   /// Ascending MSDTW distance-rule set for differential members (Alg. 3's
   /// R) when a pair crosses several Design Rule Areas; empty means the
   /// single-DRA default {pair.pitch}.
@@ -113,13 +124,27 @@ class Router {
   /// member lacks a routable area.
   RouteResult route(layout::Layout& layout, std::size_t group_index = 0) const;
 
-  /// Same flow with independent nets extended across `options.threads`
-  /// worker threads (the first scale lever). Bit-identical trace geometry
-  /// to `route()`; only the timing fields differ.
+  /// Same flow with independent nets extended across up to
+  /// `options.threads` claimers on the persistent executor (no per-call
+  /// thread spawning). Bit-identical trace geometry to `route()`; only the
+  /// timing fields differ.
   RouteResult route_batch(layout::Layout& layout, std::size_t group_index = 0) const;
+
+  /// Route *every* group of `layout` as one task batch: groups and their
+  /// members share the same executor, so a board of many small groups
+  /// saturates the pool instead of serializing group by group. Returns one
+  /// RouteResult per group, in group order, bit-identical to calling
+  /// `route()` per group. Requires what every generated board satisfies:
+  /// no trace belongs to two groups (members are written back
+  /// concurrently).
+  std::vector<RouteResult> route_all(layout::Layout& layout) const;
 
   [[nodiscard]] const drc::DesignRules& rules() const { return rules_; }
   [[nodiscard]] const RouterOptions& options() const { return options_; }
+
+  /// The executor this Router fans out on (see RouterOptions::pool).
+  /// Instantiates the shared/private pool on first use.
+  [[nodiscard]] exec::TaskPool& pool() const;
 
  private:
   RouteResult run(layout::Layout& layout, std::size_t group_index,
@@ -127,6 +152,9 @@ class Router {
 
   drc::DesignRules rules_;
   RouterOptions options_;
+  /// Owns-or-borrows the executor per the exec 0/1/N convention, lazily
+  /// (route()-only Routers never spawn a thread) and reused across calls.
+  mutable exec::PoolHandle pool_handle_;
 };
 
 }  // namespace lmr::pipeline

@@ -102,5 +102,74 @@ TEST(Suite, ThreadCountDoesNotChangeMetrics) {
   EXPECT_EQ(strip_volatile(a).dump(2), strip_volatile(b).dump(2));
 }
 
+TEST(Suite, RecordsParallelismContextAsVolatile) {
+  SuiteOptions opts = tiny_options();
+  opts.threads = 3;
+  const Json doc = Suite::to_json(Suite(opts).run(), opts);
+
+  // The run object names the effective worker count and pool policy...
+  ASSERT_NE(doc.find("run"), nullptr);
+  ASSERT_NE(doc.find("run")->find("threads_used"), nullptr);
+  EXPECT_EQ(doc.find("run")->find("threads_used")->as_int(), 3);
+  ASSERT_NE(doc.find("run")->find("pool_policy"), nullptr);
+  EXPECT_EQ(doc.find("run")->find("pool_policy")->as_string(), "explicit-pool");
+
+  // ...and every case records what it actually ran under.
+  const Json& case0 = doc.find("families")->items()[0].find("cases")->items()[0];
+  ASSERT_NE(case0.find("threads_used"), nullptr);
+  EXPECT_EQ(case0.find("threads_used")->as_int(), 3);
+
+  // Both are volatile context: the stripped document must not contain them,
+  // or thread counts would change the tracked quality bytes.
+  const std::string stripped = strip_volatile(doc).dump(2);
+  EXPECT_EQ(stripped.find("threads_used"), std::string::npos);
+  EXPECT_EQ(stripped.find("pool_policy"), std::string::npos);
+}
+
+TEST(Suite, PoolPolicySelection) {
+  SuiteOptions serial = tiny_options();
+  serial.threads = 1;
+  EXPECT_EQ(Suite(serial).pool(), nullptr);
+
+  SuiteOptions shared = tiny_options();
+  shared.threads = 0;
+  EXPECT_EQ(Suite(shared).pool(), &exec::TaskPool::shared());
+
+  SuiteOptions pinned = tiny_options();
+  pinned.threads = 4;
+  const Suite suite(pinned);
+  ASSERT_NE(suite.pool(), nullptr);
+  EXPECT_NE(suite.pool(), &exec::TaskPool::shared());
+  EXPECT_EQ(suite.pool()->parallelism(), 4u);
+}
+
+TEST(Suite, ScalingSweepMeasuresEveryThreadCount) {
+  SuiteOptions base;
+  base.smoke = true;
+  const std::vector<std::size_t> counts = {1, 2};
+  const auto curves = Suite::run_scaling(base, {"multi_group"}, counts);
+  ASSERT_EQ(curves.size(), 1u);
+  EXPECT_EQ(curves[0].family, "multi_group");
+  ASSERT_EQ(curves[0].points.size(), 2u);
+  EXPECT_EQ(curves[0].points[0].threads, 1u);
+  EXPECT_DOUBLE_EQ(curves[0].points[0].speedup, 1.0);  // reference point
+  EXPECT_EQ(curves[0].points[1].threads, 2u);
+  EXPECT_GT(curves[0].points[1].runtime_s, 0.0);
+  EXPECT_GT(curves[0].points[1].speedup, 0.0);
+
+  // The JSON section round-trips and strips away entirely (timing-only).
+  const Json jscaling = Suite::scaling_json(curves);
+  ASSERT_EQ(jscaling.items().size(), 1u);
+  EXPECT_EQ(jscaling.items()[0].find("family")->as_string(), "multi_group");
+  EXPECT_EQ(jscaling.items()[0].find("points")->items().size(), 2u);
+  Json doc = Json::object();
+  doc["schema"] = "x";
+  doc["scaling"] = jscaling;
+  EXPECT_EQ(strip_volatile(doc).find("scaling"), nullptr);
+
+  EXPECT_FALSE(Suite::default_scaling_threads().empty());
+  EXPECT_EQ(Suite::default_scaling_threads().front(), 1u);
+}
+
 }  // namespace
 }  // namespace lmr::bench

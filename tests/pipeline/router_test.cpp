@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "exec/task_pool.hpp"
+#include "scenario/scenario_families.hpp"
 #include "workload/metrics.hpp"
 #include "workload/table1_cases.hpp"
 
@@ -171,6 +174,126 @@ TEST(Router, BatchIdenticalSingleVsMultiThreaded) {
                        threaded.layout.pair(id).positive.path.length());
       EXPECT_DOUBLE_EQ(p.negative.path.length(),
                        threaded.layout.pair(id).negative.path.length());
+    }
+  }
+}
+
+/// Compare every trace and pair of two layouts point for point.
+void expect_identical_geometry(const layout::Layout& a, const layout::Layout& b) {
+  for (const auto& [id, t] : a.traces()) {
+    const auto& mine = t.path.points();
+    const auto& other = b.trace(id).path.points();
+    ASSERT_EQ(mine.size(), other.size()) << "trace " << id;
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      EXPECT_EQ(mine[i].x, other[i].x) << "trace " << id << " point " << i;
+      EXPECT_EQ(mine[i].y, other[i].y) << "trace " << id << " point " << i;
+    }
+  }
+  for (const auto& [id, p] : a.pairs()) {
+    for (const auto sub : {&layout::DiffPair::positive, &layout::DiffPair::negative}) {
+      const auto& mine = (p.*sub).path.points();
+      const auto& other = (b.pair(id).*sub).path.points();
+      ASSERT_EQ(mine.size(), other.size()) << "pair " << id;
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        EXPECT_EQ(mine[i].x, other[i].x) << "pair " << id << " point " << i;
+        EXPECT_EQ(mine[i].y, other[i].y) << "pair " << id << " point " << i;
+      }
+    }
+  }
+}
+
+/// route_all on a seeded multi-group board: bit-identical to per-group
+/// route() whatever the thread count, results in group order.
+TEST(Router, RouteAllDeterministicAcrossThreadCounts) {
+  const auto fam = scenario::family("multi_group", true);
+  const scenario::Scenario reference_sc = scenario::materialize(fam.cases.at(0));
+  ASSERT_GT(reference_sc.layout.groups().size(), 1u);
+
+  auto reference = reference_sc.layout;
+  RouterOptions ref_opts = table1_options();
+  const Router ref_router(reference_sc.rules, ref_opts);
+  std::vector<RouteResult> ref_results;
+  for (std::size_t g = 0; g < reference.groups().size(); ++g) {
+    ref_results.push_back(ref_router.route(reference, g));
+  }
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    scenario::Scenario sc = scenario::materialize(fam.cases.at(0));
+    RouterOptions opts = table1_options();
+    opts.threads = threads;
+    const Router router(sc.rules, opts);
+    const std::vector<RouteResult> results = router.route_all(sc.layout);
+
+    ASSERT_EQ(results.size(), ref_results.size()) << threads;
+    for (std::size_t g = 0; g < results.size(); ++g) {
+      EXPECT_EQ(results[g].group.group_name, ref_results[g].group.group_name);
+      EXPECT_DOUBLE_EQ(results[g].group.max_error_pct, ref_results[g].group.max_error_pct);
+      EXPECT_DOUBLE_EQ(results[g].group.avg_error_pct, ref_results[g].group.avg_error_pct);
+      EXPECT_EQ(results[g].violation_count(), ref_results[g].violation_count());
+      ASSERT_EQ(results[g].nets.size(), ref_results[g].nets.size());
+      for (std::size_t i = 0; i < results[g].nets.size(); ++i) {
+        EXPECT_DOUBLE_EQ(results[g].nets[i].member.final_length,
+                         ref_results[g].nets[i].member.final_length);
+        EXPECT_EQ(results[g].nets[i].member.patterns, ref_results[g].nets[i].member.patterns);
+      }
+    }
+    expect_identical_geometry(reference, sc.layout);
+  }
+}
+
+/// A target below the current trace length makes the extender throw inside
+/// a member task; the pool must capture and rethrow it from route_batch,
+/// leaving the layout untouched (write-back never runs).
+TEST(Router, ThrowingMemberTaskPropagatesAndAbortsCleanly) {
+  drc::DesignRules rules;
+  layout::Layout l = small_group(rules);
+  l.groups()[0].target_length = 5.0;  // every trace is already >= 30 long
+  const layout::Layout before = l;
+
+  RouterOptions opts;
+  opts.threads = 8;
+  const Router router(rules, opts);
+  EXPECT_THROW((void)router.route_batch(l), std::invalid_argument);
+  expect_identical_geometry(before, l);
+}
+
+/// Repeated route_batch calls on one Router reuse the same private pool:
+/// results stay identical call after call and no per-call state leaks.
+TEST(Router, RepeatedRouteBatchOnOneRouterIsStable) {
+  const auto fam = scenario::family("multi_group", true);
+  const scenario::Scenario sc = scenario::materialize(fam.cases.at(0));
+  RouterOptions opts = table1_options();
+  opts.threads = 4;
+  const Router router(sc.rules, opts);
+
+  double first_error = -1.0;
+  for (int call = 0; call < 25; ++call) {
+    layout::Layout layout = sc.layout;  // fresh board, same router+pool
+    const RouteResult rr = router.route_batch(layout, 0);
+    if (first_error < 0.0) first_error = rr.group.max_error_pct;
+    EXPECT_DOUBLE_EQ(rr.group.max_error_pct, first_error) << "call " << call;
+  }
+}
+
+/// An explicitly provided executor is honoured (the Suite wiring): one
+/// pool shared by several Routers, including nested route_all fan-out.
+TEST(Router, SharedExplicitPoolAcrossRouters) {
+  exec::TaskPool pool(2);
+  const auto fam = scenario::family("multi_group", true);
+  for (int r = 0; r < 3; ++r) {
+    scenario::Scenario sc = scenario::materialize(fam.cases.at(0));
+    RouterOptions opts = table1_options();
+    opts.threads = 3;
+    opts.pool = &pool;
+    const Router router(sc.rules, opts);
+    EXPECT_EQ(&router.pool(), &pool);
+    const std::vector<RouteResult> results = router.route_all(sc.layout);
+    EXPECT_EQ(results.size(), sc.layout.groups().size());
+    // The family's own gate: few-percent Max error, not exact matching
+    // (residuals below the minimum pattern gain are unreachable).
+    for (const RouteResult& rr : results) {
+      EXPECT_LT(rr.group.max_error_pct, 5.0);
+      EXPECT_LT(rr.group.max_error_pct, rr.group.initial_max_error_pct);
     }
   }
 }
