@@ -1,0 +1,157 @@
+/// \file micro_drc_overlap.cpp
+/// `bench_micro_drc_overlap` — barrier sweep vs staged extend/DRC pipeline.
+///
+///   bench_micro_drc_overlap [--repeats N] [--threads N] [--smoke] [--out PATH]
+///
+/// Routes every case of the DRC-heavy parallelism families (`large_group`,
+/// `multi_group`) twice per repeat — once under the legacy two-phase
+/// schedule (every member extends, then the whole oracle sweep runs as tail
+/// latency) and once under the staged pipeline (per-net checks overlap
+/// extension; only the clearance query pass joins) — and reports min /
+/// median wall times plus the oracle bound: the win cannot exceed the
+/// barrier run's recorded `drc_runtime_s` share, which is exactly what the
+/// overlapped schedule hides. Results go through the `lmr::bench` JSON
+/// writer (default BENCH_drc_overlap.json, volatile-key conventions of
+/// report.hpp), mirroring the tracked `"drc_overlap"` section that
+/// `bench_suite --drc-overlap` attaches to BENCH_results.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_harness/report.hpp"
+#include "pipeline/router.hpp"
+#include "scenario/scenario_families.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n == 0 ? 0.0 : (n % 2 == 1 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2.0);
+}
+
+struct Timing {
+  double min_s = 0.0;
+  double median_s = 0.0;
+  double drc_runtime_s = 0.0;      ///< oracle work recorded by the last repeat
+  double drc_barrier_s = 0.0;      ///< barrier share of that work
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--repeats N] [--threads N] [--smoke] [--out PATH]\n"
+      "  --repeats N  timed repetitions per schedule (default 5)\n"
+      "  --threads N  pool parallelism (0 = hardware)\n"
+      "  --smoke      tiny per-family variants\n"
+      "  --out PATH   results file (default BENCH_drc_overlap.json)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeats = 5;
+  std::size_t threads = 0;
+  bool smoke = false;
+  std::string out_path = "BENCH_drc_overlap.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repeats" && i + 1 < argc) {
+      repeats = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  lmr::bench::Json doc = lmr::bench::Json::object();
+  doc["schema"] = "lmroute-micro-drc-overlap/v1";
+  doc["run"] = lmr::bench::run_info_json(lmr::bench::collect_run_info());
+  doc["repeats"] = repeats;
+  lmr::bench::Json jcases = lmr::bench::Json::array();
+
+  std::printf("%-16s %-24s %-10s %-10s %-10s %-10s %-8s %-8s\n", "family", "scenario",
+              "bar-min", "bar-med", "ovl-min", "ovl-med", "speedup", "drc%");
+  for (const char* fam_name : {"large_group", "multi_group"}) {
+    const lmr::scenario::Family fam = lmr::scenario::family(fam_name, smoke);
+    for (const lmr::scenario::FamilyCase& fc : fam.cases) {
+      const lmr::scenario::Scenario sc = lmr::scenario::materialize(fc);
+      Timing timing[2];  // [0] barrier, [1] overlapped
+      for (const int which : {0, 1}) {
+        lmr::pipeline::RouterOptions opts;
+        opts.extender.l_disc = 0.5;
+        opts.extender.max_width_steps = 24;
+        opts.threads = threads;
+        opts.drc_schedule = which == 0 ? lmr::pipeline::DrcSchedule::Barrier
+                                       : lmr::pipeline::DrcSchedule::Overlapped;
+        if (sc.spec.extender_tolerance > 0.0) {
+          opts.extender.tolerance = sc.spec.extender_tolerance;
+        }
+        if (sc.pair_rule_set.size() > 1) opts.pair_rule_set = sc.pair_rule_set;
+        const lmr::pipeline::Router router(sc.rules, opts);
+        std::vector<double> times;
+        times.reserve(static_cast<std::size_t>(repeats));
+        for (int r = 0; r < repeats; ++r) {
+          lmr::layout::Layout board = sc.layout;  // fresh geometry per repeat
+          const auto t0 = Clock::now();
+          const std::vector<lmr::pipeline::RouteResult> results = router.route_all(board);
+          times.push_back(seconds_since(t0));
+          timing[which].drc_runtime_s = 0.0;
+          timing[which].drc_barrier_s = 0.0;
+          for (const lmr::pipeline::RouteResult& rr : results) {
+            timing[which].drc_runtime_s += rr.drc_runtime_s;
+            timing[which].drc_barrier_s += rr.drc_barrier_runtime_s;
+          }
+        }
+        timing[which].min_s = *std::min_element(times.begin(), times.end());
+        timing[which].median_s = median(times);
+      }
+
+      const double speedup =
+          timing[1].min_s > 0.0 ? timing[0].min_s / timing[1].min_s : 0.0;
+      const double drc_share =
+          timing[0].min_s > 0.0 ? 100.0 * timing[0].drc_runtime_s / timing[0].min_s : 0.0;
+      std::printf("%-16s %-24s %-10.4f %-10.4f %-10.4f %-10.4f %-8.2f %-8.1f\n",
+                  fam.name.c_str(), sc.spec.name.c_str(), timing[0].min_s,
+                  timing[0].median_s, timing[1].min_s, timing[1].median_s, speedup,
+                  drc_share);
+
+      lmr::bench::Json jc = lmr::bench::Json::object();
+      jc["family"] = fam.name;
+      jc["scenario"] = sc.spec.name;
+      jc["seed"] = lmr::bench::Json{sc.seed};
+      jc["barrier_min_s"] = timing[0].min_s;
+      jc["barrier_median_s"] = timing[0].median_s;
+      jc["barrier_drc_runtime_s"] = timing[0].drc_runtime_s;
+      jc["overlapped_min_s"] = timing[1].min_s;
+      jc["overlapped_median_s"] = timing[1].median_s;
+      jc["overlapped_barrier_share_s"] = timing[1].drc_barrier_s;
+      jc["speedup_min_s"] = speedup;
+      jcases.push_back(std::move(jc));
+    }
+  }
+  doc["cases"] = std::move(jcases);
+  return lmr::bench::write_results_file(out_path, doc);
+}

@@ -3,12 +3,14 @@
 /// tracked results file (see EXPERIMENTS.md "Benchmark suite").
 ///
 ///   bench_suite [--smoke] [--out PATH] [--family NAME]... [--threads N]
-///               [--no-drc] [--scaling] [--list]
+///               [--no-drc] [--scaling] [--drc-overlap] [--list]
 ///
 /// Exit code 0 when every case is ok (matched where expected, DRC-clean).
 /// `--scaling` additionally sweeps thread counts over the parallelism
 /// workloads (`large_group`, `multi_group`) and attaches the speedup curve
-/// to the result document under `"scaling"` (volatile: timing-only).
+/// to the result document under `"scaling"` (volatile: timing-only);
+/// `--drc-overlap` diffs the staged extend/DRC pipeline against the legacy
+/// barrier schedule on the same families under `"drc_overlap"`.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,7 +26,7 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--smoke] [--out PATH] [--family NAME]... [--threads N] [--no-drc] "
-      "[--scaling] [--list]\n"
+      "[--scaling] [--drc-overlap] [--list]\n"
       "  --smoke        tiny per-family variants (CI-sized seeds)\n"
       "  --out PATH     results file (default BENCH_results.json)\n"
       "  --family NAME  run only this family (repeatable; default all)\n"
@@ -32,6 +34,8 @@ void usage(const char* argv0) {
       "  --no-drc       skip the final oracle sweep\n"
       "  --scaling      also sweep thread counts on large_group/multi_group and\n"
       "                 attach the speedup curve to the results file\n"
+      "  --drc-overlap  also diff the overlapped extend/DRC pipeline against the\n"
+      "                 barrier schedule on large_group/multi_group\n"
       "  --list         print family names and exit\n",
       argv0);
 }
@@ -42,6 +46,7 @@ int main(int argc, char** argv) {
   lmr::bench::SuiteOptions opts;
   std::string out_path = "BENCH_results.json";
   bool scaling = false;
+  bool drc_overlap = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -49,6 +54,8 @@ int main(int argc, char** argv) {
       opts.smoke = true;
     } else if (arg == "--scaling") {
       scaling = true;
+    } else if (arg == "--drc-overlap") {
+      drc_overlap = true;
     } else if (arg == "--no-drc") {
       opts.run_drc = false;
     } else if (arg == "--list") {
@@ -121,6 +128,25 @@ int main(int argc, char** argv) {
       }
     }
     doc["scaling"] = lmr::bench::Suite::scaling_json(curves);
+  }
+
+  if (drc_overlap) {
+    std::vector<lmr::bench::OverlapComparison> comparisons;
+    try {
+      comparisons =
+          lmr::bench::Suite::run_drc_overlap(opts, {"large_group", "multi_group"});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "drc-overlap sweep failed: %s\n", e.what());
+      return 2;
+    }
+    std::printf("\ndrc-overlap sweep (barrier vs staged pipeline):\n");
+    std::printf("%-16s %-12s %-12s %-8s\n", "family", "barrier[s]", "overlap[s]",
+                "speedup");
+    for (const lmr::bench::OverlapComparison& c : comparisons) {
+      std::printf("%-16s %-12.3f %-12.3f %-8.2f\n", c.family.c_str(),
+                  c.barrier_runtime_s, c.overlapped_runtime_s, c.speedup);
+    }
+    doc["drc_overlap"] = lmr::bench::Suite::drc_overlap_json(comparisons);
   }
 
   const int write_rc = lmr::bench::write_results_file(out_path, doc);

@@ -51,6 +51,9 @@ Json group_json(const GroupOutcome& g) {
   j["net_violations"] = static_cast<std::int64_t>(g.net_violations);
   j["cross_violations"] = static_cast<std::int64_t>(g.cross_violations);
   j["runtime_s"] = g.runtime_s;
+  j["extend_runtime_s"] = g.extend_runtime_s;
+  j["drc_overlap_runtime_s"] = g.drc_overlap_runtime_s;
+  j["drc_barrier_runtime_s"] = g.drc_barrier_runtime_s;
   j["drc_runtime_s"] = g.drc_runtime_s;
   return j;
 }
@@ -135,6 +138,9 @@ CaseOutcome Suite::run_case(const scenario::Family& fam,
     }
     go.cross_violations = rr.cross_violations.size();
     go.runtime_s = rr.runtime_s;
+    go.extend_runtime_s = rr.extend_runtime_s;
+    go.drc_overlap_runtime_s = rr.drc_overlap_runtime_s;
+    go.drc_barrier_runtime_s = rr.drc_barrier_runtime_s;
     go.drc_runtime_s = rr.drc_runtime_s;
     outcome.groups.push_back(std::move(go));
   }
@@ -213,6 +219,52 @@ std::vector<ScalingCurve> Suite::run_scaling(const SuiteOptions& base,
     curves.push_back(std::move(curve));
   }
   return curves;
+}
+
+std::vector<OverlapComparison> Suite::run_drc_overlap(
+    const SuiteOptions& base, const std::vector<std::string>& families) {
+  // Min of several repeats per schedule, with each schedule's Suite (and
+  // therefore its pool) reused across its repeats: a single cold sample
+  // would charge thread spin-up and allocator warm-up to whichever schedule
+  // runs first and report that bias as a "win".
+  constexpr int kRepeats = 3;
+  std::vector<OverlapComparison> comparisons;
+  for (const std::string& fam : families) {
+    OverlapComparison cmp;
+    cmp.family = fam;
+    for (const pipeline::DrcSchedule schedule :
+         {pipeline::DrcSchedule::Barrier, pipeline::DrcSchedule::Overlapped}) {
+      SuiteOptions opts = base;
+      opts.families = {fam};
+      opts.router.drc_schedule = schedule;
+      const Suite suite(opts);
+      double best = 0.0;
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        const SuiteResult r = suite.run();
+        best = rep == 0 ? r.runtime_s : std::min(best, r.runtime_s);
+      }
+      (schedule == pipeline::DrcSchedule::Barrier ? cmp.barrier_runtime_s
+                                                  : cmp.overlapped_runtime_s) = best;
+    }
+    cmp.speedup = cmp.overlapped_runtime_s > 0.0
+                      ? cmp.barrier_runtime_s / cmp.overlapped_runtime_s
+                      : 0.0;
+    comparisons.push_back(std::move(cmp));
+  }
+  return comparisons;
+}
+
+Json Suite::drc_overlap_json(const std::vector<OverlapComparison>& comparisons) {
+  Json out = Json::array();
+  for (const OverlapComparison& c : comparisons) {
+    Json jc = Json::object();
+    jc["family"] = c.family;
+    jc["barrier_runtime_s"] = c.barrier_runtime_s;
+    jc["overlapped_runtime_s"] = c.overlapped_runtime_s;
+    jc["speedup"] = c.speedup;
+    out.push_back(std::move(jc));
+  }
+  return out;
 }
 
 Json Suite::scaling_json(const std::vector<ScalingCurve>& curves) {

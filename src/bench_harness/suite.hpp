@@ -11,9 +11,10 @@
 /// thread counts. `to_json` serializes the outcome under the report
 /// conventions of report.hpp, so `BENCH_results.json` can be committed and
 /// re-generated bit-identically (modulo the volatile context: `"run"`,
-/// `"scaling"`, `threads_used`/`pool_policy`, and `*_s` timing fields) from
-/// the same seeds. `run_scaling` sweeps thread counts over selected
-/// families and reports the speedup curve.
+/// `"scaling"`, `"drc_overlap"`, `threads_used`/`pool_policy`, and `*_s`
+/// timing fields) from the same seeds. `run_scaling` sweeps thread counts
+/// over selected families and reports the speedup curve; `run_drc_overlap`
+/// diffs the staged pipeline against the legacy barrier schedule.
 
 #include <cstdint>
 #include <string>
@@ -57,7 +58,12 @@ struct GroupOutcome {
   std::size_t net_violations = 0;      ///< per-net oracle violations
   std::size_t cross_violations = 0;    ///< cross-member clearance violations
   double runtime_s = 0.0;
-  double drc_runtime_s = 0.0;          ///< oracle-sweep share of runtime_s
+  double extend_runtime_s = 0.0;       ///< aggregate extension work time
+  /// Aggregate per-net oracle work (overlapped with extension by default).
+  double drc_overlap_runtime_s = 0.0;
+  /// Wall time of the final cross-member clearance query pass.
+  double drc_barrier_runtime_s = 0.0;
+  double drc_runtime_s = 0.0;          ///< total oracle work (overlap + barrier)
 };
 
 /// One scenario's outcome.
@@ -112,6 +118,16 @@ struct ScalingCurve {
   std::vector<ScalingPoint> points;  ///< in `thread_counts` order
 };
 
+/// Barrier-vs-overlapped DRC scheduling comparison for one family (see
+/// pipeline::DrcSchedule): the measured value of the staged pipeline,
+/// bounded per family by the recorded `drc_runtime_s`.
+struct OverlapComparison {
+  std::string family;
+  double barrier_runtime_s = 0.0;     ///< two-phase flow wall time
+  double overlapped_runtime_s = 0.0;  ///< staged-pipeline wall time
+  double speedup = 0.0;               ///< barrier / overlapped
+};
+
 /// The runner. Construct with options, `run()` as often as needed — the
 /// executor persists for the Suite's lifetime, so repeated runs reuse the
 /// same workers.
@@ -143,6 +159,18 @@ class Suite {
   /// `"scaling"` section for a result document (volatile by definition:
   /// strip_volatile removes the whole section).
   [[nodiscard]] static Json scaling_json(const std::vector<ScalingCurve>& curves);
+
+  /// Rerun `families` once per DRC schedule (Barrier, then Overlapped) and
+  /// report the wall-clock win of the staged pipeline. Quality metrics are
+  /// discarded: they are schedule-invariant by construction (and separately
+  /// enforced by the pipeline equivalence tests).
+  [[nodiscard]] static std::vector<OverlapComparison> run_drc_overlap(
+      const SuiteOptions& base, const std::vector<std::string>& families);
+
+  /// `"drc_overlap"` section for a result document (volatile by definition:
+  /// strip_volatile removes the whole section).
+  [[nodiscard]] static Json drc_overlap_json(
+      const std::vector<OverlapComparison>& comparisons);
 
   [[nodiscard]] const SuiteOptions& options() const { return opts_; }
 

@@ -1,0 +1,132 @@
+#include "layout/clearance_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/distance.hpp"
+#include "index/range_tree.hpp"
+
+namespace lmr::layout {
+
+ClearanceIndex::ClearanceIndex(const drc::DesignRules& rules, DrcCheckOptions opts)
+    : rules_(rules), opts_(opts) {}
+
+std::uint32_t ClearanceIndex::add_slot(double width, std::uint32_t net) {
+  Slot s;
+  s.net = net;
+  s.width = width;
+  max_width_ = std::max(max_width_, width);
+  slots_.push_back(std::move(s));
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void ClearanceIndex::insert(std::uint32_t slot, const Trace& trace) {
+  Slot& s = slots_[slot];
+  s.trace = &trace;
+  s.samples.clear();
+  s.sample_seg.clear();
+  // Sample points along every segment. A segment within distance d of
+  // another has a sample of it within d + pitch/2 of the closest approach,
+  // so the sweep's query window inflated by gap_max + pitch/2 (+ tolerance)
+  // never misses a candidate. The pitch trades tree size against window hit
+  // count; it depends only on the declared widths, so insertion order can
+  // never change the samples.
+  const double gap_max = rules_.gap + max_width_;
+  const double pitch = std::max(gap_max, rules_.protect);
+  const geom::Polyline& path = trace.path;
+  for (std::uint32_t seg_idx = 0; seg_idx < path.segment_count(); ++seg_idx) {
+    const geom::Segment seg = path.segment(seg_idx);
+    const int samples =
+        1 + std::max(1, static_cast<int>(std::ceil(seg.length() / pitch)));
+    for (int k = 0; k < samples; ++k) {
+      const double u = static_cast<double>(k) / (samples - 1);
+      s.samples.push_back(seg.a + (seg.b - seg.a) * u);
+      s.sample_seg.push_back(seg_idx);
+    }
+  }
+}
+
+std::vector<Violation> ClearanceIndex::sweep() const {
+  std::vector<Violation> out;
+  std::size_t inserted = 0;
+  for (const Slot& s : slots_) inserted += s.trace != nullptr ? 1 : 0;
+  if (inserted < 2) return out;
+
+  const double gap_max = rules_.gap + max_width_;
+  const double pitch = std::max(gap_max, rules_.protect);
+
+  /// Flat id of one (slot, segment) pair across all inserted slots.
+  struct SegRef {
+    std::uint32_t slot = 0;
+    std::uint32_t seg = 0;
+  };
+  std::vector<SegRef> segs;
+  std::vector<index::RangeTree2D::Entry> entries;
+  std::vector<std::uint32_t> seg_base(slots_.size(), 0);
+  for (std::uint32_t t = 0; t < slots_.size(); ++t) {
+    const Slot& s = slots_[t];
+    seg_base[t] = static_cast<std::uint32_t>(segs.size());
+    if (s.trace == nullptr) continue;
+    for (std::uint32_t seg_idx = 0; seg_idx < s.trace->path.segment_count(); ++seg_idx) {
+      segs.push_back({t, seg_idx});
+    }
+    for (std::size_t k = 0; k < s.samples.size(); ++k) {
+      entries.push_back({s.samples[k], seg_base[t] + s.sample_seg[k]});
+    }
+  }
+  const index::RangeTree2D tree{std::move(entries)};
+
+  // Collect candidate pairs: each segment window-queries the tree; the pair
+  // is keyed on the lower slot index so it is found exactly once.
+  struct Candidate {
+    std::uint32_t slot_a, slot_b, seg_a, seg_b;
+    bool operator<(const Candidate& o) const {
+      if (slot_a != o.slot_a) return slot_a < o.slot_a;
+      if (slot_b != o.slot_b) return slot_b < o.slot_b;
+      if (seg_a != o.seg_a) return seg_a < o.seg_a;
+      return seg_b < o.seg_b;
+    }
+    bool operator==(const Candidate& o) const {
+      return slot_a == o.slot_a && slot_b == o.slot_b && seg_a == o.seg_a &&
+             seg_b == o.seg_b;
+    }
+  };
+  std::vector<Candidate> candidates;
+  const double inflate = gap_max + pitch / 2.0 + opts_.tolerance + 1e-9;
+  for (std::uint32_t t = 0; t < slots_.size(); ++t) {
+    const Slot& s = slots_[t];
+    if (s.trace == nullptr) continue;
+    const geom::Polyline& path = s.trace->path;
+    for (std::uint32_t seg_idx = 0; seg_idx < path.segment_count(); ++seg_idx) {
+      const geom::Box window = path.segment(seg_idx).bbox().inflated(inflate);
+      tree.visit(window, [&](const index::RangeTree2D::Entry& e) {
+        const SegRef& other = segs[e.payload];
+        // Same slot or same net: not a cross check. The lower slot owns the
+        // pair (they see each other's windows symmetrically).
+        if (other.slot <= t) return true;
+        if (slots_[other.slot].net == s.net) return true;
+        candidates.push_back({t, other.slot, seg_idx, other.seg});
+        return true;
+      });
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+  // Exact checks in the naive loop's order (candidates are sorted by
+  // (slot_a, slot_b, seg_a, seg_b), which is that order).
+  for (const Candidate& c : candidates) {
+    const Trace& a = *slots_[c.slot_a].trace;
+    const Trace& b = *slots_[c.slot_b].trace;
+    const double gap = rules_.gap + (a.width + b.width) / 2.0;
+    const double d =
+        geom::dist_segment_segment(a.path.segment(c.seg_a), b.path.segment(c.seg_b));
+    if (d + opts_.tolerance < gap) {
+      out.push_back({ViolationKind::TraceGap, a.id, b.id, c.seg_a, c.seg_b, d, gap,
+                     "segments of different traces closer than gap"});
+    }
+  }
+  return out;
+}
+
+}  // namespace lmr::layout

@@ -1,0 +1,80 @@
+#pragma once
+/// \file clearance_index.hpp
+/// Incrementally-buildable cross-net clearance index.
+///
+/// The one-shot sweep (clearance_sweep.hpp) samples every trace, builds the
+/// range tree and runs the window queries in a single tail call — pure
+/// added latency after the last group member finishes extending. The staged
+/// routing pipeline wants the per-trace half of that work to happen *while*
+/// other members are still extending, so `ClearanceIndex` splits the sweep
+/// into three phases:
+///
+///  1. `add_slot()` — declare every participating trace up front (serial,
+///     cheap). This fixes the sampling pitch (a function of the declared
+///     widths only) and the deterministic slot order that violation
+///     ordering is keyed on.
+///  2. `insert()`  — sample one trace's segments into its slot. Each call
+///     writes only that slot's pre-allocated storage, so inserts for
+///     distinct slots are safe from concurrent pipeline chains: a member
+///     indexes its own geometry the moment it lands, in any order.
+///  3. `sweep()`   — the only remaining barrier: assemble the range tree
+///     over the pre-sampled points and run the query / exact-check pass.
+///
+/// The output is identical — same violations, same order — to running
+/// `cross_clearance_sweep` over the same traces in slot order: sampling
+/// depends only on each trace's own geometry and the declared widths, and
+/// candidates are ordered by slot index, never by insertion timing.
+
+#include <cstdint>
+#include <vector>
+
+#include "drc/rules.hpp"
+#include "geom/vec2.hpp"
+#include "layout/drc_checker.hpp"
+#include "layout/trace.hpp"
+
+namespace lmr::layout {
+
+/// The incremental form of the cross-net clearance sweep. Not copyable; a
+/// fresh index is cheap and a sweep is usually one-shot per routed group.
+class ClearanceIndex {
+ public:
+  explicit ClearanceIndex(const drc::DesignRules& rules, DrcCheckOptions opts = {});
+
+  /// Declare one participating trace: its width (enters the worst-case gap
+  /// that sizes sampling pitch and query windows) and its net id (traces of
+  /// equal net are never checked against each other). Returns the dense
+  /// slot id, assigned in call order — the order violations are keyed on.
+  /// All slots must be declared before the first `insert`.
+  std::uint32_t add_slot(double width, std::uint32_t net);
+
+  /// Sample `trace`'s segments into `slot`. Thread-safe for distinct slots
+  /// (each call touches only its own slot's storage); `trace` must outlive
+  /// the index. Inserting a slot twice replaces its samples.
+  void insert(std::uint32_t slot, const Trace& trace);
+
+  /// Query-only pass over everything inserted so far: build the range tree
+  /// from the pre-sampled points and run the exact checks. Returns all
+  /// TraceGap violations between traces of different nets, deterministically
+  /// ordered by (slot a, slot b, segment a, segment b). Slots that were
+  /// declared but never inserted simply do not participate.
+  [[nodiscard]] std::vector<Violation> sweep() const;
+
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    const Trace* trace = nullptr;  ///< null until insert()
+    std::uint32_t net = 0;
+    double width = 0.0;
+    std::vector<geom::Point> samples;
+    std::vector<std::uint32_t> sample_seg;  ///< sample -> local segment index
+  };
+
+  drc::DesignRules rules_;
+  DrcCheckOptions opts_;
+  double max_width_ = 0.0;  ///< over declared widths; frozen by first insert
+  std::vector<Slot> slots_;
+};
+
+}  // namespace lmr::layout

@@ -1,106 +1,18 @@
 #include "layout/clearance_sweep.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "geom/distance.hpp"
-#include "index/range_tree.hpp"
+#include "layout/clearance_index.hpp"
 
 namespace lmr::layout {
-
-namespace {
-
-/// Flat id of one (trace, segment) slot across all sweep inputs.
-struct SegRef {
-  std::uint32_t trace_idx = 0;  ///< index into the input vector
-  std::uint32_t seg_idx = 0;
-};
-
-}  // namespace
 
 std::vector<Violation> cross_clearance_sweep(const std::vector<SweepTrace>& traces,
                                              const drc::DesignRules& rules,
                                              const DrcCheckOptions& opts) {
-  std::vector<Violation> out;
-  if (traces.size() < 2) return out;
-
-  double max_width = 0.0;
-  for (const SweepTrace& st : traces) max_width = std::max(max_width, st.trace->width);
-  // Worst-case centerline gap any pair can require.
-  const double gap_max = rules.gap + max_width;
-
-  // Index sample points along every segment. A segment within distance d of
-  // another has a sample of it within d + pitch/2 of the closest approach,
-  // so a window inflated by gap_max + pitch/2 (+ tolerance) never misses a
-  // candidate. The pitch trades tree size against window hit count.
-  const double pitch = std::max(gap_max, rules.protect);
-  std::vector<SegRef> segs;
-  std::vector<index::RangeTree2D::Entry> entries;
-  for (std::uint32_t t = 0; t < traces.size(); ++t) {
-    const geom::Polyline& path = traces[t].trace->path;
-    for (std::uint32_t s = 0; s < path.segment_count(); ++s) {
-      const geom::Segment seg = path.segment(s);
-      const auto id = static_cast<std::uint32_t>(segs.size());
-      segs.push_back({t, s});
-      const int samples =
-          1 + std::max(1, static_cast<int>(std::ceil(seg.length() / pitch)));
-      for (int k = 0; k < samples; ++k) {
-        const double u = static_cast<double>(k) / (samples - 1);
-        entries.push_back({seg.a + (seg.b - seg.a) * u, id});
-      }
-    }
-  }
-  const index::RangeTree2D tree{std::move(entries)};
-
-  // Collect candidate pairs: each segment window-queries the tree; the pair
-  // is keyed on the lower input index so it is found exactly once.
-  struct Candidate {
-    std::uint32_t trace_a, trace_b, seg_a, seg_b;
-    bool operator<(const Candidate& o) const {
-      if (trace_a != o.trace_a) return trace_a < o.trace_a;
-      if (trace_b != o.trace_b) return trace_b < o.trace_b;
-      if (seg_a != o.seg_a) return seg_a < o.seg_a;
-      return seg_b < o.seg_b;
-    }
-    bool operator==(const Candidate& o) const {
-      return trace_a == o.trace_a && trace_b == o.trace_b && seg_a == o.seg_a &&
-             seg_b == o.seg_b;
-    }
-  };
-  std::vector<Candidate> candidates;
-  const double inflate = gap_max + pitch / 2.0 + opts.tolerance + 1e-9;
-  for (std::uint32_t t = 0; t < traces.size(); ++t) {
-    const geom::Polyline& path = traces[t].trace->path;
-    for (std::uint32_t s = 0; s < path.segment_count(); ++s) {
-      const geom::Box window = path.segment(s).bbox().inflated(inflate);
-      tree.visit(window, [&](const index::RangeTree2D::Entry& e) {
-        const SegRef& other = segs[e.payload];
-        // Same trace or same net: not a cross check. Lower index owns the
-        // pair (they see each other's windows symmetrically).
-        if (other.trace_idx <= t) return true;
-        if (traces[other.trace_idx].net == traces[t].net) return true;
-        candidates.push_back({t, other.trace_idx, s, other.seg_idx});
-        return true;
-      });
-    }
-  }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
-
-  // Exact checks in the naive loop's order (candidates are sorted by
-  // (trace_a, trace_b, seg_a, seg_b), which is that order).
-  for (const Candidate& c : candidates) {
-    const Trace& a = *traces[c.trace_a].trace;
-    const Trace& b = *traces[c.trace_b].trace;
-    const double gap = rules.gap + (a.width + b.width) / 2.0;
-    const double d =
-        geom::dist_segment_segment(a.path.segment(c.seg_a), b.path.segment(c.seg_b));
-    if (d + opts.tolerance < gap) {
-      out.push_back({ViolationKind::TraceGap, a.id, b.id, c.seg_a, c.seg_b, d, gap,
-                     "segments of different traces closer than gap"});
-    }
-  }
-  return out;
+  // One-shot form of the incremental index: declare every trace (fixing
+  // pitch and slot order), insert them all, run the query pass.
+  ClearanceIndex index(rules, opts);
+  for (const SweepTrace& st : traces) index.add_slot(st.trace->width, st.net);
+  for (std::uint32_t i = 0; i < traces.size(); ++i) index.insert(i, *traces[i].trace);
+  return index.sweep();
 }
 
 }  // namespace lmr::layout

@@ -10,6 +10,10 @@
 /// and only the surviving candidate pairs pay an exact distance check.
 /// Output is the naive loop's violation set, deterministically ordered by
 /// (trace index, other trace index, segment, other segment).
+///
+/// This is the one-shot convenience form of `layout::ClearanceIndex`
+/// (clearance_index.hpp), which the staged routing pipeline uses directly
+/// to overlap the sampling work with member extension.
 
 #include <cstdint>
 #include <vector>

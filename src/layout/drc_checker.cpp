@@ -182,7 +182,8 @@ std::vector<Violation> DrcChecker::check_layout(const Layout& layout,
       append(check_containment(t, *area));
     }
   }
-  // Pairwise clearance via the indexed sweep (each trace is its own net).
+  // Pairwise clearance via the indexed sweep (each trace is its own net) —
+  // the one-shot ClearanceIndex wrapper.
   std::vector<SweepTrace> sweep;
   std::uint32_t net = 0;
   for (const auto& [id, t] : layout.traces()) {

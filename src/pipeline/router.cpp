@@ -1,8 +1,10 @@
 #include "pipeline/router.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
 #include <utility>
 
@@ -10,7 +12,7 @@
 #include "dtw/dtw.hpp"
 #include "dtw/median_trace.hpp"
 #include "dtw/pair_restore.hpp"
-#include "layout/clearance_sweep.hpp"
+#include "layout/clearance_index.hpp"
 
 namespace lmr::pipeline {
 
@@ -30,6 +32,17 @@ struct MemberWork {
   const layout::RoutableArea* area = nullptr;
   layout::Trace trace;    ///< single-ended members
   layout::DiffPair pair;  ///< differential members
+  /// Rollback snapshots, filled by write-back *moving* the layout's
+  /// original paths out as the extended ones move in (no copy on the
+  /// success path). The pipeline writes members back as each one finishes,
+  /// so a chain that throws later must be able to restore the layout.
+  geom::Polyline orig_primary;
+  geom::Polyline orig_secondary;  ///< negative sub-trace of a pair
+  bool written = false;           ///< write-back ran; rollback must undo it
+  /// Width-adjusted rules this member's traces are checked against.
+  drc::DesignRules net_rules;
+  /// First clearance-index slot (a pair owns slot0 and slot0 + 1).
+  std::uint32_t slot0 = 0;
 };
 
 void route_single_ended(const drc::DesignRules& rules, const RouterOptions& opts,
@@ -193,14 +206,16 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
   }
   const layout::MatchGroup& group = layout.groups()[group_index];
   const auto t_run = Clock::now();
+  const bool drc = options_.run_drc;
 
-  // Stage inputs: validate and snapshot every member before any extension
-  // starts, so a bad member (or a mid-run extension failure) aborts with
-  // the layout untouched. The geometry copy here is exactly that
-  // abort-safety snapshot — the write-back below moves it back instead of
-  // copying a second time.
+  // Stage 0 (serial): validate and snapshot every member before any stage
+  // runs, declare every clearance-index slot (member order fixes the
+  // deterministic violation order), and keep a rollback copy of each
+  // original path — the pipeline writes geometry back as members finish, so
+  // a later failure must be able to undo earlier write-backs.
   std::vector<MemberWork> work;
   work.reserve(group.members.size());
+  layout::ClearanceIndex index(rules_, options_.drc);
   for (std::size_t m = 0; m < group.members.size(); ++m) {
     MemberWork w;
     w.member = group.members[m];
@@ -209,47 +224,151 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
     if (w.area == nullptr) {
       throw std::invalid_argument("Router: member has no routable area");
     }
+    w.net_rules = rules_;
     if (w.member.kind == layout::MemberKind::SingleEnded) {
       w.trace = layout.trace(w.member.id);
+      w.slot0 = index.add_slot(w.trace.width, static_cast<std::uint32_t>(m));
     } else {
       w.pair = layout.pair(w.member.id);
+      w.net_rules.trace_width = w.pair.positive.width;
+      w.slot0 = index.add_slot(w.pair.positive.width, static_cast<std::uint32_t>(m));
+      index.add_slot(w.pair.negative.width, static_cast<std::uint32_t>(m));
     }
     work.push_back(std::move(w));
   }
+  const std::size_t n = work.size();
 
-  // Extend. Claimers on the persistent pool grab the next unrouted net;
-  // each result lands at its member index, so the outcome is independent of
-  // scheduling order. A thrown extension rethrows here (first one wins)
-  // after the fan-out drains — before any write-back.
-  std::vector<MemberReport> reports(work.size());
-  const std::size_t n_claimers = std::min(std::max<std::size_t>(threads, 1), work.size());
-  if (n_claimers <= 1) {
-    for (std::size_t i = 0; i < work.size(); ++i) {
-      reports[i] = route_member(rules_, options_, work[i]);
-    }
-  } else {
-    exec::parallel_for_dynamic(pool(), work.size(), n_claimers, [&](std::size_t i) {
-      reports[i] = route_member(rules_, options_, work[i]);
-    });
-  }
+  // Per-member result slots, all index-addressed so the outcome — including
+  // violation order — is independent of how chains interleave.
+  const layout::DrcChecker checker(options_.drc);
+  std::vector<MemberReport> reports(n);
+  std::vector<std::vector<layout::Violation>> net_violations(n);
+  std::vector<double> drc_stage_s(n, 0.0);
+  std::vector<double> extend_done_s(n, 0.0);
 
-  // Write results back in member order, moving the extended geometry out of
-  // the staging snapshots (nothing below reads the staged paths again).
-  for (MemberWork& w : work) {
+  // The three stages of one member's chain. Extension runs on the private
+  // snapshot; write-back moves the finished geometry into the layout
+  // (members own distinct map entries, so concurrent write-backs are
+  // race-free); per-net DRC then reads that member's own layout geometry
+  // and lands its sampled segments in the incremental clearance index.
+  const auto extend_stage = [&](std::size_t i) {
+    reports[i] = route_member(rules_, options_, work[i]);
+    extend_done_s[i] = seconds_since(t_run);
+  };
+  const auto writeback_stage = [&](std::size_t i) {
+    MemberWork& w = work[i];
+    // Move the layout's original path out (the rollback snapshot — free on
+    // the success path) as the extended one moves in.
     if (w.member.kind == layout::MemberKind::SingleEnded) {
-      layout.trace(w.member.id).path = std::move(w.trace.path);
+      geom::Polyline& live = layout.trace(w.member.id).path;
+      w.orig_primary = std::move(live);
+      live = std::move(w.trace.path);
     } else {
       layout::DiffPair& pair = layout.pair(w.member.id);
+      w.orig_primary = std::move(pair.positive.path);
+      w.orig_secondary = std::move(pair.negative.path);
       pair.positive.path = std::move(w.pair.positive.path);
       pair.negative.path = std::move(w.pair.negative.path);
     }
+    w.written = true;
+  };
+  const auto drc_stage = [&](std::size_t i) {
+    if (!drc) return;
+    const auto t0 = Clock::now();
+    const MemberWork& w = work[i];
+    std::vector<layout::Violation>& out = net_violations[i];
+    const auto check_one = [&](const layout::Trace& t, std::uint32_t slot) {
+      append(out, checker.check_trace(t, w.net_rules));
+      append(out, checker.check_obstacles(t, w.net_rules, layout.obstacles()));
+      append(out, checker.check_containment(t, *w.area));
+      index.insert(slot, t);
+    };
+    if (w.member.kind == layout::MemberKind::SingleEnded) {
+      check_one(layout.trace(w.member.id), w.slot0);
+    } else {
+      const layout::DiffPair& pair = layout.pair(w.member.id);
+      check_one(pair.positive, w.slot0);
+      check_one(pair.negative, w.slot0 + 1);
+    }
+    drc_stage_s[i] = seconds_since(t0);
+  };
+
+  const std::size_t width =
+      std::min(std::max<std::size_t>(threads, 1), std::max<std::size_t>(n, 1));
+  const bool overlapped = options_.drc_schedule == DrcSchedule::Overlapped;
+  try {
+    if (width <= 1 || n <= 1) {
+      // Serial: chains inline in member order (or phase-by-phase for the
+      // barrier comparator). Stages of different members are independent,
+      // so both orders produce identical results; only timings move.
+      if (overlapped) {
+        for (std::size_t i = 0; i < n; ++i) {
+          extend_stage(i);
+          writeback_stage(i);
+          drc_stage(i);
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) extend_stage(i);
+        for (std::size_t i = 0; i < n; ++i) writeback_stage(i);
+        for (std::size_t i = 0; i < n; ++i) drc_stage(i);
+      }
+    } else if (!overlapped) {
+      // Legacy two-phase flow: every member extends before the first oracle
+      // check runs; the whole DRC cost is tail latency after the join.
+      exec::parallel_for_dynamic(pool(), n, width, extend_stage);
+      for (std::size_t i = 0; i < n; ++i) writeback_stage(i);
+      for (std::size_t i = 0; i < n; ++i) drc_stage(i);
+    } else {
+      // The staged graph: at most `width` member chains in flight, so the
+      // claimer cap of the two-phase fan-out carries over. Each chain's
+      // last stage claims and launches the next unrouted member; a chain
+      // that throws is short-circuited by run_chain, so the failed member
+      // never queues its DRC stage.
+      exec::TaskGroup task_group(pool());
+      std::atomic<std::size_t> next{width};
+      std::function<void(std::size_t)> launch = [&](std::size_t i) {
+        task_group.run_chain({[&, i] { extend_stage(i); },
+                              [&, i] { writeback_stage(i); },
+                              [&, i] {
+                                drc_stage(i);
+                                const std::size_t j =
+                                    next.fetch_add(1, std::memory_order_relaxed);
+                                if (j < n) launch(j);
+                              }});
+      };
+      for (std::size_t c = 0; c < width; ++c) launch(c);
+      task_group.wait();
+    }
+  } catch (...) {
+    // A failed chain aborts the whole group, but sibling chains may already
+    // have written back (and the group drains fully before the rethrow, so
+    // nothing is still running). Restore the original geometry of every
+    // written-back member: the caller keeps the strong guarantee the
+    // two-phase code had — a throw leaves the layout untouched.
+    for (MemberWork& w : work) {
+      if (!w.written) continue;
+      if (w.member.kind == layout::MemberKind::SingleEnded) {
+        layout.trace(w.member.id).path = std::move(w.orig_primary);
+      } else {
+        layout::DiffPair& pair = layout.pair(w.member.id);
+        pair.positive.path = std::move(w.orig_primary);
+        pair.negative.path = std::move(w.orig_secondary);
+      }
+    }
+    throw;
   }
 
   RouteResult result;
   result.group.group_name = group.name;
   result.group.target = group.target_length;
   result.group.members = std::move(reports);
-  result.group.runtime_s = seconds_since(t_run);
+  // Matching-phase wall time — when the last member finished extending (the
+  // pre-pipeline meaning of this field; overlapped per-net checks are
+  // reported separately below).
+  for (std::size_t i = 0; i < n; ++i) {
+    result.group.runtime_s = std::max(result.group.runtime_s, extend_done_s[i]);
+    result.extend_runtime_s += result.group.members[i].runtime_s;
+  }
 
   // Eq. 19 over final and initial lengths, on error magnitudes (overshoot
   // counts like undershoot — same convention as workload::matching_errors;
@@ -270,53 +389,18 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
       errors(true);
   std::tie(result.group.max_error_pct, result.group.avg_error_pct) = errors(false);
 
-  // Final oracle sweep: per-net rules, then clearance across members.
-  if (options_.run_drc) {
-    const auto t_drc = Clock::now();
-    const layout::DrcChecker checker(options_.drc);
-    // All traces of one member, with the width-adjusted rules they obey.
-    struct NetTrace {
-      const layout::Trace* trace;
-      drc::DesignRules rules;
-    };
-    const auto net_traces = [&](const MemberWork& w) {
-      std::vector<NetTrace> out;
-      if (w.member.kind == layout::MemberKind::SingleEnded) {
-        out.push_back({&layout.trace(w.member.id), rules_});
-      } else {
-        const layout::DiffPair& pair = layout.pair(w.member.id);
-        drc::DesignRules sub_rules = rules_;
-        sub_rules.trace_width = pair.positive.width;
-        out.push_back({&pair.positive, sub_rules});
-        out.push_back({&pair.negative, sub_rules});
-      }
-      return out;
-    };
-    std::vector<std::vector<NetTrace>> traces_by_member;
-    traces_by_member.reserve(work.size());
-    for (const MemberWork& w : work) traces_by_member.push_back(net_traces(w));
-    for (std::size_t i = 0; i < work.size(); ++i) {
-      NetResult net;
-      net.member = result.group.members[i];
-      for (const NetTrace& nt : traces_by_member[i]) {
-        append(net.violations, checker.check_trace(*nt.trace, nt.rules));
-        append(net.violations,
-               checker.check_obstacles(*nt.trace, nt.rules, layout.obstacles()));
-        append(net.violations, checker.check_containment(*nt.trace, *work[i].area));
-      }
-      result.nets.push_back(std::move(net));
+  // Collect the per-net verdicts the chains produced, then run the only
+  // remaining barrier: the cross-member clearance query pass over the
+  // incrementally-built index.
+  if (drc) {
+    for (std::size_t i = 0; i < n; ++i) {
+      result.nets.push_back({result.group.members[i], std::move(net_violations[i])});
+      result.drc_overlap_runtime_s += drc_stage_s[i];
     }
-    // Cross-member clearance through the range-tree sweep: one indexed pass
-    // over all S segments instead of the all-pairs O(m² s²) loop.
-    std::vector<layout::SweepTrace> sweep;
-    for (std::size_t i = 0; i < traces_by_member.size(); ++i) {
-      for (const NetTrace& nt : traces_by_member[i]) {
-        sweep.push_back({nt.trace, static_cast<std::uint32_t>(i)});
-      }
-    }
-    append(result.cross_violations,
-           layout::cross_clearance_sweep(sweep, rules_, options_.drc));
-    result.drc_runtime_s = seconds_since(t_drc);
+    const auto t_barrier = Clock::now();
+    result.cross_violations = index.sweep();
+    result.drc_barrier_runtime_s = seconds_since(t_barrier);
+    result.drc_runtime_s = result.drc_overlap_runtime_s + result.drc_barrier_runtime_s;
   } else {
     for (const MemberReport& mr : result.group.members) {
       result.nets.push_back({mr, {}});

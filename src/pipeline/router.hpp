@@ -12,10 +12,20 @@
 /// per-net diagnostics; `route_batch()` runs the same flow with independent
 /// nets extended on the persistent work-stealing executor (exec/task_pool);
 /// `route_all()` batches every group of a layout into one task fan-out so
-/// small groups never serialize behind each other. All of them produce
+/// small groups never serialize behind each other.
+///
+/// Within one group the flow is a staged task graph, not two serial phases:
+/// each member is an extend → write-back → per-net DRC chain
+/// (exec::TaskGroup::run_chain), so one member's rule/obstacle/containment
+/// checks run while other members are still extending, and each member's
+/// sampled segments land in an incremental layout::ClearanceIndex as its
+/// geometry is written back. Only the cross-member clearance query pass
+/// remains as a barrier after the join (see DrcSchedule). All paths produce
 /// identical results by construction: every net is extended on a private
 /// copy of its geometry (nets of one group own disjoint routable areas, so
-/// they are independent) and written back in member order.
+/// they are independent), and every report, violation list and index slot
+/// is written at its member-order index, so the outcome — including
+/// violation order — is independent of scheduling.
 
 #include <cstddef>
 #include <string>
@@ -33,6 +43,21 @@ namespace lmr::pipeline {
 enum class Engine {
   DpMsdtw,    ///< the paper's flow: segment DP + MSDTW medians (default)
   AidtStyle,  ///< greedy fixed-geometry baseline (the Table I comparator)
+};
+
+/// Scheduling of the DRC oracle relative to member extension.
+enum class DrcSchedule {
+  /// Staged pipeline (default): every member runs an
+  /// extend → write-back → per-net DRC chain on the executor, so member B
+  /// extends while member A's rule/obstacle/containment checks run and its
+  /// segments land in the incremental clearance index. Only the cross-member
+  /// clearance query pass remains as a barrier after the join.
+  Overlapped,
+  /// Legacy two-phase comparator: every member finishes extending before the
+  /// first oracle check runs; the whole DRC sweep is tail latency. Kept so
+  /// tests and `bench_micro_drc_overlap` can diff the two paths — they must
+  /// produce identical violation sets in identical order.
+  Barrier,
 };
 
 /// Per-member outcome.
@@ -70,6 +95,9 @@ struct RouterOptions {
   Engine engine = Engine::DpMsdtw; ///< baseline selection
   bool run_drc = true;             ///< final oracle sweep after matching
   layout::DrcCheckOptions drc;     ///< oracle tolerances
+  /// Overlap per-net DRC with extension (default) or run the legacy
+  /// end-of-run sweep. Result-identical by construction; only timings move.
+  DrcSchedule drc_schedule = DrcSchedule::Overlapped;
   /// Parallelism cap for route_batch / route_all (claimer count per
   /// fan-out); 0 = hardware concurrency (exec::resolve_threads).
   std::size_t threads = 0;
@@ -102,7 +130,20 @@ struct RouteResult {
   /// Clearance violations between traces of *different* members.
   std::vector<layout::Violation> cross_violations;
   double runtime_s = 0.0;
-  double drc_runtime_s = 0.0;   ///< share of runtime_s spent in the oracle sweep
+  /// Aggregate extension work time (sum of per-member extension runtimes;
+  /// exceeds wall time when members run concurrently).
+  double extend_runtime_s = 0.0;
+  /// Aggregate per-net oracle work time (rules / obstacles / containment +
+  /// clearance-index inserts). Under `DrcSchedule::Overlapped` this runs
+  /// concurrently with other members' extension instead of after the join.
+  double drc_overlap_runtime_s = 0.0;
+  /// Wall time of the final cross-member clearance query pass — the only
+  /// part of the oracle that is still a barrier.
+  double drc_barrier_runtime_s = 0.0;
+  /// Total oracle work: drc_overlap_runtime_s + drc_barrier_runtime_s. No
+  /// longer pure tail latency when the overlapped schedule hides the per-net
+  /// share behind extension.
+  double drc_runtime_s = 0.0;
 
   [[nodiscard]] bool matched() const;
   [[nodiscard]] bool drc_clean() const;

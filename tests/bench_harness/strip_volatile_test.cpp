@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "bench_harness/report.hpp"
+
+/// Drift guard for the two strip_volatile implementations: the C++
+/// `lmr::bench::strip_volatile` (report.cpp) and its script-side twin
+/// `tools/strip_volatile.py` must produce byte-identical stripped documents
+/// on the committed BENCH_results.json. CI compares results files with the
+/// python script while the unit tests and the suite use the C++ one — if
+/// either learns a volatile key the other doesn't, reproducibility checks
+/// would pass on one side and fail on the other.
+
+namespace lmr::bench {
+namespace {
+
+/// Capture a command's stdout; empty optional-style: ok=false when the
+/// command could not run or exited non-zero.
+bool run_command(const std::string& cmd, std::string& out) {
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  std::array<char, 4096> buf;
+  std::size_t got = 0;
+  while ((got = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    out.append(buf.data(), got);
+  }
+  return pclose(pipe) == 0;
+}
+
+TEST(StripVolatile, PythonTwinIsByteIdenticalOnTrackedResults) {
+  const std::string src_dir = LMR_SOURCE_DIR;
+  const std::string results = src_dir + "/BENCH_results.json";
+  const std::string script = src_dir + "/tools/strip_volatile.py";
+
+  std::string probe;
+  if (!run_command("python3 --version 2>/dev/null", probe)) {
+    GTEST_SKIP() << "python3 not available";
+  }
+
+  const Json doc = read_json_file(results);
+  const std::string cpp_stripped = strip_volatile(doc).dump(2) + "\n";
+
+  std::string py_stripped;
+  ASSERT_TRUE(run_command("python3 '" + script + "' '" + results + "'", py_stripped))
+      << "strip_volatile.py failed";
+  EXPECT_EQ(cpp_stripped, py_stripped)
+      << "C++ strip_volatile and tools/strip_volatile.py drifted apart";
+}
+
+TEST(StripVolatile, DrcOverlapSectionIsVolatile) {
+  Json doc = Json::object();
+  doc["schema"] = "test";
+  Json cmp = Json::object();
+  cmp["family"] = "large_group";
+  cmp["barrier_runtime_s"] = 1.0;
+  cmp["overlapped_runtime_s"] = 0.5;
+  cmp["speedup"] = 2.0;
+  Json section = Json::array();
+  section.push_back(std::move(cmp));
+  doc["drc_overlap"] = std::move(section);
+  doc["extend_runtime_s"] = 0.25;
+  doc["drc_barrier_runtime_s"] = 0.125;
+
+  const Json stripped = strip_volatile(doc);
+  EXPECT_EQ(stripped.find("drc_overlap"), nullptr);
+  EXPECT_EQ(stripped.find("extend_runtime_s"), nullptr);
+  EXPECT_EQ(stripped.find("drc_barrier_runtime_s"), nullptr);
+  EXPECT_NE(stripped.find("schema"), nullptr);
+}
+
+}  // namespace
+}  // namespace lmr::bench

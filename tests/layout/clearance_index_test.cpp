@@ -1,0 +1,148 @@
+#include "layout/clearance_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+#include "exec/task_pool.hpp"
+#include "layout/clearance_sweep.hpp"
+#include "scenario/scenario_generator.hpp"
+
+namespace lmr::layout {
+namespace {
+
+using ViolationKey = std::tuple<TraceId, TraceId, std::size_t, std::size_t, double>;
+
+std::vector<ViolationKey> keys(const std::vector<Violation>& vs) {
+  std::vector<ViolationKey> out;
+  for (const Violation& v : vs) {
+    out.emplace_back(v.trace, v.other_trace, v.index_a, v.index_b, v.measured);
+  }
+  return out;  // NOT sorted: the index's output order is part of its contract
+}
+
+drc::DesignRules test_rules() {
+  drc::DesignRules r;
+  r.gap = 1.0;
+  r.obs = 0.5;
+  r.protect = 0.5;
+  r.trace_width = 0.25;
+  return r;
+}
+
+/// A generated board plus the sweep-input view of its traces and the rule
+/// set the sweep runs under. Generated boards are born legal, so the sweep
+/// rules inflate the gap past the band spacing: the existing parallel runs
+/// then genuinely violate, giving the equivalence checks a real, dense
+/// violation set to diff.
+struct DenseBoard {
+  scenario::Scenario sc;
+  std::vector<SweepTrace> traces;
+  drc::DesignRules rules;
+};
+
+DenseBoard dense_board(std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.name = "test/clearance_index";
+  spec.groups = 2;
+  spec.members_per_group = 5;
+  spec.corridor_length = 80.0;
+  spec.band_height = 3.2;
+  spec.vias_per_band = 6;
+  spec.rules = test_rules();
+  DenseBoard b{scenario::ScenarioGenerator(spec).generate(seed), {}, test_rules()};
+  b.rules.gap = 4.0;  // > band spacing: neighbouring members violate
+  std::uint32_t net = 0;
+  for (const auto& [id, t] : b.sc.layout.traces()) {
+    (void)id;
+    b.traces.push_back({&t, net++});
+  }
+  return b;
+}
+
+TEST(ClearanceIndex, MatchesOneShotSweepIncludingOrder) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const DenseBoard b = dense_board(seed);
+    const auto rules = b.rules;
+    const auto reference = cross_clearance_sweep(b.traces, rules);
+
+    ClearanceIndex index(rules);
+    for (const SweepTrace& st : b.traces) index.add_slot(st.trace->width, st.net);
+    for (std::uint32_t i = 0; i < b.traces.size(); ++i) {
+      index.insert(i, *b.traces[i].trace);
+    }
+    const auto swept = index.sweep();
+    EXPECT_FALSE(reference.empty()) << "seed " << seed << ": want real violations";
+    EXPECT_EQ(keys(swept), keys(reference)) << "seed " << seed;
+  }
+}
+
+TEST(ClearanceIndex, InsertionOrderCannotChangeTheResult) {
+  const DenseBoard b = dense_board(2);
+  const auto rules = b.rules;
+  const auto reference = cross_clearance_sweep(b.traces, rules);
+
+  // Reverse insertion order: samples and candidate order key on slot ids
+  // fixed at declaration, so the output must be byte-for-byte the same.
+  ClearanceIndex index(rules);
+  for (const SweepTrace& st : b.traces) index.add_slot(st.trace->width, st.net);
+  for (std::uint32_t i = static_cast<std::uint32_t>(b.traces.size()); i-- > 0;) {
+    index.insert(i, *b.traces[i].trace);
+  }
+  EXPECT_EQ(keys(index.sweep()), keys(reference));
+}
+
+TEST(ClearanceIndex, ConcurrentInsertsMatchSerial) {
+  // The pipeline inserts each member's geometry from its own chain; distinct
+  // slots must be safely writable from concurrent tasks.
+  const DenseBoard b = dense_board(3);
+  const auto rules = b.rules;
+  const auto reference = cross_clearance_sweep(b.traces, rules);
+
+  exec::TaskPool pool(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    ClearanceIndex index(rules);
+    for (const SweepTrace& st : b.traces) index.add_slot(st.trace->width, st.net);
+    exec::parallel_for_dynamic(pool, b.traces.size(), 4, [&](std::size_t i) {
+      index.insert(static_cast<std::uint32_t>(i), *b.traces[i].trace);
+    });
+    ASSERT_EQ(keys(index.sweep()), keys(reference)) << "rep " << rep;
+  }
+}
+
+TEST(ClearanceIndex, UninsertedSlotsDoNotParticipate) {
+  Trace a, b;
+  a.id = 1;
+  a.width = 0.25;
+  a.path = geom::Polyline{{{0, 0}, {20, 0}}};
+  b.id = 2;
+  b.width = 0.25;
+  b.path = geom::Polyline{{{0, 0.9}, {20, 0.9}}};  // violating pair with a
+
+  ClearanceIndex index(test_rules());
+  index.add_slot(a.width, 0);
+  index.add_slot(b.width, 1);
+  index.add_slot(10.0, 2);  // declared wide trace, never inserted
+
+  index.insert(0, a);
+  EXPECT_TRUE(index.sweep().empty());  // one inserted trace: nothing to check
+  index.insert(1, b);
+  const auto swept = index.sweep();
+  ASSERT_EQ(swept.size(), 1u);
+  EXPECT_EQ(swept[0].kind, ViolationKind::TraceGap);
+  EXPECT_NEAR(swept[0].measured, 0.9, 1e-12);
+}
+
+TEST(ClearanceIndex, SweepIsRepeatable) {
+  const DenseBoard b = dense_board(1);
+  ClearanceIndex index(b.rules);
+  for (const SweepTrace& st : b.traces) index.add_slot(st.trace->width, st.net);
+  for (std::uint32_t i = 0; i < b.traces.size(); ++i) index.insert(i, *b.traces[i].trace);
+  const auto first = index.sweep();
+  EXPECT_EQ(keys(index.sweep()), keys(first));  // query-only: no state consumed
+}
+
+}  // namespace
+}  // namespace lmr::layout

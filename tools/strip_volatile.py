@@ -3,9 +3,12 @@
 
 The single script-side twin of ``lmr::bench::strip_volatile``
 (src/bench_harness/report.cpp): removes the ``run`` object, the
-``scaling`` section, the parallelism context (``threads_used``,
-``pool_policy``) and every ``*_s``-suffixed key. Two runs with the same
-seeds — at any thread count — must strip to identical documents.
+``scaling`` and ``drc_overlap`` sections, the parallelism context
+(``threads_used``, ``pool_policy``) and every ``*_s``-suffixed key. Two
+runs with the same seeds — at any thread count or DRC schedule — must
+strip to identical documents. The bench_harness unit tests diff this
+script's output against the C++ implementation byte for byte, so the two
+cannot drift apart silently.
 
 Usage:
     strip_volatile.py FILE            # print the stripped document
@@ -15,7 +18,7 @@ Usage:
 import json
 import sys
 
-VOLATILE_KEYS = {"run", "scaling", "threads_used", "pool_policy"}
+VOLATILE_KEYS = {"run", "scaling", "drc_overlap", "threads_used", "pool_policy"}
 
 
 def strip(obj):
