@@ -96,6 +96,15 @@ ExtendStats TraceExtender::run(layout::Trace& trace, double target, bool bounded
     const double len = seg.length();
     if (len < min_extend) continue;
 
+    // Restore-feasibility margin for this segment (merged-pair medians): the
+    // local restore pitch widens every clearance the DP and the height
+    // solver enforce, so a pattern whose ±pitch/2 restore offsets would
+    // graze the sub-trace rules is never placed at all.
+    const drc::RestoreMargin margin =
+        cfg.restore_margin ? cfg.restore_margin(seg) : drc::RestoreMargin{};
+    const double half_loc = half + margin.clearance;
+    const double eff_gap_loc = eff_gap + margin.spacing;
+
     // Per-segment discretization: n points, exact step dividing the length.
     int n = static_cast<int>(std::floor(len / step_base)) + 1;
     if (n < 2) continue;
@@ -103,7 +112,7 @@ ExtendStats TraceExtender::run(layout::Trace& trace, double target, bool bounded
     DpParams params;
     params.n = n;
     params.step = step;
-    params.gap_steps = static_cast<int>(std::ceil(eff_gap / step - 1e-9));
+    params.gap_steps = static_cast<int>(std::ceil(eff_gap_loc / step - 1e-9));
     params.protect_steps = static_cast<int>(std::ceil(rules_.protect / step - 1e-9));
     params.min_height = rules_.protect;
     params.needed_gain = bounded ? remaining : 4.0 * area_reach_ * (len / step_base);
@@ -113,14 +122,24 @@ ExtendStats TraceExtender::run(layout::Trace& trace, double target, bool bounded
     if (std::max(params.gap_steps, params.protect_steps) >= n) continue;
 
     // Environment overlay: URAs of every other segment of this trace, with
-    // the joints trimmed (same-net adjacency exemption).
-    env_.set_dynamic(self_uras(trace.path, k, half, eff_gap));
+    // the joints trimmed (same-net adjacency exemption). Under a restore
+    // margin each neighbouring leg reserves the room *its own* DRA restore
+    // will consume — a wide-DRA leg next to a narrow-DRA segment must keep
+    // its wider clearance even though the current segment's margin is zero.
+    if (cfg.restore_margin) {
+      env_.set_dynamic(self_uras(trace.path, k, half_loc, eff_gap_loc,
+                                 [&](const geom::Segment& other) {
+                                   return half + cfg.restore_margin(other).clearance;
+                                 }));
+    } else {
+      env_.set_dynamic(self_uras(trace.path, k, half, eff_gap));
+    }
 
     const double max_reach =
         std::min(area_reach_, height_for_gain(params.needed_gain, cfg.style, rules_.miter) +
                                   rules_.protect);
-    const HeightSolver up = HeightSolver::for_segment(env_, seg, +1, max_reach, half);
-    const HeightSolver down = HeightSolver::for_segment(env_, seg, -1, max_reach, half);
+    const HeightSolver up = HeightSolver::for_segment(env_, seg, +1, max_reach, half_loc);
+    const HeightSolver down = HeightSolver::for_segment(env_, seg, -1, max_reach, half_loc);
 
     const HeightFn hfun = [&](int j, int i, int dir, double h_request) {
       const HeightSolver& solver = dir > 0 ? up : down;

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "core/environment.hpp"
@@ -29,6 +30,12 @@
 #include "layout/trace.hpp"
 
 namespace lmr::core {
+
+/// Per-segment restore-feasibility probe (pair flows, §V): given a segment of
+/// the trace under extension, return the extra clearance/spacing the DP must
+/// keep there so the restored sub-traces stay legal after their ±pitch/2
+/// offsets at the local Design-Rule-Area pitch (see drc::restore_margin).
+using RestoreMarginFn = std::function<drc::RestoreMargin(const geom::Segment&)>;
 
 /// Tuning knobs of the extender.
 struct ExtenderConfig {
@@ -40,6 +47,12 @@ struct ExtenderConfig {
   bool exhaustive_checks = false;  ///< oracle-validate every accepted height
   double min_extend_length = 0.0;  ///< shortest segment worth queueing; 0 = auto
   bool extend_new_segments = true; ///< meander on freshly created segments too
+  /// Restore-feasibility constraint for merged-pair medians: pattern
+  /// placements that the ±pitch/2 restore offsets would push into gap /
+  /// obstacle / containment rules are rejected up front by widening the
+  /// URA halfwidth and the DP gap per segment. Empty = single-ended trace,
+  /// no margin.
+  RestoreMarginFn restore_margin;
 };
 
 /// Outcome report of one extension run.

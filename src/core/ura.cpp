@@ -13,7 +13,7 @@ geom::Polygon ura_of_segment(const geom::Segment& s, double half) {
 }
 
 std::vector<geom::Polygon> self_uras(const geom::Polyline& path, std::size_t skip, double half,
-                                     double joint_trim) {
+                                     double joint_trim, const SegmentHalfFn& half_of) {
   std::vector<geom::Polygon> out;
   const std::size_t n = path.segment_count();
   out.reserve(n);
@@ -21,12 +21,16 @@ std::vector<geom::Polygon> self_uras(const geom::Polyline& path, std::size_t ski
     if (i == skip) continue;
     geom::Segment s = path.segment(i);
     if (s.degenerate()) continue;
+    // A segment's URA reserves the room *its own* region needs (pair
+    // medians: legs in a wider DRA carry a wider restore margin than the
+    // segment currently under extension).
+    const double h = half_of ? half_of(s) : half;
     if (skip != std::numeric_limits<std::size_t>::max()) {
       // Trim the end that touches the skipped segment so joint geometry
       // (connect-to-node transitions, Fig. 3d) is not self-rejected. The
       // trim never eats past `joint_trim`, and always leaves the far end of
       // a short adjacent segment protected so later patterns cannot hug it.
-      const double trim = std::min(joint_trim, std::max(0.0, s.length() - half));
+      const double trim = std::min(joint_trim, std::max(0.0, s.length() - h));
       if (i + 1 == skip) {
         s.b = s.b - s.unit() * trim;
       } else if (i == skip + 1) {
@@ -34,7 +38,7 @@ std::vector<geom::Polygon> self_uras(const geom::Polyline& path, std::size_t ski
       }
       if (s.degenerate()) continue;
     }
-    out.push_back(ura_of_segment(s, half));
+    out.push_back(ura_of_segment(s, h));
   }
   return out;
 }

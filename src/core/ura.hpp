@@ -9,6 +9,7 @@
 /// frame. DRC is reduced to intersection/containment tests between these
 /// borders and environment polygons.
 
+#include <functional>
 #include <vector>
 
 #include "geom/box.hpp"
@@ -50,12 +51,18 @@ struct UraBorders {
 /// away from segment `s` on all four sides — the URA of a routed segment.
 [[nodiscard]] geom::Polygon ura_of_segment(const geom::Segment& s, double half);
 
+/// Per-segment URA halfwidth override (pair medians: a leg reserves the
+/// restore room of *its own* Design Rule Area, not the extended segment's).
+using SegmentHalfFn = std::function<double(const geom::Segment&)>;
+
 /// URAs of every segment of a polyline except index `skip` (pass SIZE_MAX to
 /// keep all). Segments adjacent to `skip` are shortened by `joint_trim` at
 /// the shared node so that legal joint geometry (connect-to-node patterns)
 /// is not rejected — adjacent same-net segments are exempt from the gap rule
-/// (DESIGN.md §5).
+/// (DESIGN.md §5). `half_of`, when set, supplies each segment's halfwidth
+/// instead of the uniform `half`.
 [[nodiscard]] std::vector<geom::Polygon> self_uras(const geom::Polyline& path, std::size_t skip,
-                                                   double half, double joint_trim);
+                                                   double half, double joint_trim,
+                                                   const SegmentHalfFn& half_of = {});
 
 }  // namespace lmr::core

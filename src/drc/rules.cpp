@@ -50,4 +50,18 @@ DesignRules virtual_pair_rules(const DesignRules& sub_rules, double pair_pitch) 
   return v;
 }
 
+RestoreMargin restore_margin(const DesignRules& sub_rules, double base_pitch,
+                             double local_pitch) {
+  sub_rules.validate();
+  if (base_pitch <= 0.0 || local_pitch <= 0.0) {
+    throw std::invalid_argument("restore_margin: pitches must be positive");
+  }
+  RestoreMargin m;
+  const double extra = local_pitch - base_pitch;
+  if (extra <= 0.0) return m;  // narrower-than-base restores only relax rules
+  m.clearance = extra / 2.0;
+  m.spacing = extra;
+  return m;
+}
+
 }  // namespace lmr::drc

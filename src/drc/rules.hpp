@@ -65,4 +65,32 @@ struct QuantizedRules {
 /// sub-traces meet the original rules.
 [[nodiscard]] DesignRules virtual_pair_rules(const DesignRules& sub_rules, double pair_pitch);
 
+/// Restore-feasibility margin for extending a merged-pair median (§V).
+///
+/// `virtual_pair_rules` sizes every clearance for a restore at the *base*
+/// pitch, and exactly tightly: a restored sub-trace sits flush against each
+/// rule wherever the median extension used its full budget. Where the pair
+/// crosses a wider Design Rule Area the piecewise restore offsets by the
+/// *local* rule r instead, so every pattern the extension places there must
+/// keep extra room or the restored sub-traces graze gap / obstacle /
+/// containment rules in dense via fields. The margin is that extra room:
+///  * `clearance` — one-side growth of the pattern URA halfwidth. It widens
+///    obstacle / wall / self-URA clearance by (r - base)/2 per side, which is
+///    exactly how much further the restored sub-traces reach.
+///  * `spacing`  — growth of the same-side foot spacing and minimum pattern
+///    (hat) width. Same-side runs of the inner sub-trace close in by the full
+///    local pitch, so the DP's effective gap must grow by (r - base).
+struct RestoreMargin {
+  double clearance = 0.0;  ///< extra one-side URA clearance
+  double spacing = 0.0;    ///< extra same-side foot spacing / pattern width
+};
+
+/// Derive the margin for a region restored at `local_pitch` when the virtual
+/// rules were built for `base_pitch`. `sub_rules` is validated (the margin
+/// protects *its* gap/obstacle rules); pitches must be positive. A region at
+/// the base pitch yields the zero margin — the virtual rules already cover
+/// it.
+[[nodiscard]] RestoreMargin restore_margin(const DesignRules& sub_rules, double base_pitch,
+                                           double local_pitch);
+
 }  // namespace lmr::drc

@@ -1,13 +1,15 @@
 #include "dtw/median_trace.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "index/union_find.hpp"
 
 namespace lmr::dtw {
 
 MedianTrace build_median_trace(std::span<const geom::Point> p, std::span<const geom::Point> n,
-                               std::span<const MatchPair> pairs) {
+                               std::span<const MatchPair> pairs,
+                               std::span<const double> pair_rules) {
   MedianTrace out;
   const std::size_t I = p.size();
   const std::size_t J = n.size();
@@ -15,6 +17,18 @@ MedianTrace build_median_trace(std::span<const geom::Point> p, std::span<const g
   // [I, I+J) are N nodes.
   index::UnionFind uf(I + J);
   for (const MatchPair& m : pairs) uf.unite(m.ip, I + m.in);
+
+  // DRA attribution per component root: widest rule among its pairs.
+  if (!pair_rules.empty() && pair_rules.size() != pairs.size()) {
+    throw std::invalid_argument("build_median_trace: pair_rules misaligned with pairs");
+  }
+  std::vector<double> root_rule(I + J, 0.0);
+  if (!pair_rules.empty()) {
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      const std::size_t r = uf.find(pairs[k].ip);
+      root_rule[r] = std::max(root_rule[r], pair_rules[k]);
+    }
+  }
 
   // Collect members per root, but only for nodes that appear in some pair
   // (unpaired nodes are filtered noise, §V-B).
@@ -47,6 +61,7 @@ MedianTrace build_median_trace(std::span<const geom::Point> p, std::span<const g
     MedianComponent comp;
     comp.p_nodes = members_p[r];
     comp.n_nodes = members_n[r];
+    comp.rule = root_rule[r];
     geom::Point avg_p, avg_n;
     for (std::size_t i : comp.p_nodes) avg_p += p[i];
     for (std::size_t j : comp.n_nodes) avg_n += n[j];

@@ -22,6 +22,10 @@ struct MedianComponent {
   std::vector<std::size_t> p_nodes;  ///< member indices in traceP
   std::vector<std::size_t> n_nodes;  ///< member indices in traceN
   geom::Point median;                ///< Eq. 18 result
+  /// Design-Rule-Area attribution: the widest distance rule among the
+  /// matched pairs forming this component (0 when no rule attribution was
+  /// supplied). The piecewise restore offsets this median node at rule/2.
+  double rule = 0.0;
 };
 
 /// Components in trace order plus the assembled median polyline.
@@ -33,9 +37,12 @@ struct MedianTrace {
 /// Build the median trace for sub-trace node sequences `p`/`n` from matched
 /// pairs (typically the filtered output of MSDTW). Pairs must reference
 /// valid indices. Components are emitted in ascending traceP order, which is
-/// the trace direction for monotone DTW matchings.
+/// the trace direction for monotone DTW matchings. `pair_rules`, when
+/// non-empty, must align with `pairs` (MsdtwResult::pair_rules) and
+/// attributes each component with its DRA rule.
 [[nodiscard]] MedianTrace build_median_trace(std::span<const geom::Point> p,
                                              std::span<const geom::Point> n,
-                                             std::span<const MatchPair> pairs);
+                                             std::span<const MatchPair> pairs,
+                                             std::span<const double> pair_rules = {});
 
 }  // namespace lmr::dtw

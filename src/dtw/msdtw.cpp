@@ -60,6 +60,7 @@ MsdtwResult msdtw_match(std::span<const geom::Point> p, std::span<const geom::Po
       }
       for (const MatchPair& m : accepted) {
         out.pairs.push_back(m);
+        out.pair_rules.push_back(r);
         out.p_paired[m.ip] = true;
         out.n_paired[m.in] = true;
       }
@@ -77,9 +78,24 @@ MsdtwResult msdtw_match(std::span<const geom::Point> p, std::span<const geom::Po
     if (subs.empty()) break;
   }
 
-  std::sort(out.pairs.begin(), out.pairs.end(), [](const MatchPair& a, const MatchPair& b) {
-    return a.ip < b.ip || (a.ip == b.ip && a.in < b.in);
+  // Sort pairs by trace position, carrying the rule attribution along.
+  std::vector<std::size_t> order(out.pairs.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const MatchPair& ma = out.pairs[a];
+    const MatchPair& mb = out.pairs[b];
+    return ma.ip < mb.ip || (ma.ip == mb.ip && ma.in < mb.in);
   });
+  std::vector<MatchPair> sorted_pairs;
+  std::vector<double> sorted_rules;
+  sorted_pairs.reserve(order.size());
+  sorted_rules.reserve(order.size());
+  for (const std::size_t k : order) {
+    sorted_pairs.push_back(out.pairs[k]);
+    sorted_rules.push_back(out.pair_rules[k]);
+  }
+  out.pairs = std::move(sorted_pairs);
+  out.pair_rules = std::move(sorted_rules);
   return out;
 }
 

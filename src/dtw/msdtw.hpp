@@ -28,6 +28,12 @@ namespace lmr::dtw {
 /// MSDTW output: the accepted matched pairs plus per-node pairing flags.
 struct MsdtwResult {
   std::vector<MatchPair> pairs;   ///< all accepted pairs, ascending in ip
+  /// Per accepted pair (aligned with `pairs`): the distance rule r of the
+  /// round that accepted it — the Design-Rule-Area attribution the restore
+  /// needs to offset each median section at its own pitch. Rounds separated
+  /// by more than sqrt(2) (as Alg. 3 assumes) attribute exactly: a round's
+  /// cutoff sqrt(2)*r stays below the next DRA's pitch.
+  std::vector<double> pair_rules;
   std::vector<bool> p_paired;     ///< per traceP node: appears in a pair
   std::vector<bool> n_paired;     ///< per traceN node
   int rounds_run = 0;             ///< number of rule rounds executed

@@ -1,10 +1,14 @@
 #include "pipeline/router.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <functional>
+#include <map>
+#include <memory>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -30,6 +34,8 @@ struct MemberWork {
   layout::GroupMember member;
   double target = 0.0;
   const layout::RoutableArea* area = nullptr;
+  /// Board obstacles (read-only during routing) for restore validation.
+  const std::vector<layout::Obstacle>* obstacles = nullptr;
   layout::Trace trace;    ///< single-ended members
   layout::DiffPair pair;  ///< differential members
   /// Rollback snapshots, filled by write-back *moving* the layout's
@@ -90,22 +96,61 @@ void route_pair(const drc::DesignRules& rules, const RouterOptions& opts,
     pair.negative.path = std::move(restored.negative.path);
     mr.reached = stats.reached;
   } else {
-    // Merge -> extend median under virtual rules -> restore -> compensate.
+    // Merge -> extend median under virtual rules with the restore-margin
+    // constraint -> piecewise restore at per-node DRA pitches -> compensate.
     drc::DesignRules sub_rules = rules;
     sub_rules.trace_width = pair.positive.width;
     dtw::MergedPair merged = dtw::merge_pair(
         pair, sub_rules,
         opts.pair_rule_set.empty() ? std::vector<double>{pair.pitch} : opts.pair_rule_set);
+    // Snapshot the pre-extension median: it is the DRA attribution reference
+    // for both the extender's margin probe and the post-extension transfer.
+    const geom::Polyline reference = merged.median.path;
+    const std::vector<double> reference_pitch = merged.node_pitch;
     // The median is shorter than the sub-traces by half the pair spread at
     // corners; target the median so the *sub-traces* reach the group target
     // (sub length ≈ median length + skipped detours).
     const double median_target =
         w.target - std::max(merged.skipped_p_length, merged.skipped_n_length);
     core::TraceExtender ext(merged.virtual_rules, *w.area);
+    core::ExtenderConfig ecfg = opts.extender;
+    // Rule-aware extension: the virtual rules cover a restore at the base
+    // pitch exactly; wherever a wider DRA rule applies, patterns must keep
+    // the extra clearance the ±rule/2 restore offsets will consume. A
+    // single-DRA pair probes to the zero margin everywhere, so skip the
+    // per-segment probes (an O(|median|) scan each) entirely.
+    const double widest =
+        reference_pitch.empty()
+            ? merged.base_pitch
+            : *std::max_element(reference_pitch.begin(), reference_pitch.end());
+    if (widest > merged.base_pitch) {
+      // The extender probes the same segments over and over (once per other
+      // segment of the trace on every queue pop) and the reference median
+      // is immutable for the whole extension — memoize by endpoints so each
+      // distinct segment pays the O(|reference|) attribution scan once.
+      using MarginKey = std::array<double, 4>;
+      const auto cache = std::make_shared<std::map<MarginKey, drc::RestoreMargin>>();
+      ecfg.restore_margin = [&, cache](const geom::Segment& s) {
+        const MarginKey key{s.a.x, s.a.y, s.b.x, s.b.y};
+        const auto it = cache->find(key);
+        if (it != cache->end()) return it->second;
+        const drc::RestoreMargin m = drc::restore_margin(
+            sub_rules, merged.base_pitch,
+            dtw::local_restore_pitch(reference, reference_pitch, s));
+        return cache->emplace(key, m).first->second;
+      };
+    }
     const core::ExtendStats stats = ext.extend(
-        merged.median, std::max(median_target, merged.median.length()), opts.extender);
-    layout::DiffPair restored =
-        dtw::restore_pair(merged.median, pair.pitch, pair.positive.width);
+        merged.median, std::max(median_target, merged.median.length()), ecfg);
+    const std::vector<double> node_pitch =
+        dtw::transfer_node_pitch(reference, reference_pitch, merged.median.path);
+    dtw::RestoreSpec rspec;
+    rspec.pitch = pair.pitch;
+    rspec.sub_width = pair.positive.width;
+    rspec.node_pitch = node_pitch;
+    rspec.breakout_p = merged.breakout_p;
+    rspec.breakout_n = merged.breakout_n;
+    layout::DiffPair restored = dtw::restore_pair(merged.median, rspec);
     // Restoration keeps the median's base nodes where meander legs cross the
     // pair axis; after the +/- pitch/2 offset those collinear splits can
     // leave sub-d_protect half-segments that the oracle would flag as stubs.
@@ -113,7 +158,7 @@ void route_pair(const drc::DesignRules& rules, const RouterOptions& opts,
     // host-segment search needs the un-fragmented straight runs.
     restored.positive.path.simplify(1e-9);
     restored.negative.path.simplify(1e-9);
-    dtw::compensate_skew(restored, sub_rules);
+    dtw::compensate_skew(restored, sub_rules, w.area, w.obstacles);
     pair.positive.path = std::move(restored.positive.path);
     pair.negative.path = std::move(restored.negative.path);
     mr.reached = stats.reached;
@@ -224,6 +269,7 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
     if (w.area == nullptr) {
       throw std::invalid_argument("Router: member has no routable area");
     }
+    w.obstacles = &layout.obstacles();
     w.net_rules = rules_;
     if (w.member.kind == layout::MemberKind::SingleEnded) {
       w.trace = layout.trace(w.member.id);

@@ -148,10 +148,10 @@ Family table1(bool smoke) {
     fc.spec = base_spec("table1/case" + std::to_string(k));
     fc.seed = static_cast<std::uint64_t>(k);
     fc.table1_case = k;
-    // Known pre-existing debt: the dense differential restore path (case 5
-    // only) leaves oracle violations — tracked as a ROADMAP item, surfaced
-    // (not introduced) by this suite. Cases 1-4 stay gated.
-    fc.expect_drc_clean = (k != 5);
+    // Every case is gated, including the dense differential case 5: the
+    // rule-aware restore (restore-feasible pre-tuned pairs, board-validated
+    // skew compensation, per-node-pitch restore) closed the former DRC debt.
+    fc.expect_drc_clean = true;
     f.cases.push_back(fc);
   }
   return f;

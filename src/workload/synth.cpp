@@ -7,11 +7,19 @@
 namespace lmr::workload {
 
 geom::Polyline pretuned_path(double x0, double x1, double y, double extra, double h_max,
-                             double bump_width) {
+                             double bump_width, double min_edge_gap) {
   using geom::Point;
   if (extra <= 1e-9) return geom::Polyline{{{x0, y}, {x1, y}}};
   int k = static_cast<int>(std::ceil(extra / (2.0 * h_max)));
   k = std::max(k, 1);
+  if (min_edge_gap > 0.0) {
+    // Keep min_edge_gap of free run between adjacent bumps: the bump period
+    // span/(k+1) must cover the bump plus the gap. Fewer, taller bumps.
+    const double period = bump_width + min_edge_gap;
+    const int k_cap =
+        std::max(1, static_cast<int>(std::floor((x1 - x0) / period)) - 1);
+    k = std::min(k, k_cap);
+  }
   const double h = extra / (2.0 * k);
   const double span = x1 - x0;
   const double pitch = span / (k + 1);

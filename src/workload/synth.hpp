@@ -14,8 +14,15 @@ namespace lmr::workload {
 /// of k rectangular bumps of height extra/(2k) dropped below the centerline
 /// — the profile of a hand-tuned bus member before final length matching.
 /// Bump height is capped at `h_max` (k grows instead). Deterministic.
+///
+/// `min_edge_gap` > 0 additionally caps k so adjacent bump legs keep at
+/// least that much free run between them, growing the bumps taller instead
+/// (beyond `h_max`). Differential workloads need it: the legs of the inner
+/// sub-trace of a pair pre-tuned from this path close in by the full pair
+/// pitch, so its legs must keep effective_gap + pitch to restore DRC-clean.
 [[nodiscard]] geom::Polyline pretuned_path(double x0, double x1, double y, double extra,
-                                           double h_max, double bump_width);
+                                           double h_max, double bump_width,
+                                           double min_edge_gap = 0.0);
 
 /// Uniform double in [lo, hi) driven only by raw mt19937_64 output, so the
 /// value stream is identical on every platform (std::uniform_real_distribution

@@ -122,7 +122,22 @@ Table1Case differential_case(int id, double target, std::uint64_t seed) {
     const double extra = std::max(0.0, frac * target - (x1 - x0));
     const double band_lo = i * band_height;
     const double y = band_lo + band_height * 0.5;
-    const Polyline median = pretuned_path(x0, x1, y, extra, band_height * 0.28, 4.0);
+    // The offset sub-traces see bump legs `pitch` closer than the median
+    // does, so the pre-tuned bumps must keep effective_gap + pitch of free
+    // run between them or the pair is born violating its own gap rule (the
+    // former case-5 DRC debt: 1.109 < 1.45 between inner-sub legs).
+    const double median_edge_gap = c.rules.effective_gap() + pitch;
+    const Polyline median =
+        pretuned_path(x0, x1, y, extra, band_height * 0.28, 4.0, median_edge_gap);
+    // The edge-gap cap trades bump count for height, which h_max no longer
+    // bounds — fail loudly if a taller bump (plus the pitch/2 restore
+    // offset) would leave the member's band instead of synthesizing a board
+    // with overlapping pairs.
+    double min_y = y;
+    for (const geom::Point& q : median.points()) min_y = std::min(min_y, q.y);
+    if (min_y - pitch / 2.0 < band_lo + 0.2) {
+      throw std::logic_error("table1 differential case: pre-tuned bumps outgrow the band");
+    }
     layout::DiffPair pair;
     pair.name = "diff" + std::to_string(i);
     pair.pitch = pitch;

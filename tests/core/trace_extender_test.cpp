@@ -285,5 +285,77 @@ TEST(TraceExtender, SaturatedRunMatchesExhaustiveOracle) {
   expect_clean(t, r, area);
 }
 
+TEST(TraceExtender, RestoreMarginKeepsPatternsAwayFromWalls) {
+  // Restore-feasibility hook: with a clearance margin m every pattern URA
+  // must stay m further from walls/obstacles, exactly the room the restored
+  // sub-traces will consume at a wider DRA pitch. The meandered trace with
+  // margin must therefore stay 1.0 lower than the unconstrained one.
+  auto area = corridor(-1, 31, -6, 6);
+  layout::Trace plain_t = straight_trace();
+  TraceExtender plain_ext(rules(), area);
+  const ExtendStats plain_stats = plain_ext.maximize(plain_t);
+
+  layout::Trace t = straight_trace();
+  TraceExtender ext(rules(), area);
+  ExtenderConfig cfg;
+  cfg.restore_margin = [](const geom::Segment&) {
+    drc::RestoreMargin m;
+    m.clearance = 1.0;
+    m.spacing = 2.0;
+    return m;
+  };
+  const ExtendStats stats = ext.maximize(t, cfg);
+  EXPECT_GT(stats.patterns_inserted, 0);
+  double max_reach = 0.0, plain_reach = 0.0;
+  for (const Point& p : t.path.points()) max_reach = std::max(max_reach, std::abs(p.y));
+  for (const Point& p : plain_t.path.points()) {
+    plain_reach = std::max(plain_reach, std::abs(p.y));
+  }
+  // The restored sub-traces of a hypothetical pair 2.0 wider than the base
+  // pitch stay inside the area: every point keeps >= 1.0 of slack beyond
+  // the plain URA clearance (half = 0.5) to the walls at +/-6 — the plain
+  // run is free to use that band.
+  EXPECT_LE(max_reach, 6.0 - 0.5 - 1.0 + 1e-9);
+  EXPECT_GT(plain_reach, max_reach);
+  EXPECT_GE(plain_stats.final_length, stats.final_length);
+  expect_clean(t, rules(), area);
+}
+
+TEST(TraceExtender, RestoreMarginSpacingWidensPatterns) {
+  // The spacing margin feeds the DP gap: hats and same-side feet must be
+  // wide enough to survive the inner sub-trace shrinking by the local pitch.
+  auto area = corridor(-1, 61, -8, 8);
+  layout::Trace t = straight_trace(0.0, 0.0, 60.0);
+  TraceExtender ext(rules(), area);
+  ExtenderConfig cfg;
+  const double extra = 2.0;
+  cfg.restore_margin = [extra](const geom::Segment&) {
+    drc::RestoreMargin m;
+    m.clearance = extra / 2.0;
+    m.spacing = extra;
+    return m;
+  };
+  const ExtendStats stats = ext.extend(t, 90.0, cfg);
+  EXPECT_GT(stats.patterns_inserted, 0);
+  // Every pair of same-side parallel vertical legs keeps the widened gap
+  // (effective gap 1.0 + spacing 2.0), so the -pitch shrink of a restore at
+  // base + 2.0 cannot close them under the base gap rule.
+  const auto& path = t.path;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    for (std::size_t j = i + 2; j + 1 < path.size(); ++j) {
+      const geom::Segment a = path.segment(i);
+      const geom::Segment b = path.segment(j);
+      if (a.degenerate() || b.degenerate()) continue;
+      if (std::abs(a.unit().x) > 1e-9 || std::abs(b.unit().x) > 1e-9) continue;
+      // Vertical legs with overlapping y spans: the DP's gap transitions.
+      const double lo = std::max(std::min(a.a.y, a.b.y), std::min(b.a.y, b.b.y));
+      const double hi = std::min(std::max(a.a.y, a.b.y), std::max(b.a.y, b.b.y));
+      if (hi - lo <= 1e-9) continue;
+      EXPECT_GE(std::abs(a.a.x - b.a.x), 1.0 + extra - 1e-6)
+          << "legs " << i << "," << j;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lmr::core

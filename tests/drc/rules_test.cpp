@@ -105,5 +105,38 @@ TEST(VirtualPairRules, WidthCarriesBand) {
   EXPECT_DOUBLE_EQ(v.effective_gap(), sub.effective_gap() + 0.8);
 }
 
+TEST(RestoreMargin, WiderLocalPitchDemandsExtraRoom) {
+  DesignRules sub;
+  sub.gap = 1.2;
+  sub.obs = 0.6;
+  sub.protect = 0.6;
+  sub.trace_width = 0.25;
+  const RestoreMargin m = restore_margin(sub, 0.8, 2.0);
+  // Clearance grows by half the pitch difference per side (the restored
+  // sub-trace reaches that much further), spacing by the full difference
+  // (same-side runs of the inner sub-trace close in by the local pitch).
+  EXPECT_DOUBLE_EQ(m.clearance, 0.6);
+  EXPECT_DOUBLE_EQ(m.spacing, 1.2);
+}
+
+TEST(RestoreMargin, BasePitchRegionNeedsNoMargin) {
+  DesignRules sub;
+  sub.gap = 1.2;
+  sub.protect = 0.6;
+  const RestoreMargin m = restore_margin(sub, 0.8, 0.8);
+  EXPECT_DOUBLE_EQ(m.clearance, 0.0);
+  EXPECT_DOUBLE_EQ(m.spacing, 0.0);
+  // Narrower-than-base restores only relax rules.
+  const RestoreMargin narrow = restore_margin(sub, 0.8, 0.5);
+  EXPECT_DOUBLE_EQ(narrow.clearance, 0.0);
+  EXPECT_DOUBLE_EQ(narrow.spacing, 0.0);
+}
+
+TEST(RestoreMargin, RejectsDegeneratePitches) {
+  DesignRules sub;
+  EXPECT_THROW((void)restore_margin(sub, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)restore_margin(sub, 1.0, -1.0), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace lmr::drc

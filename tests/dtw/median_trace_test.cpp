@@ -62,6 +62,27 @@ TEST(MedianTrace, ChainedPairsMergeIntoOneComponent) {
   EXPECT_TRUE(geom::almost_equal(mt.median[0], {0.5, 0.0}));
 }
 
+TEST(MedianTrace, PairRulesAttributeComponents) {
+  // Two components from two DRA rounds: the first carries the narrow rule,
+  // the second the wide one; a chained component takes its widest pair rule.
+  const std::vector<Point> p{{0, 0.4}, {10, 1.2}, {11, 1.2}};
+  const std::vector<Point> n{{0, -0.4}, {10, -1.2}};
+  const std::vector<MatchPair> pairs{{0, 0, 0.8}, {1, 1, 2.4}, {2, 1, 2.5}};
+  const std::vector<double> rules{0.8, 2.4, 2.4};
+  const MedianTrace mt = build_median_trace(p, n, pairs, rules);
+  ASSERT_EQ(mt.components.size(), 2u);
+  EXPECT_DOUBLE_EQ(mt.components[0].rule, 0.8);
+  EXPECT_DOUBLE_EQ(mt.components[1].rule, 2.4);
+}
+
+TEST(MedianTrace, NoRulesLeaveComponentsUnattributed) {
+  const std::vector<Point> p{{0, 0.4}, {10, 0.4}};
+  const std::vector<Point> n{{0, -0.4}, {10, -0.4}};
+  const std::vector<MatchPair> pairs{{0, 0, 0.8}, {1, 1, 0.8}};
+  const MedianTrace mt = build_median_trace(p, n, pairs);
+  for (const MedianComponent& c : mt.components) EXPECT_DOUBLE_EQ(c.rule, 0.0);
+}
+
 TEST(MedianTrace, EmptyPairsEmptyMedian) {
   const std::vector<Point> p{{0, 0}};
   const std::vector<Point> n{{0, 1}};

@@ -86,6 +86,40 @@ TEST(Msdtw, SingleRuleEqualsFilteredDtw) {
   }
 }
 
+TEST(Msdtw, PairRulesAttributeAcceptingRound) {
+  // The Fig. 12 scenario again: narrow-section pairs must carry the narrow
+  // rule, wide-DRA pairs the wide one — the per-node DRA attribution the
+  // piecewise restore consumes.
+  const std::vector<Point> p{{0, 0.4},  {8, 0.4},  {16, 0.4},
+                             {24, 1.2}, {32, 1.2}};
+  const std::vector<Point> n{{0, -0.4}, {8, -0.4}, {11, -1.6},
+                             {16, -0.4}, {24, -1.2}, {32, -1.2}};
+  const std::vector<double> rules{0.8, 2.4};
+  const MsdtwResult r = msdtw_match(p, n, rules);
+  ASSERT_EQ(r.pair_rules.size(), r.pairs.size());
+  for (std::size_t k = 0; k < r.pairs.size(); ++k) {
+    const double expected = p[r.pairs[k].ip].y > 1.0 ? 2.4 : 0.8;
+    EXPECT_DOUBLE_EQ(r.pair_rules[k], expected)
+        << "pair " << r.pairs[k].ip << "<->" << r.pairs[k].in;
+  }
+}
+
+TEST(Msdtw, PairRulesStayAlignedAfterSort) {
+  const auto c = workload::decoupled_pair_case();
+  const auto& pp = c.pair.positive.path.points();
+  const auto& nn = c.pair.negative.path.points();
+  const MsdtwResult r = msdtw_match(pp, nn, c.rule_set);
+  ASSERT_EQ(r.pair_rules.size(), r.pairs.size());
+  for (std::size_t k = 0; k < r.pairs.size(); ++k) {
+    // Every attribution is one of the supplied rules, and a pair whose nodes
+    // sit in the wide tail (y beyond the narrow band) carries the wide rule.
+    EXPECT_TRUE(r.pair_rules[k] == c.rule_set[0] || r.pair_rules[k] == c.rule_set[1]);
+    if (std::abs(pp[r.pairs[k].ip].y) > 1.0) {
+      EXPECT_DOUBLE_EQ(r.pair_rules[k], c.rule_set[1]);
+    }
+  }
+}
+
 TEST(Msdtw, PairsSortedByTraceOrder) {
   const auto c = workload::decoupled_pair_case();
   const auto& pp = c.pair.positive.path.points();

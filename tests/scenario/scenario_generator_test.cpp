@@ -168,6 +168,17 @@ TEST(ScenarioFamilies, StandardFamiliesCoverTheRoadmapAxes) {
   EXPECT_THROW((void)family("no_such_family", true), std::out_of_range);
 }
 
+TEST(ScenarioFamilies, Table1FullyGatedOnDrc) {
+  // The rule-aware restore closed the case-5 DRC debt: every Table I case —
+  // including the dense differential one — now expects a clean oracle.
+  for (const bool smoke : {false, true}) {
+    const Family f = family("table1", smoke);
+    for (const FamilyCase& fc : f.cases) {
+      EXPECT_TRUE(fc.expect_drc_clean) << fc.spec.name;
+    }
+  }
+}
+
 TEST(ScenarioFamilies, SmokeVariantsAreSmaller) {
   std::size_t smoke_members = 0, full_members = 0;
   for (const auto& f : standard_families(true)) {
