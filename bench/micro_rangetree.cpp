@@ -7,6 +7,7 @@
 #include <random>
 
 #include "index/range_tree.hpp"
+#include "layout/clearance_index.hpp"
 
 namespace {
 
@@ -50,6 +51,77 @@ void BM_RangeTreeQuerySmallWindow(benchmark::State& state) {
 BENCHMARK(BM_RangeTreeQuerySmallWindow)
     ->RangeMultiplier(4)
     ->Range(256, 65536)
+    ->Complexity();
+
+/// ClearanceIndex sweep cache: a board of parallel traces, swept repeatedly.
+/// Three regimes — cold (every sweep re-indexes everything, the pre-cache
+/// behaviour), warm (nothing changed; cached violations returned verbatim),
+/// and one-dirty (a single trace re-inserted per sweep; only its overlay
+/// tree is rebuilt).
+struct SweepFixture {
+  lmr::drc::DesignRules rules;
+  std::vector<lmr::layout::Trace> traces;
+
+  explicit SweepFixture(std::size_t n) {
+    rules.gap = 1.0;
+    traces.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      lmr::layout::Trace& t = traces[i];
+      t.id = static_cast<lmr::layout::TraceId>(i + 1);
+      t.width = 0.2;
+      const double y = static_cast<double>(i) * 2.0;
+      t.path = lmr::geom::Polyline{{{0.0, y}, {400.0, y}}};
+    }
+  }
+
+  [[nodiscard]] lmr::layout::ClearanceIndex make_index() const {
+    lmr::layout::ClearanceIndex index(rules);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      index.add_slot(traces[i].width, static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      index.insert(static_cast<std::uint32_t>(i), traces[i]);
+    }
+    return index;
+  }
+};
+
+void BM_ClearanceSweepCold(benchmark::State& state) {
+  const SweepFixture fx(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    // Re-inserting every slot dirties them all, forcing a full tree rebuild
+    // — equivalent to the pre-cache sweep() cost.
+    auto index = fx.make_index();
+    benchmark::DoNotOptimize(index.sweep().size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ClearanceSweepCold)->RangeMultiplier(4)->Range(16, 256)->Complexity();
+
+void BM_ClearanceSweepWarm(benchmark::State& state) {
+  const SweepFixture fx(static_cast<std::size_t>(state.range(0)));
+  auto index = fx.make_index();
+  benchmark::DoNotOptimize(index.sweep().size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.sweep().size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ClearanceSweepWarm)->RangeMultiplier(4)->Range(16, 256)->Complexity();
+
+void BM_ClearanceSweepOneDirty(benchmark::State& state) {
+  const SweepFixture fx(static_cast<std::size_t>(state.range(0)));
+  auto index = fx.make_index();
+  benchmark::DoNotOptimize(index.sweep().size());
+  for (auto _ : state) {
+    index.insert(0, fx.traces[0]);
+    benchmark::DoNotOptimize(index.sweep().size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ClearanceSweepOneDirty)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
     ->Complexity();
 
 }  // namespace

@@ -3,14 +3,17 @@
 /// tracked results file (see EXPERIMENTS.md "Benchmark suite").
 ///
 ///   bench_suite [--smoke] [--out PATH] [--family NAME]... [--threads N]
-///               [--no-drc] [--scaling] [--drc-overlap] [--list]
+///               [--no-drc] [--scaling] [--drc-overlap] [--edit-storm] [--list]
 ///
 /// Exit code 0 when every case is ok (matched where expected, DRC-clean).
 /// `--scaling` additionally sweeps thread counts over the parallelism
 /// workloads (`large_group`, `multi_group`) and attaches the speedup curve
 /// to the result document under `"scaling"` (volatile: timing-only);
 /// `--drc-overlap` diffs the staged extend/DRC pipeline against the legacy
-/// barrier schedule on the same families under `"drc_overlap"`.
+/// barrier schedule on the same families under `"drc_overlap"`;
+/// `--edit-storm` replays the seeded edit scripts on live sessions under
+/// `"edit_storm"` and *fails the run* unless every incremental end state is
+/// bit-identical to a fresh route of the edited board.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +29,7 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--smoke] [--out PATH] [--family NAME]... [--threads N] [--no-drc] "
-      "[--scaling] [--drc-overlap] [--list]\n"
+      "[--scaling] [--drc-overlap] [--edit-storm] [--list]\n"
       "  --smoke        tiny per-family variants (CI-sized seeds)\n"
       "  --out PATH     results file (default BENCH_results.json)\n"
       "  --family NAME  run only this family (repeatable; default all)\n"
@@ -36,6 +39,8 @@ void usage(const char* argv0) {
       "                 attach the speedup curve to the results file\n"
       "  --drc-overlap  also diff the overlapped extend/DRC pipeline against the\n"
       "                 barrier schedule on large_group/multi_group\n"
+      "  --edit-storm   also replay seeded edit scripts on live sessions; fails\n"
+      "                 unless each end state matches a fresh route bit for bit\n"
       "  --list         print family names and exit\n",
       argv0);
 }
@@ -47,6 +52,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_results.json";
   bool scaling = false;
   bool drc_overlap = false;
+  bool edit_storm = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -56,6 +62,8 @@ int main(int argc, char** argv) {
       scaling = true;
     } else if (arg == "--drc-overlap") {
       drc_overlap = true;
+    } else if (arg == "--edit-storm") {
+      edit_storm = true;
     } else if (arg == "--no-drc") {
       opts.run_drc = false;
     } else if (arg == "--list") {
@@ -149,7 +157,33 @@ int main(int argc, char** argv) {
     doc["drc_overlap"] = lmr::bench::Suite::drc_overlap_json(comparisons);
   }
 
+  bool storms_ok = true;
+  if (edit_storm) {
+    std::vector<lmr::bench::EditStormOutcome> storms;
+    try {
+      storms = suite.run_edit_storm();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "edit-storm replay failed: %s\n", e.what());
+      return 2;
+    }
+    std::printf("\nedit storms (incremental reroute vs fresh route of edited board):\n");
+    std::printf("%-28s %-6s %-10s %-6s %-10s %-10s %-8s %-5s\n", "storm", "edits",
+                "rerouted", "total", "reroute[s]", "full[s]", "speedup", "eq");
+    for (const lmr::bench::EditStormOutcome& s : storms) {
+      std::printf("%-28s %-6zu %-10zu %-6zu %-10.3f %-10.3f %-8.2f %-5s\n",
+                  s.name.c_str(), s.edits, s.rerouted_total, s.groups_total,
+                  s.reroute_total_s, s.full_route_s, s.speedup,
+                  s.equivalent ? "yes" : "NO");
+      if (!s.equivalent) {
+        std::fprintf(stderr, "edit storm %s NOT equivalent to fresh route: %s\n",
+                     s.name.c_str(), s.mismatch.c_str());
+        storms_ok = false;
+      }
+    }
+    doc["edit_storm"] = lmr::bench::Suite::edit_storm_json(storms);
+  }
+
   const int write_rc = lmr::bench::write_results_file(out_path, doc);
   if (write_rc != 0) return write_rc;
-  return result.all_ok() ? 0 : 1;
+  return result.all_ok() && storms_ok ? 0 : 1;
 }

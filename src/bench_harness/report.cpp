@@ -66,7 +66,10 @@ Json strip_volatile(const Json& doc) {
   if (doc.is_object()) {
     Json out = Json::object();
     for (const auto& [key, value] : doc.members()) {
-      if (key == "run" || key == "scaling" || key == "drc_overlap") continue;
+      if (key == "run" || key == "scaling" || key == "drc_overlap" ||
+          key == "edit_storm") {
+        continue;
+      }
       if (key == "threads_used" || key == "pool_policy") continue;
       if (key.size() >= 2 && key.compare(key.size() - 2, 2, "_s") == 0) continue;
       out[key] = strip_volatile(value);

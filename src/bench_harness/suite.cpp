@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "bench_harness/report.hpp"
+#include "pipeline/session.hpp"
+#include "scenario/edit_storm.hpp"
 
 namespace lmr::bench {
 
@@ -96,6 +98,18 @@ Suite::Suite(SuiteOptions opts)
 
 exec::TaskPool* Suite::pool() const { return pool_handle_.acquire(); }
 
+pipeline::RouterOptions Suite::router_options_for(const scenario::Scenario& sc) const {
+  pipeline::RouterOptions ropts = opts_.router;
+  ropts.threads = opts_.threads;
+  ropts.run_drc = opts_.run_drc;
+  ropts.pool = pool();  // one executor across cases, groups and members
+  if (sc.spec.extender_tolerance > 0.0) {
+    ropts.extender.tolerance = sc.spec.extender_tolerance;
+  }
+  if (sc.pair_rule_set.size() > 1) ropts.pair_rule_set = sc.pair_rule_set;
+  return ropts;
+}
+
 CaseOutcome Suite::run_case(const scenario::Family& fam,
                             const scenario::FamilyCase& fc) const {
   const auto t_case = Clock::now();
@@ -112,15 +126,7 @@ CaseOutcome Suite::run_case(const scenario::Family& fam,
   outcome.obstacles = sc.layout.obstacles().size();
   outcome.threads_used = exec::resolve_threads(opts_.threads);
 
-  pipeline::RouterOptions ropts = opts_.router;
-  ropts.threads = opts_.threads;
-  ropts.run_drc = opts_.run_drc;
-  ropts.pool = pool();  // one executor across cases, groups and members
-  if (sc.spec.extender_tolerance > 0.0) {
-    ropts.extender.tolerance = sc.spec.extender_tolerance;
-  }
-  if (sc.pair_rule_set.size() > 1) ropts.pair_rule_set = sc.pair_rule_set;
-  const pipeline::Router router(sc.rules, ropts);
+  const pipeline::Router router(sc.rules, router_options_for(sc));
 
   for (const pipeline::RouteResult& rr : router.route_all(sc.layout)) {
     GroupOutcome go;
@@ -252,6 +258,87 @@ std::vector<OverlapComparison> Suite::run_drc_overlap(
     comparisons.push_back(std::move(cmp));
   }
   return comparisons;
+}
+
+std::vector<EditStormOutcome> Suite::run_edit_storm() const {
+  std::vector<EditStormOutcome> storms;
+  for (const scenario::EditStormCase& c : scenario::edit_storm_cases(opts_.smoke)) {
+    scenario::EditStorm storm = scenario::materialize_storm(c);
+
+    EditStormOutcome out;
+    out.name = storm.spec.name;
+    out.base_scenario = storm.scenario.spec.name;
+    out.edits = storm.edits.size();
+    out.groups_total = storm.scenario.layout.groups().size();
+
+    const pipeline::RouterOptions ropts = router_options_for(storm.scenario);
+    pipeline::Session session(storm.scenario.rules, ropts, storm.scenario.layout);
+    auto t0 = Clock::now();
+    session.route();
+    out.initial_route_s = seconds_since(t0);
+
+    // One apply per edit: the interactive cadence the latency ratio is
+    // about. (Batching all edits into one apply would re-route each touched
+    // group once instead of once per touching edit.)
+    for (const layout::BoardEdit& edit : storm.edits) {
+      const pipeline::ApplyOutcome applied = session.apply(edit);
+      EditStormStep step;
+      step.rerouted = applied.rerouted_groups.size();
+      step.reroute_s = applied.reroute_s;
+      out.rerouted_total += step.rerouted;
+      out.reroute_total_s += step.reroute_s;
+      if (step.rerouted < out.groups_total) out.incremental = true;
+      out.steps.push_back(step);
+    }
+
+    // Oracle: regenerate the pristine board from the same seed, replay the
+    // identical script, route it from scratch.
+    scenario::Scenario fresh = scenario::materialize(c.base);
+    for (const layout::BoardEdit& edit : storm.edits) {
+      layout::apply_edit(fresh.layout, edit);
+    }
+    const pipeline::Router router(fresh.rules, ropts);
+    t0 = Clock::now();
+    const pipeline::BoardRoute full = router.route_board(fresh.layout);
+    out.full_route_s = seconds_since(t0);
+    out.equivalent = pipeline::routes_equivalent(session.layout(), session.route_state(),
+                                                 fresh.layout, full, &out.mismatch);
+
+    const double mean_reroute =
+        out.steps.empty() ? 0.0 : out.reroute_total_s / static_cast<double>(out.steps.size());
+    out.speedup = mean_reroute > 0.0 ? out.full_route_s / mean_reroute : 0.0;
+    storms.push_back(std::move(out));
+  }
+  return storms;
+}
+
+Json Suite::edit_storm_json(const std::vector<EditStormOutcome>& storms) {
+  Json out = Json::array();
+  for (const EditStormOutcome& s : storms) {
+    Json js = Json::object();
+    js["name"] = s.name;
+    js["base_scenario"] = s.base_scenario;
+    js["edits"] = static_cast<std::int64_t>(s.edits);
+    js["groups_total"] = static_cast<std::int64_t>(s.groups_total);
+    js["rerouted_total"] = static_cast<std::int64_t>(s.rerouted_total);
+    js["incremental"] = s.incremental;
+    js["equivalent"] = s.equivalent;
+    if (!s.equivalent) js["mismatch"] = s.mismatch;
+    Json jsteps = Json::array();
+    for (const EditStormStep& st : s.steps) {
+      Json jst = Json::object();
+      jst["rerouted"] = static_cast<std::int64_t>(st.rerouted);
+      jst["reroute_s"] = st.reroute_s;
+      jsteps.push_back(std::move(jst));
+    }
+    js["steps"] = std::move(jsteps);
+    js["initial_route_s"] = s.initial_route_s;
+    js["reroute_total_s"] = s.reroute_total_s;
+    js["full_route_s"] = s.full_route_s;
+    js["speedup"] = s.speedup;
+    out.push_back(std::move(js));
+  }
+  return out;
 }
 
 Json Suite::drc_overlap_json(const std::vector<OverlapComparison>& comparisons) {

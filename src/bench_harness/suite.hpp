@@ -128,6 +128,38 @@ struct OverlapComparison {
   double speedup = 0.0;               ///< barrier / overlapped
 };
 
+/// One `Session::apply` of an edit storm.
+struct EditStormStep {
+  std::size_t rerouted = 0;   ///< groups the reroute actually re-ran
+  double reroute_s = 0.0;     ///< wall time of the incremental reroute
+};
+
+/// One edit-storm case: a routed board driven through a seeded edit script
+/// on a live pipeline::Session, oracle-checked against a fresh route of the
+/// final edited board.
+struct EditStormOutcome {
+  std::string name;
+  std::string base_scenario;
+  std::size_t edits = 0;
+  std::size_t groups_total = 0;
+  std::vector<EditStormStep> steps;     ///< one per edit, in script order
+  std::size_t rerouted_total = 0;       ///< sum of steps[i].rerouted
+  /// Some step re-routed strictly fewer groups than the board holds — the
+  /// incrementality proof actually pruned work.
+  bool incremental = false;
+  /// Session state after the storm is routes_equivalent to a fresh
+  /// route_board of the same edited board. The hard correctness gate:
+  /// bench_suite --edit-storm exits non-zero when false.
+  bool equivalent = false;
+  std::string mismatch;                 ///< first difference when !equivalent
+  double initial_route_s = 0.0;         ///< full route of the pristine board
+  double reroute_total_s = 0.0;         ///< sum of incremental reroutes
+  double full_route_s = 0.0;            ///< fresh route of the edited board
+  /// full_route_s / mean(step reroute_s): the latency win of answering one
+  /// edit incrementally instead of re-routing the board.
+  double speedup = 0.0;
+};
+
 /// The runner. Construct with options, `run()` as often as needed — the
 /// executor persists for the Suite's lifetime, so repeated runs reuse the
 /// same workers.
@@ -172,6 +204,18 @@ class Suite {
   [[nodiscard]] static Json drc_overlap_json(
       const std::vector<OverlapComparison>& comparisons);
 
+  /// Replay the edit-storm catalogue (scenario::edit_storm_cases) on live
+  /// Sessions sharing this Suite's pool and options: route the pristine
+  /// board, apply every scripted edit through Session::apply, then
+  /// oracle-check the final session state against a fresh route_board of
+  /// the same edited board (pipeline::routes_equivalent). Reroute and
+  /// full-route wall clocks feed the reroute-vs-full latency ratio.
+  [[nodiscard]] std::vector<EditStormOutcome> run_edit_storm() const;
+
+  /// `"edit_storm"` section for a result document (volatile by definition:
+  /// strip_volatile removes the whole section — the payload is timings).
+  [[nodiscard]] static Json edit_storm_json(const std::vector<EditStormOutcome>& storms);
+
   [[nodiscard]] const SuiteOptions& options() const { return opts_; }
 
   /// The executor `run()` fans out on: nullptr when fully serial
@@ -185,6 +229,12 @@ class Suite {
  private:
   [[nodiscard]] CaseOutcome run_case(const scenario::Family& fam,
                                      const scenario::FamilyCase& fc) const;
+  /// The suite's base RouterOptions specialized to one materialized board:
+  /// threads/run_drc/pool wiring plus the scenario's extender tolerance and
+  /// pair rule set. Shared by run_case and run_edit_storm so the storm
+  /// sessions route exactly like the suite routes the same family.
+  [[nodiscard]] pipeline::RouterOptions router_options_for(
+      const scenario::Scenario& sc) const;
 
   SuiteOptions opts_;
   /// Owns-or-borrows the executor per the exec 0/1/N convention (lazy).

@@ -1,0 +1,85 @@
+#include "layout/board_edit.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace lmr::layout {
+
+namespace {
+
+bool same_polygon(const geom::Polygon& a, const geom::Polygon& b) {
+  return a.points() == b.points();
+}
+
+/// Rewrite the holes of every routable area that carries `match`, in
+/// deterministic trace-id order. `rewrite(holes, i)` edits the matched hole
+/// in place (or erases it); each touched area goes back through the
+/// recorded mutator so the journal sees the change.
+template <typename Rewrite>
+void rewrite_matching_holes(Layout& l, const geom::Polygon& match, Rewrite rewrite,
+                            std::vector<LayoutDelta>& deltas) {
+  std::vector<std::pair<TraceId, RoutableArea>> touched;
+  for (const auto& [id, area] : l.routable_areas()) {
+    for (std::size_t h = 0; h < area.holes.size(); ++h) {
+      if (!same_polygon(area.holes[h], match)) continue;
+      RoutableArea edited = area;
+      rewrite(edited.holes, h);
+      touched.emplace_back(id, std::move(edited));
+      break;  // identical polygons are punched at most once per area
+    }
+  }
+  for (auto& [id, area] : touched) {
+    deltas.push_back(l.set_routable_area(id, std::move(area)));
+  }
+}
+
+}  // namespace
+
+std::vector<LayoutDelta> apply_edit(Layout& l, const BoardEdit& edit) {
+  std::vector<LayoutDelta> deltas;
+  switch (edit.kind) {
+    case BoardEditKind::AddObstacle: {
+      deltas.push_back(l.add_obstacle({edit.shape, edit.name}));
+      // Punch the polygon into every area it lands in, exactly as the
+      // generator does for vias: the identical polygon becomes a hole of
+      // each routable area whose outline holds its centroid.
+      std::vector<TraceId> punched;
+      for (const auto& [id, area] : l.routable_areas()) {
+        if (area.outline.contains(edit.shape.centroid())) punched.push_back(id);
+      }
+      for (const TraceId id : punched) {
+        RoutableArea edited = *l.routable_area(id);
+        edited.holes.push_back(edit.shape);
+        deltas.push_back(l.set_routable_area(id, std::move(edited)));
+      }
+      break;
+    }
+    case BoardEditKind::MoveObstacle: {
+      const geom::Polygon before = l.obstacle(edit.obstacle).shape;
+      deltas.push_back(l.move_obstacle(edit.obstacle, edit.move));
+      const geom::Polygon after = l.obstacle(edit.obstacle).shape;
+      rewrite_matching_holes(
+          l, before,
+          [&](std::vector<geom::Polygon>& holes, std::size_t h) { holes[h] = after; },
+          deltas);
+      break;
+    }
+    case BoardEditKind::RemoveObstacle: {
+      const geom::Polygon before = l.obstacle(edit.obstacle).shape;
+      deltas.push_back(l.remove_obstacle(edit.obstacle));
+      rewrite_matching_holes(
+          l, before,
+          [](std::vector<geom::Polygon>& holes, std::size_t h) {
+            holes.erase(holes.begin() + static_cast<std::ptrdiff_t>(h));
+          },
+          deltas);
+      break;
+    }
+    case BoardEditKind::SetGroupTarget:
+      deltas.push_back(l.set_group_target(edit.group, edit.target));
+      break;
+  }
+  return deltas;
+}
+
+}  // namespace lmr::layout

@@ -1,0 +1,55 @@
+#pragma once
+/// \file board_edit.hpp
+/// High-level board edits for routed-layout sessions.
+///
+/// A `LayoutDelta` records one primitive mutation after the fact; a
+/// `BoardEdit` describes one *user-level* edit before it happens — "drop a
+/// via here", "nudge this obstacle", "retarget this group" — and
+/// `apply_edit` lowers it onto the layout as the matching primitive
+/// mutations, keeping the derived state consistent: routable-area holes
+/// mirror the obstacle set (the generator pushes the identical polygon to
+/// both, so holes are matched back to obstacles by exact point equality),
+/// exactly as if the board had been generated with the edit already in
+/// place. That last property is what makes the incremental re-route
+/// oracle-checkable — applying the same edits to a pristine copy of the
+/// board and routing it fresh must reproduce the session's state bit for
+/// bit.
+///
+/// Edits are plain data, so an edit script can be generated once (see
+/// scenario::edit_storm) and replayed on both sides of the oracle.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "layout/layout.hpp"
+
+namespace lmr::layout {
+
+enum class BoardEditKind {
+  AddObstacle,     ///< new obstacle polygon, punched into overlapping areas
+  MoveObstacle,    ///< translate an obstacle (and its area holes) by `move`
+  RemoveObstacle,  ///< erase an obstacle (and its area holes)
+  SetGroupTarget,  ///< change one group's target length
+};
+
+/// One user-level edit. Only the fields of the active kind are meaningful.
+struct BoardEdit {
+  BoardEditKind kind = BoardEditKind::AddObstacle;
+  geom::Polygon shape;               ///< AddObstacle
+  std::string name;                  ///< AddObstacle
+  std::size_t obstacle = kNoIndex;   ///< Move/RemoveObstacle
+  geom::Vec2 move;                   ///< MoveObstacle
+  std::size_t group = kNoIndex;      ///< SetGroupTarget
+  double target = 0.0;               ///< SetGroupTarget
+};
+
+/// Lower `edit` onto `l` through the recorded mutators. Returns every
+/// primitive delta produced, in application order (the obstacle mutation
+/// first, then one SetRoutableArea per area whose holes changed). Throws
+/// std::out_of_range on a bad obstacle/group index and std::logic_error
+/// while a route is in flight, in both cases before mutating anything.
+std::vector<LayoutDelta> apply_edit(Layout& l, const BoardEdit& edit);
+
+}  // namespace lmr::layout

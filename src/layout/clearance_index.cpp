@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "geom/distance.hpp"
-#include "index/range_tree.hpp"
 
 namespace lmr::layout {
 
@@ -17,6 +16,7 @@ std::uint32_t ClearanceIndex::add_slot(double width, std::uint32_t net) {
   s.width = width;
   max_width_ = std::max(max_width_, width);
   slots_.push_back(std::move(s));
+  slot_epoch_.push_back(1);
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
@@ -25,6 +25,7 @@ void ClearanceIndex::insert(std::uint32_t slot, const Trace& trace) {
   s.trace = &trace;
   s.samples.clear();
   s.sample_seg.clear();
+  ++slot_epoch_[slot];
   // Sample points along every segment. A segment within distance d of
   // another has a sample of it within d + pitch/2 of the closest approach,
   // so the sweep's query window inflated by gap_max + pitch/2 (+ tolerance)
@@ -46,38 +47,105 @@ void ClearanceIndex::insert(std::uint32_t slot, const Trace& trace) {
   }
 }
 
+void ClearanceIndex::remove(std::uint32_t slot) {
+  Slot& s = slots_.at(slot);
+  s.trace = nullptr;
+  s.samples.clear();
+  s.sample_seg.clear();
+  ++slot_epoch_[slot];
+}
+
+void ClearanceIndex::refresh_cache() const {
+  // A slot is stale-in-main when its epoch moved since the main build (or
+  // the main build predates the slot). Stale inserted slots get overlay
+  // trees; stale removed slots just have their main entries skipped at
+  // query time. Once a quarter of the slots carry overlays the per-query
+  // overlay scans stop paying for themselves — compact into a fresh main
+  // tree instead.
+  bool full = cache_built_epoch_.size() != slots_.size();
+  if (!full) {
+    std::size_t overlaid = 0;
+    for (std::uint32_t t = 0; t < slots_.size(); ++t) {
+      if (slots_[t].trace != nullptr && slot_epoch_[t] != cache_built_epoch_[t]) {
+        ++overlaid;
+      }
+    }
+    full = overlaid * 4 >= slots_.size();
+  }
+
+  if (full) {
+    cache_segs_.clear();
+    std::vector<index::RangeTree2D::Entry> entries;
+    for (std::uint32_t t = 0; t < slots_.size(); ++t) {
+      const Slot& s = slots_[t];
+      if (s.trace == nullptr) continue;
+      const auto seg_base = static_cast<std::uint32_t>(cache_segs_.size());
+      for (std::uint32_t seg_idx = 0; seg_idx < s.trace->path.segment_count();
+           ++seg_idx) {
+        cache_segs_.push_back({t, seg_idx});
+      }
+      for (std::size_t k = 0; k < s.samples.size(); ++k) {
+        entries.push_back({s.samples[k], seg_base + s.sample_seg[k]});
+      }
+    }
+    cache_tree_ = index::RangeTree2D{std::move(entries)};
+    cache_built_epoch_.assign(slot_epoch_.begin(), slot_epoch_.end());
+    overlays_.clear();
+    return;
+  }
+
+  // Incremental: drop overlays for slots that emptied, refresh overlays for
+  // slots whose epoch moved again, add overlays for newly-stale slots.
+  std::erase_if(overlays_, [&](const Overlay& ov) {
+    return slots_[ov.slot].trace == nullptr;
+  });
+  for (std::uint32_t t = 0; t < slots_.size(); ++t) {
+    const Slot& s = slots_[t];
+    if (s.trace == nullptr || slot_epoch_[t] == cache_built_epoch_[t]) continue;
+    auto it = std::find_if(overlays_.begin(), overlays_.end(),
+                           [&](const Overlay& ov) { return ov.slot == t; });
+    if (it != overlays_.end() && it->epoch == slot_epoch_[t]) continue;
+    std::vector<index::RangeTree2D::Entry> entries;
+    entries.reserve(s.samples.size());
+    for (std::size_t k = 0; k < s.samples.size(); ++k) {
+      entries.push_back({s.samples[k], s.sample_seg[k]});
+    }
+    Overlay ov;
+    ov.slot = t;
+    ov.epoch = slot_epoch_[t];
+    ov.tree = index::RangeTree2D{std::move(entries)};
+    if (it != overlays_.end()) {
+      *it = std::move(ov);
+    } else {
+      overlays_.push_back(std::move(ov));
+    }
+  }
+  // Deterministic overlay scan order (erase/append above can permute).
+  std::sort(overlays_.begin(), overlays_.end(),
+            [](const Overlay& a, const Overlay& b) { return a.slot < b.slot; });
+}
+
 std::vector<Violation> ClearanceIndex::sweep() const {
-  std::vector<Violation> out;
+  // Nothing changed since the last sweep: the cached violations are exact.
+  if (slot_epoch_ == result_epochs_) return result_;
+
   std::size_t inserted = 0;
   for (const Slot& s : slots_) inserted += s.trace != nullptr ? 1 : 0;
-  if (inserted < 2) return out;
+  if (inserted < 2) {
+    result_.clear();
+    result_epochs_ = slot_epoch_;
+    return result_;
+  }
+
+  refresh_cache();
 
   const double gap_max = rules_.gap + max_width_;
   const double pitch = std::max(gap_max, rules_.protect);
 
-  /// Flat id of one (slot, segment) pair across all inserted slots.
-  struct SegRef {
-    std::uint32_t slot = 0;
-    std::uint32_t seg = 0;
-  };
-  std::vector<SegRef> segs;
-  std::vector<index::RangeTree2D::Entry> entries;
-  std::vector<std::uint32_t> seg_base(slots_.size(), 0);
-  for (std::uint32_t t = 0; t < slots_.size(); ++t) {
-    const Slot& s = slots_[t];
-    seg_base[t] = static_cast<std::uint32_t>(segs.size());
-    if (s.trace == nullptr) continue;
-    for (std::uint32_t seg_idx = 0; seg_idx < s.trace->path.segment_count(); ++seg_idx) {
-      segs.push_back({t, seg_idx});
-    }
-    for (std::size_t k = 0; k < s.samples.size(); ++k) {
-      entries.push_back({s.samples[k], seg_base[t] + s.sample_seg[k]});
-    }
-  }
-  const index::RangeTree2D tree{std::move(entries)};
-
-  // Collect candidate pairs: each segment window-queries the tree; the pair
-  // is keyed on the lower slot index so it is found exactly once.
+  // Collect candidate pairs: each segment window-queries the main tree and
+  // every higher-slot overlay; the pair is keyed on the lower slot index so
+  // it is found exactly once. Main-tree entries of stale slots are skipped
+  // — their overlay (current geometry) answers for them instead.
   struct Candidate {
     std::uint32_t slot_a, slot_b, seg_a, seg_b;
     bool operator<(const Candidate& o) const {
@@ -99,15 +167,23 @@ std::vector<Violation> ClearanceIndex::sweep() const {
     const geom::Polyline& path = s.trace->path;
     for (std::uint32_t seg_idx = 0; seg_idx < path.segment_count(); ++seg_idx) {
       const geom::Box window = path.segment(seg_idx).bbox().inflated(inflate);
-      tree.visit(window, [&](const index::RangeTree2D::Entry& e) {
-        const SegRef& other = segs[e.payload];
+      cache_tree_.visit(window, [&](const index::RangeTree2D::Entry& e) {
+        const SegRef& other = cache_segs_[e.payload];
         // Same slot or same net: not a cross check. The lower slot owns the
         // pair (they see each other's windows symmetrically).
         if (other.slot <= t) return true;
+        if (slot_epoch_[other.slot] != cache_built_epoch_[other.slot]) return true;
         if (slots_[other.slot].net == s.net) return true;
         candidates.push_back({t, other.slot, seg_idx, other.seg});
         return true;
       });
+      for (const Overlay& ov : overlays_) {
+        if (ov.slot <= t || slots_[ov.slot].net == s.net) continue;
+        ov.tree.visit(window, [&](const index::RangeTree2D::Entry& e) {
+          candidates.push_back({t, ov.slot, seg_idx, e.payload});
+          return true;
+        });
+      }
     }
   }
   std::sort(candidates.begin(), candidates.end());
@@ -115,6 +191,7 @@ std::vector<Violation> ClearanceIndex::sweep() const {
 
   // Exact checks in the naive loop's order (candidates are sorted by
   // (slot_a, slot_b, seg_a, seg_b), which is that order).
+  std::vector<Violation> out;
   for (const Candidate& c : candidates) {
     const Trace& a = *slots_[c.slot_a].trace;
     const Trace& b = *slots_[c.slot_b].trace;
@@ -126,7 +203,9 @@ std::vector<Violation> ClearanceIndex::sweep() const {
                      "segments of different traces closer than gap"});
     }
   }
-  return out;
+  result_ = std::move(out);
+  result_epochs_ = slot_epoch_;
+  return result_;
 }
 
 }  // namespace lmr::layout

@@ -17,29 +17,49 @@
 ///     writes only that slot's pre-allocated storage, so inserts for
 ///     distinct slots are safe from concurrent pipeline chains: a member
 ///     indexes its own geometry the moment it lands, in any order.
-///  3. `sweep()`   — the only remaining barrier: assemble the range tree
-///     over the pre-sampled points and run the query / exact-check pass.
+///     `remove()` empties a slot again, and a removed or replaced slot can
+///     be re-`insert`ed — the edit-session path re-indexes only the traces
+///     an edit touched.
+///  3. `sweep()`   — the only remaining barrier: run the window-query /
+///     exact-check pass. The assembled range tree and the resulting
+///     violations are cached across calls; a sweep after a small edit
+///     rebuilds only per-dirty-slot overlay trees (falling back to a full
+///     rebuild once a quarter of the slots have gone dirty), and a sweep
+///     with no intervening insert/remove returns the cached violations
+///     without touching the tree at all. `sweep()` must not race with
+///     `insert`/`remove` or another `sweep` on the same index — it is the
+///     barrier, exactly as before.
 ///
 /// The output is identical — same violations, same order — to running
-/// `cross_clearance_sweep` over the same traces in slot order: sampling
-/// depends only on each trace's own geometry and the declared widths, and
-/// candidates are ordered by slot index, never by insertion timing.
+/// `cross_clearance_sweep` over the currently-inserted traces in slot
+/// order: sampling depends only on each trace's own geometry and the
+/// declared widths, and candidates are ordered by slot index, never by
+/// insertion timing or cache state.
 
 #include <cstdint>
 #include <vector>
 
 #include "drc/rules.hpp"
 #include "geom/vec2.hpp"
+#include "index/range_tree.hpp"
 #include "layout/drc_checker.hpp"
 #include "layout/trace.hpp"
 
 namespace lmr::layout {
 
-/// The incremental form of the cross-net clearance sweep. Not copyable; a
-/// fresh index is cheap and a sweep is usually one-shot per routed group.
+/// The incremental form of the cross-net clearance sweep. Not copyable (the
+/// cache is cheap to rebuild but pointless to duplicate) but movable, so
+/// sessions and containers can hold one by value; a moved-from index is an
+/// empty index — `slot_count() == 0`, `sweep()` returns no violations, and
+/// it can be rebuilt from `add_slot` up.
 class ClearanceIndex {
  public:
   explicit ClearanceIndex(const drc::DesignRules& rules, DrcCheckOptions opts = {});
+
+  ClearanceIndex(const ClearanceIndex&) = delete;
+  ClearanceIndex& operator=(const ClearanceIndex&) = delete;
+  ClearanceIndex(ClearanceIndex&&) noexcept = default;
+  ClearanceIndex& operator=(ClearanceIndex&&) noexcept = default;
 
   /// Declare one participating trace: its width (enters the worst-case gap
   /// that sizes sampling pitch and query windows) and its net id (traces of
@@ -50,31 +70,75 @@ class ClearanceIndex {
 
   /// Sample `trace`'s segments into `slot`. Thread-safe for distinct slots
   /// (each call touches only its own slot's storage); `trace` must outlive
-  /// the index. Inserting a slot twice replaces its samples.
+  /// the index. Inserting a slot twice replaces its samples and marks the
+  /// slot dirty for the next `sweep`.
   void insert(std::uint32_t slot, const Trace& trace);
 
-  /// Query-only pass over everything inserted so far: build the range tree
-  /// from the pre-sampled points and run the exact checks. Returns all
-  /// TraceGap violations between traces of different nets, deterministically
-  /// ordered by (slot a, slot b, segment a, segment b). Slots that were
-  /// declared but never inserted simply do not participate.
+  /// Empty `slot` again: it stops participating in sweeps until the next
+  /// `insert`, exactly as if it had been declared but never inserted.
+  void remove(std::uint32_t slot);
+
+  /// Query-only pass over everything inserted so far. Returns all TraceGap
+  /// violations between traces of different nets, deterministically ordered
+  /// by (slot a, slot b, segment a, segment b). Slots that were declared
+  /// but never inserted (or were removed) simply do not participate.
   [[nodiscard]] std::vector<Violation> sweep() const;
 
   [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+  [[nodiscard]] double slot_width(std::uint32_t slot) const {
+    return slots_.at(slot).width;
+  }
+  [[nodiscard]] std::uint32_t slot_net(std::uint32_t slot) const {
+    return slots_.at(slot).net;
+  }
+  /// True when `slot` currently holds samples.
+  [[nodiscard]] bool slot_inserted(std::uint32_t slot) const {
+    return slots_.at(slot).trace != nullptr;
+  }
 
  private:
   struct Slot {
-    const Trace* trace = nullptr;  ///< null until insert()
+    const Trace* trace = nullptr;  ///< null until insert() / after remove()
     std::uint32_t net = 0;
     double width = 0.0;
     std::vector<geom::Point> samples;
     std::vector<std::uint32_t> sample_seg;  ///< sample -> local segment index
   };
 
+  /// Flat id of one (slot, segment) pair across the main tree's slots.
+  struct SegRef {
+    std::uint32_t slot = 0;
+    std::uint32_t seg = 0;
+  };
+
+  /// Per-dirty-slot patch tree built over one slot's current samples
+  /// (payload = local segment index). Replaces that slot's stale entries in
+  /// the main tree until the next full rebuild folds it back in.
+  struct Overlay {
+    std::uint32_t slot = 0;
+    std::uint64_t epoch = 0;  ///< slot epoch the overlay was built at
+    index::RangeTree2D tree;
+  };
+
+  /// Bring the cached main tree + overlays up to date with the slot epochs.
+  void refresh_cache() const;
+
   drc::DesignRules rules_;
   DrcCheckOptions opts_;
   double max_width_ = 0.0;  ///< over declared widths; frozen by first insert
   std::vector<Slot> slots_;
+  /// Per-slot mutation counter: bumped by insert()/remove(). Epoch
+  /// comparisons drive every cache decision, so there is no validity flag
+  /// to get stale on move.
+  std::vector<std::uint64_t> slot_epoch_;
+
+  // --- sweep cache (only touched inside sweep(), which is the barrier) ---
+  mutable index::RangeTree2D cache_tree_;              ///< main tree
+  mutable std::vector<SegRef> cache_segs_;             ///< main payload -> (slot, seg)
+  mutable std::vector<std::uint64_t> cache_built_epoch_;  ///< per slot, at build
+  mutable std::vector<Overlay> overlays_;
+  mutable std::vector<Violation> result_;              ///< last sweep's output
+  mutable std::vector<std::uint64_t> result_epochs_;   ///< epochs it was valid at
 };
 
 }  // namespace lmr::layout

@@ -1,21 +1,253 @@
 #include "layout/layout.hpp"
 
+#include <stdexcept>
+#include <utility>
+
 namespace lmr::layout {
+namespace {
+
+geom::Box pair_bbox(const DiffPair& p) {
+  geom::Box b = p.positive.path.bbox();
+  b.expand(p.negative.path.bbox());
+  return b;
+}
+
+geom::Box area_bbox(const RoutableArea& a) {
+  geom::Box b = a.outline.bbox();
+  for (const geom::Polygon& h : a.holes) b.expand(h.bbox());
+  return b;
+}
+
+}  // namespace
 
 TraceId allocate_id(Layout& l) { return l.next_id_++; }
 
+void Layout::assign(const Layout& o) {
+  board_ = o.board_;
+  obstacles_ = o.obstacles_;
+  traces_ = o.traces_;
+  pairs_ = o.pairs_;
+  groups_ = o.groups_;
+  areas_ = o.areas_;
+  next_id_ = o.next_id_;
+  journal_ = o.journal_;
+  route_freezes_.store(0, std::memory_order_relaxed);
+}
+
+void Layout::assign(Layout&& o) {
+  board_ = std::move(o.board_);
+  obstacles_ = std::move(o.obstacles_);
+  traces_ = std::move(o.traces_);
+  pairs_ = std::move(o.pairs_);
+  groups_ = std::move(o.groups_);
+  areas_ = std::move(o.areas_);
+  next_id_ = o.next_id_;
+  journal_ = std::move(o.journal_);
+  route_freezes_.store(0, std::memory_order_relaxed);
+}
+
+void Layout::check_mutable() const {
+  if (frozen()) {
+    throw std::logic_error(
+        "Layout: board mutation while a route is in flight; apply edits "
+        "between routes");
+  }
+}
+
+LayoutDelta Layout::record(LayoutDelta d) {
+  d.version = journal_.size() + 1;
+  journal_.push_back(d);
+  return d;
+}
+
+std::span<const LayoutDelta> Layout::deltas_since(std::uint64_t version) const {
+  if (version > journal_.size()) {
+    throw std::invalid_argument("Layout::deltas_since: version from the future");
+  }
+  return {journal_.data() + version, journal_.size() - version};
+}
+
+geom::Box Layout::dirty_since(std::uint64_t version) const {
+  geom::Box b;
+  for (const LayoutDelta& d : deltas_since(version)) b.expand(d.dirty);
+  return b;
+}
+
+LayoutDelta Layout::set_board(geom::Polygon b) {
+  check_mutable();
+  LayoutDelta d;
+  d.kind = DeltaKind::SetBoard;
+  d.dirty = board_.bbox();
+  d.dirty.expand(b.bbox());
+  board_ = std::move(b);
+  return record(d);
+}
+
+LayoutDelta Layout::add_obstacle(Obstacle o) {
+  check_mutable();
+  LayoutDelta d;
+  d.kind = DeltaKind::AddObstacle;
+  d.dirty = o.shape.bbox();
+  d.obstacle = obstacles_.size();
+  obstacles_.push_back(std::move(o));
+  return record(d);
+}
+
+LayoutDelta Layout::move_obstacle(std::size_t index, geom::Vec2 delta) {
+  check_mutable();
+  Obstacle& o = obstacles_.at(index);
+  LayoutDelta d;
+  d.kind = DeltaKind::MoveObstacle;
+  d.dirty = o.shape.bbox();
+  d.obstacle = index;
+  for (geom::Point& p : o.shape.points()) p += delta;
+  d.dirty.expand(o.shape.bbox());
+  return record(d);
+}
+
+LayoutDelta Layout::set_obstacle_shape(std::size_t index, geom::Polygon shape) {
+  check_mutable();
+  Obstacle& o = obstacles_.at(index);
+  LayoutDelta d;
+  d.kind = DeltaKind::MoveObstacle;
+  d.dirty = o.shape.bbox();
+  d.dirty.expand(shape.bbox());
+  d.obstacle = index;
+  o.shape = std::move(shape);
+  return record(d);
+}
+
+LayoutDelta Layout::remove_obstacle(std::size_t index) {
+  check_mutable();
+  const Obstacle& o = obstacles_.at(index);
+  LayoutDelta d;
+  d.kind = DeltaKind::RemoveObstacle;
+  d.dirty = o.shape.bbox();
+  d.obstacle = index;
+  obstacles_.erase(obstacles_.begin() + static_cast<std::ptrdiff_t>(index));
+  return record(d);
+}
+
 TraceId Layout::add_trace(Trace t) {
+  check_mutable();
   if (t.id == 0) t.id = allocate_id(*this);
   const TraceId id = t.id;
+  LayoutDelta d;
+  d.kind = DeltaKind::AddTrace;
+  d.dirty = t.path.bbox();
+  d.trace = id;
   traces_[id] = std::move(t);
+  record(d);
   return id;
 }
 
 TraceId Layout::add_pair(DiffPair p) {
+  check_mutable();
   if (p.id == 0) p.id = allocate_id(*this);
   const TraceId id = p.id;
+  LayoutDelta d;
+  d.kind = DeltaKind::AddPair;
+  d.dirty = pair_bbox(p);
+  d.trace = id;
   pairs_[id] = std::move(p);
+  record(d);
   return id;
+}
+
+LayoutDelta Layout::add_group(MatchGroup g) {
+  check_mutable();
+  LayoutDelta d;
+  d.kind = DeltaKind::AddGroup;
+  d.group = groups_.size();
+  groups_.push_back(std::move(g));
+  return record(d);
+}
+
+LayoutDelta Layout::add_group_member(std::size_t group, GroupMember member,
+                                     double target) {
+  check_mutable();
+  MatchGroup& g = groups_.at(group);
+  LayoutDelta d;
+  d.kind = DeltaKind::AddGroupMember;
+  d.group = group;
+  d.trace = member.id;
+  if (target > 0.0 || !g.member_targets.empty()) {
+    g.member_targets.resize(g.members.size(), 0.0);
+    g.member_targets.push_back(target);
+  }
+  g.members.push_back(member);
+  return record(d);
+}
+
+LayoutDelta Layout::remove_group_member(std::size_t group, std::size_t member_index) {
+  check_mutable();
+  MatchGroup& g = groups_.at(group);
+  if (member_index >= g.members.size()) {
+    throw std::out_of_range("Layout::remove_group_member: bad member index");
+  }
+  LayoutDelta d;
+  d.kind = DeltaKind::RemoveGroupMember;
+  d.group = group;
+  d.trace = g.members[member_index].id;
+  g.members.erase(g.members.begin() + static_cast<std::ptrdiff_t>(member_index));
+  if (member_index < g.member_targets.size()) {
+    g.member_targets.erase(g.member_targets.begin() +
+                           static_cast<std::ptrdiff_t>(member_index));
+  }
+  return record(d);
+}
+
+LayoutDelta Layout::set_group_target(std::size_t group, double target) {
+  check_mutable();
+  MatchGroup& g = groups_.at(group);
+  LayoutDelta d;
+  d.kind = DeltaKind::SetGroupTarget;
+  d.group = group;
+  g.target_length = target;
+  return record(d);
+}
+
+LayoutDelta Layout::set_member_target(std::size_t group, std::size_t member_index,
+                                      double target) {
+  check_mutable();
+  MatchGroup& g = groups_.at(group);
+  if (member_index >= g.members.size()) {
+    throw std::out_of_range("Layout::set_member_target: bad member index");
+  }
+  LayoutDelta d;
+  d.kind = DeltaKind::SetMemberTarget;
+  d.group = group;
+  d.trace = g.members[member_index].id;
+  if (g.member_targets.size() < g.members.size()) {
+    g.member_targets.resize(g.members.size(), 0.0);
+  }
+  g.member_targets[member_index] = target;
+  return record(d);
+}
+
+std::size_t Layout::group_of(TraceId id) const {
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    for (const GroupMember& m : groups_[gi].members) {
+      if (m.id == id) return gi;
+    }
+  }
+  return kNoIndex;
+}
+
+LayoutDelta Layout::set_routable_area(TraceId id, RoutableArea area) {
+  check_mutable();
+  LayoutDelta d;
+  d.kind = DeltaKind::SetRoutableArea;
+  d.trace = id;
+  d.dirty = area_bbox(area);
+  auto it = areas_.find(id);
+  if (it != areas_.end()) {
+    d.dirty.expand(area_bbox(it->second));
+    it->second = std::move(area);
+  } else {
+    areas_.emplace(id, std::move(area));
+  }
+  return record(d);
 }
 
 }  // namespace lmr::layout

@@ -249,6 +249,11 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
   if (group_index >= layout.groups().size()) {
     throw std::out_of_range("Router: bad group index");
   }
+  // Board edits are rejected while any route is in flight: the stages below
+  // read obstacles, areas and group structure from the live layout, so an
+  // interleaved mutation would race. Trace-geometry write-backs are not
+  // gated — they are the route's own output channel.
+  const layout::Layout::RoutingFreeze freeze = layout.freeze_for_routing();
   const layout::MatchGroup& group = layout.groups()[group_index];
   const auto t_run = Clock::now();
   const bool drc = options_.run_drc;
@@ -408,6 +413,21 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
   result.group.group_name = group.name;
   result.group.target = group.target_length;
   result.group.members = std::move(reports);
+  // Everything this route read or produced, geometrically: member areas
+  // plus pre-route (now in the rollback snapshots) and post-route paths.
+  // reroute()'s delta → dirty-group proof tests edits against this box.
+  for (const MemberWork& w : work) {
+    result.domain_bbox.expand(w.area->bbox());
+    result.domain_bbox.expand(w.orig_primary.bbox());
+    result.domain_bbox.expand(w.orig_secondary.bbox());
+    if (w.member.kind == layout::MemberKind::SingleEnded) {
+      result.domain_bbox.expand(layout.trace(w.member.id).path.bbox());
+    } else {
+      const layout::DiffPair& pair = layout.pair(w.member.id);
+      result.domain_bbox.expand(pair.positive.path.bbox());
+      result.domain_bbox.expand(pair.negative.path.bbox());
+    }
+  }
   // Matching-phase wall time — when the last member finished extending (the
   // pre-pipeline meaning of this field; overlapped per-net checks are
   // reported separately below).
@@ -455,6 +475,180 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
 
   result.runtime_s = seconds_since(t_run);
   return result;
+}
+
+BoardRoute Router::route_board(layout::Layout& layout) const {
+  BoardRoute board;
+  for (std::size_t g = 0; g < layout.groups().size(); ++g) {
+    board.rerouted_groups.push_back(g);
+    for (const layout::GroupMember& m : layout.groups()[g].members) {
+      MemberSeed seed;
+      seed.kind = m.kind;
+      if (m.kind == layout::MemberKind::SingleEnded) {
+        seed.primary = layout.trace(m.id).path;
+      } else {
+        const layout::DiffPair& pair = layout.pair(m.id);
+        seed.primary = pair.positive.path;
+        seed.secondary = pair.negative.path;
+      }
+      board.seeds.emplace(m.id, std::move(seed));
+    }
+  }
+  board.results = route_all(layout);
+  board.version = layout.version();
+  return board;
+}
+
+std::vector<std::size_t> Router::affected_groups(
+    const layout::Layout& layout, const BoardRoute& prior,
+    std::span<const layout::LayoutDelta> deltas) const {
+  const std::size_t n_groups = layout.groups().size();
+  std::vector<bool> hit(n_groups, false);
+  // Groups the prior route has no result for (created by these edits) have
+  // nothing to splice from — always route them.
+  for (std::size_t g = prior.results.size(); g < n_groups; ++g) hit[g] = true;
+
+  // Worst-case interaction radius: an edit farther than this from
+  // everything a group's route read or produced cannot change its
+  // extension (obstacles enter routing only through area holes and
+  // proximity checks), its per-net oracle verdicts (gap / obstacle
+  // clearances top out at effective_gap / effective_obs for the widest
+  // trace) or its cross-member sweep.
+  double w_max = rules_.trace_width;
+  for (const auto& [id, t] : layout.traces()) {
+    (void)id;
+    w_max = std::max(w_max, t.width);
+  }
+  for (const auto& [id, p] : layout.pairs()) {
+    (void)id;
+    w_max = std::max({w_max, p.positive.width, p.negative.width});
+  }
+  const double radius = rules_.effective_gap() + rules_.effective_obs() + w_max +
+                        options_.drc.tolerance;
+  const auto hit_near = [&](const geom::Box& dirty) {
+    if (dirty.empty()) return;
+    const geom::Box probe = dirty.inflated(radius);
+    const std::size_t known = std::min(n_groups, prior.results.size());
+    for (std::size_t g = 0; g < known; ++g) {
+      if (probe.intersects(prior.results[g].domain_bbox)) hit[g] = true;
+    }
+  };
+
+  for (const layout::LayoutDelta& d : deltas) {
+    switch (d.kind) {
+      case layout::DeltaKind::AddTrace:
+      case layout::DeltaKind::AddPair:
+        break;  // ungrouped geometry participates in no group's route
+      case layout::DeltaKind::SetBoard:
+        std::fill(hit.begin(), hit.end(), true);
+        break;
+      case layout::DeltaKind::AddGroup:
+      case layout::DeltaKind::AddGroupMember:
+      case layout::DeltaKind::RemoveGroupMember:
+      case layout::DeltaKind::SetGroupTarget:
+      case layout::DeltaKind::SetMemberTarget:
+        if (d.group < n_groups) hit[d.group] = true;
+        break;
+      case layout::DeltaKind::SetRoutableArea: {
+        // The area is an input only to its owning member's route, but be
+        // doubly conservative: also test the touched geometry against every
+        // cached domain.
+        const std::size_t g = layout.group_of(d.trace);
+        if (g != layout::kNoIndex && g < n_groups) hit[g] = true;
+        hit_near(d.dirty);
+        break;
+      }
+      case layout::DeltaKind::AddObstacle:
+      case layout::DeltaKind::MoveObstacle:
+      case layout::DeltaKind::RemoveObstacle:
+        hit_near(d.dirty);
+        break;
+    }
+  }
+
+  std::vector<std::size_t> out;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    if (hit[g]) out.push_back(g);
+  }
+  return out;
+}
+
+BoardRoute Router::reroute(layout::Layout& layout, const BoardRoute& prior,
+                           std::span<const layout::LayoutDelta> deltas) const {
+  if (prior.version + deltas.size() != layout.version()) {
+    throw std::invalid_argument(
+        "Router::reroute: deltas do not connect the prior route's version to "
+        "the layout's (stale prior or truncated edit list)");
+  }
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    if (deltas[i].version != prior.version + i + 1) {
+      throw std::invalid_argument("Router::reroute: deltas out of order");
+    }
+  }
+
+  const std::size_t n_groups = layout.groups().size();
+  BoardRoute next;
+  next.version = layout.version();
+  next.seeds = prior.seeds;
+  next.results = prior.results;
+  next.results.resize(n_groups);  // groups are only ever appended
+  next.rerouted_groups = affected_groups(layout, prior, deltas);
+
+  // Every member an affected group holds now — or held when `prior` routed
+  // it (a member edited out must fall back to its pristine geometry, same
+  // as a fresh route of the edited board would leave it) — restarts from
+  // its pristine seed. Members the prior route never saw are snapshotted
+  // here: un-routed geometry *is* pristine.
+  const auto restore = [&](layout::TraceId id, layout::MemberKind kind) {
+    auto it = next.seeds.find(id);
+    if (it == next.seeds.end()) {
+      MemberSeed seed;
+      seed.kind = kind;
+      if (kind == layout::MemberKind::SingleEnded) {
+        seed.primary = layout.trace(id).path;
+      } else {
+        const layout::DiffPair& pair = layout.pair(id);
+        seed.primary = pair.positive.path;
+        seed.secondary = pair.negative.path;
+      }
+      next.seeds.emplace(id, std::move(seed));
+      return;
+    }
+    if (it->second.kind == layout::MemberKind::SingleEnded) {
+      layout.trace(id).path = it->second.primary;
+    } else {
+      layout::DiffPair& pair = layout.pair(id);
+      pair.positive.path = it->second.primary;
+      pair.negative.path = it->second.secondary;
+    }
+  };
+  for (const std::size_t g : next.rerouted_groups) {
+    if (g < prior.results.size()) {
+      for (const MemberReport& m : prior.results[g].group.members) {
+        restore(m.id, m.kind);
+      }
+    }
+    for (const layout::GroupMember& m : layout.groups()[g].members) {
+      restore(m.id, m.kind);
+    }
+  }
+
+  // Re-run only the affected groups, with route_all's executor discipline;
+  // untouched groups keep their spliced prior results verbatim.
+  const std::vector<std::size_t>& todo = next.rerouted_groups;
+  const std::size_t threads = exec::resolve_threads(options_.threads);
+  if (threads <= 1 || todo.size() <= 1) {
+    for (const std::size_t g : todo) next.results[g] = run(layout, g, threads);
+  } else {
+    exec::parallel_for_dynamic(pool(), todo.size(), threads, [&](std::size_t k) {
+      next.results[todo[k]] = run(layout, todo[k], threads);
+    });
+  }
+  return next;
+}
+
+BoardRoute Router::reroute(layout::Layout& layout, const BoardRoute& prior) const {
+  return reroute(layout, prior, layout.deltas_since(prior.version));
 }
 
 }  // namespace lmr::pipeline

@@ -28,12 +28,16 @@
 /// violation order — is independent of scheduling.
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/trace_extender.hpp"
 #include "drc/rules.hpp"
 #include "exec/task_pool.hpp"
+#include "geom/box.hpp"
 #include "layout/drc_checker.hpp"
 #include "layout/layout.hpp"
 
@@ -144,11 +148,46 @@ struct RouteResult {
   /// longer pure tail latency when the overlapped schedule hides the per-net
   /// share behind extension.
   double drc_runtime_s = 0.0;
+  /// Everything this group's route read or produced, geometrically: the
+  /// union of member routable-area bboxes and pre-/post-route path bboxes.
+  /// `Router::reroute` proves a board edit cannot have changed this group
+  /// by showing the edit's dirty box, inflated by the clearance radius,
+  /// misses this box.
+  geom::Box domain_bbox;
 
   [[nodiscard]] bool matched() const;
   [[nodiscard]] bool drc_clean() const;
   [[nodiscard]] std::size_t violation_count() const;
   [[nodiscard]] bool ok() const { return matched() && drc_clean(); }
+};
+
+/// Pristine (pre-route) geometry of one group member. Re-routing a group is
+/// only equivalent to routing it fresh if it starts from the same input
+/// polylines, so `route_board` snapshots every member's path before the
+/// first extension and `reroute` restores the snapshot for every member of
+/// an affected group before re-running it.
+struct MemberSeed {
+  layout::MemberKind kind = layout::MemberKind::SingleEnded;
+  geom::Polyline primary;    ///< the trace, or traceP of a pair
+  geom::Polyline secondary;  ///< traceN of a pair; empty for single-ended
+};
+
+/// A whole-board routing outcome pinned to the layout version it reflects.
+/// `route_board` produces one; `reroute` consumes a prior one plus the
+/// journal suffix and splices fresh results over the affected groups only.
+struct BoardRoute {
+  /// layout.version() the results correspond to. `reroute` rejects delta
+  /// lists that do not connect this version to the layout's current one.
+  std::uint64_t version = 0;
+  /// One result per group, in group order — bit-identical (geometry and
+  /// violations) to a fresh `route_all` of the same board.
+  std::vector<RouteResult> results;
+  /// Pristine pre-route geometry per member id (see MemberSeed).
+  std::map<layout::TraceId, MemberSeed> seeds;
+  /// Diagnostics: group indices the producing call actually re-routed
+  /// (`route_board` lists every group). Not part of the equivalence
+  /// contract.
+  std::vector<std::size_t> rerouted_groups;
 };
 
 /// The end-to-end facade. Construct once with the design rules, then route
@@ -179,6 +218,35 @@ class Router {
   /// no trace belongs to two groups (members are written back
   /// concurrently).
   std::vector<RouteResult> route_all(layout::Layout& layout) const;
+
+  /// `route_all` plus the session bookkeeping: snapshot every member's
+  /// pristine geometry first, stamp the layout version, return the package
+  /// `reroute` incrementally updates.
+  BoardRoute route_board(layout::Layout& layout) const;
+
+  /// Incremental re-route: prove which groups the recorded edits can touch
+  /// (group-structure deltas name their group; geometric deltas miss a
+  /// group when their dirty bbox inflated by the worst-case clearance
+  /// radius misses its cached domain bbox), restore those groups' members
+  /// to their pristine seeds, re-run only them on the same executor, and
+  /// splice the fresh results over `prior`'s. The result is bit-identical —
+  /// trace geometry and violation sets — to a fresh `route_all` of the
+  /// edited board. `deltas` must be exactly the journal suffix connecting
+  /// `prior.version` to `layout.version()`: stale, reordered or truncated
+  /// edit lists throw std::invalid_argument.
+  BoardRoute reroute(layout::Layout& layout, const BoardRoute& prior,
+                     std::span<const layout::LayoutDelta> deltas) const;
+  /// Convenience: reroute over the layout's own journal suffix since
+  /// `prior.version` (always correctly ordered).
+  BoardRoute reroute(layout::Layout& layout, const BoardRoute& prior) const;
+
+  /// The delta → dirty-group proof by itself (exposed for tests and
+  /// diagnostics): indices of groups the edits could have affected, in
+  /// group order. Groups the board has grown past `prior.results` are
+  /// always included.
+  [[nodiscard]] std::vector<std::size_t> affected_groups(
+      const layout::Layout& layout, const BoardRoute& prior,
+      std::span<const layout::LayoutDelta> deltas) const;
 
   [[nodiscard]] const drc::DesignRules& rules() const { return rules_; }
   [[nodiscard]] const RouterOptions& options() const { return options_; }

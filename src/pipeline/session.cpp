@@ -1,0 +1,169 @@
+#include "pipeline/session.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace lmr::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool same_violation(const layout::Violation& a, const layout::Violation& b) {
+  return a.kind == b.kind && a.trace == b.trace && a.other_trace == b.other_trace &&
+         a.index_a == b.index_a && a.index_b == b.index_b && a.measured == b.measured &&
+         a.required == b.required && a.note == b.note;
+}
+
+bool same_violations(const std::vector<layout::Violation>& a,
+                     const std::vector<layout::Violation>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!same_violation(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+void explain(std::string* why, const std::string& msg) {
+  if (why != nullptr) *why = msg;
+}
+
+}  // namespace
+
+Session::Session(drc::DesignRules rules, RouterOptions options, layout::Layout board)
+    : router_(rules, std::move(options)),
+      layout_(std::move(board)),
+      board_index_(router_.rules(), router_.options().drc) {}
+
+const BoardRoute& Session::route() {
+  route_ = router_.route_board(layout_);
+  routed_ = true;
+  std::vector<std::size_t> all;
+  for (std::size_t g = 0; g < layout_.groups().size(); ++g) all.push_back(g);
+  reindex_groups(all);
+  return route_;
+}
+
+ApplyOutcome Session::apply(const layout::BoardEdit& edit) {
+  return apply(std::span<const layout::BoardEdit>{&edit, 1});
+}
+
+ApplyOutcome Session::apply(std::span<const layout::BoardEdit> edits) {
+  if (!routed_) {
+    throw std::logic_error("Session::apply: route() the board first");
+  }
+  ApplyOutcome outcome;
+  for (const layout::BoardEdit& e : edits) {
+    std::vector<layout::LayoutDelta> deltas = layout::apply_edit(layout_, e);
+    outcome.deltas.insert(outcome.deltas.end(),
+                          std::make_move_iterator(deltas.begin()),
+                          std::make_move_iterator(deltas.end()));
+  }
+  const auto t0 = Clock::now();
+  route_ = router_.reroute(layout_, route_, outcome.deltas);
+  outcome.reroute_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  outcome.rerouted_groups = route_.rerouted_groups;
+  outcome.groups_total = layout_.groups().size();
+  reindex_groups(outcome.rerouted_groups);
+  return outcome;
+}
+
+void Session::reindex_groups(std::span<const std::size_t> groups) {
+  for (const std::size_t g : groups) {
+    for (const layout::GroupMember& m : layout_.groups().at(g).members) {
+      auto it = member_slots_.find(m.id);
+      if (it == member_slots_.end()) {
+        MemberSlots slots;
+        slots.count = m.kind == layout::MemberKind::SingleEnded ? 1 : 2;
+        if (m.kind == layout::MemberKind::SingleEnded) {
+          slots.slot0 = board_index_.add_slot(layout_.trace(m.id).width, next_net_);
+        } else {
+          const layout::DiffPair& pair = layout_.pair(m.id);
+          slots.slot0 = board_index_.add_slot(pair.positive.width, next_net_);
+          board_index_.add_slot(pair.negative.width, next_net_);
+        }
+        ++next_net_;
+        it = member_slots_.emplace(m.id, slots).first;
+      }
+      if (m.kind == layout::MemberKind::SingleEnded) {
+        board_index_.insert(it->second.slot0, layout_.trace(m.id));
+      } else {
+        const layout::DiffPair& pair = layout_.pair(m.id);
+        board_index_.insert(it->second.slot0, pair.positive);
+        board_index_.insert(it->second.slot0 + 1, pair.negative);
+      }
+    }
+  }
+  // A member edited out of every group stops being length-matched state:
+  // take its slots out of the sweep (they revive on re-membership).
+  for (const auto& [id, slots] : member_slots_) {
+    if (layout_.group_of(id) != layout::kNoIndex) continue;
+    for (std::uint32_t s = 0; s < slots.count; ++s) {
+      if (board_index_.slot_inserted(slots.slot0 + s)) {
+        board_index_.remove(slots.slot0 + s);
+      }
+    }
+  }
+}
+
+std::vector<layout::Violation> Session::board_clearance() {
+  return board_index_.sweep();
+}
+
+bool routes_equivalent(const layout::Layout& a, const BoardRoute& ra,
+                       const layout::Layout& b, const BoardRoute& rb,
+                       std::string* why) {
+  if (ra.results.size() != rb.results.size()) {
+    explain(why, "group count differs");
+    return false;
+  }
+  for (std::size_t g = 0; g < ra.results.size(); ++g) {
+    const RouteResult& ga = ra.results[g];
+    const RouteResult& gb = rb.results[g];
+    const std::string tag = "group " + std::to_string(g);
+    if (ga.group.members.size() != gb.group.members.size()) {
+      explain(why, tag + ": member count differs");
+      return false;
+    }
+    for (std::size_t m = 0; m < ga.group.members.size(); ++m) {
+      const MemberReport& ma = ga.group.members[m];
+      const MemberReport& mb = gb.group.members[m];
+      if (ma.id != mb.id || ma.kind != mb.kind) {
+        explain(why, tag + ": membership differs at slot " + std::to_string(m));
+        return false;
+      }
+      if (ma.kind == layout::MemberKind::SingleEnded) {
+        if (a.trace(ma.id).path.points() != b.trace(mb.id).path.points()) {
+          explain(why, tag + ": trace " + std::to_string(ma.id) + " geometry differs");
+          return false;
+        }
+      } else {
+        const layout::DiffPair& pa = a.pair(ma.id);
+        const layout::DiffPair& pb = b.pair(mb.id);
+        if (pa.positive.path.points() != pb.positive.path.points() ||
+            pa.negative.path.points() != pb.negative.path.points()) {
+          explain(why, tag + ": pair " + std::to_string(ma.id) + " geometry differs");
+          return false;
+        }
+      }
+    }
+    if (ga.nets.size() != gb.nets.size()) {
+      explain(why, tag + ": net-result count differs");
+      return false;
+    }
+    for (std::size_t n = 0; n < ga.nets.size(); ++n) {
+      if (!same_violations(ga.nets[n].violations, gb.nets[n].violations)) {
+        explain(why, tag + ": per-net violations differ at net " + std::to_string(n));
+        return false;
+      }
+    }
+    if (!same_violations(ga.cross_violations, gb.cross_violations)) {
+      explain(why, tag + ": cross-member violations differ");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lmr::pipeline

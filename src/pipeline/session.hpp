@@ -1,0 +1,108 @@
+#pragma once
+/// \file session.hpp
+/// A long-lived routing session over one board: the seam a service layer
+/// calls instead of the one-shot Router facade.
+///
+/// The session owns the layout, the last whole-board route (results +
+/// pristine seeds) and a board-wide incremental clearance index. `route()`
+/// matches the board once; every subsequent `apply(edit)` lowers the edit
+/// through layout::apply_edit, asks Router::reroute to re-run only the
+/// groups the recorded deltas can touch, splices the fresh results over the
+/// kept ones, and re-indexes only the re-routed members' geometry in the
+/// clearance index. The state after any edit sequence is bit-identical —
+/// trace geometry and violation sets — to generating the edited board from
+/// scratch and routing it fresh, which is exactly how the edit_storm bench
+/// and tests oracle-check it.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "layout/board_edit.hpp"
+#include "layout/clearance_index.hpp"
+#include "layout/layout.hpp"
+#include "pipeline/router.hpp"
+
+namespace lmr::pipeline {
+
+/// What one `apply()` did, for latency accounting and the
+/// strictly-fewer-groups proof in the bench/tests.
+struct ApplyOutcome {
+  /// Primitive deltas the edit lowered to (journal order).
+  std::vector<layout::LayoutDelta> deltas;
+  /// Group indices Router::reroute actually re-ran.
+  std::vector<std::size_t> rerouted_groups;
+  /// Total groups on the board, for the re-routed-fraction readout.
+  std::size_t groups_total = 0;
+  /// Wall time of the reroute call (edit application excluded).
+  double reroute_s = 0.0;
+};
+
+/// One board under interactive edits. Single-threaded facade: calls fan out
+/// internally on the Router's executor but the session itself must not be
+/// shared across threads without external synchronization.
+class Session {
+ public:
+  /// Takes the board by value: the session owns its layout for life (trace
+  /// references handed to the clearance index must stay stable).
+  Session(drc::DesignRules rules, RouterOptions options, layout::Layout board);
+
+  /// Initial full route of every group. Must be called once, before the
+  /// first `apply`. Returns the whole-board route (also via `route_state`).
+  const BoardRoute& route();
+
+  /// Apply one user-level edit and incrementally re-route. Requires
+  /// `route()` first (throws std::logic_error otherwise).
+  ApplyOutcome apply(const layout::BoardEdit& edit);
+  /// Apply a whole edit batch, then re-route once over the combined deltas
+  /// — cheaper than per-edit apply when edits cluster on the same groups.
+  ApplyOutcome apply(std::span<const layout::BoardEdit> edits);
+
+  /// Cross-member clearance violations over the whole board, from the
+  /// session's incremental index: after an edit, only re-routed members
+  /// were re-indexed, and back-to-back calls with no edit are served from
+  /// the index's violation cache. Slots are keyed in first-seen member
+  /// order (group order at `route()`, then order of appearance), so the
+  /// violation order is stable for the session's lifetime.
+  std::vector<layout::Violation> board_clearance();
+
+  [[nodiscard]] const layout::Layout& layout() const { return layout_; }
+  [[nodiscard]] const BoardRoute& route_state() const { return route_; }
+  [[nodiscard]] const Router& router() const { return router_; }
+  [[nodiscard]] std::uint64_t version() const { return layout_.version(); }
+
+ private:
+  /// (Re-)index `group`'s members in the board-wide clearance index, then
+  /// drop members that no longer belong to any group.
+  void reindex_groups(std::span<const std::size_t> groups);
+
+  Router router_;
+  layout::Layout layout_;
+  BoardRoute route_;
+  bool routed_ = false;
+
+  /// Board-wide cross-member clearance state, maintained incrementally.
+  layout::ClearanceIndex board_index_;
+  struct MemberSlots {
+    std::uint32_t slot0 = 0;
+    std::uint32_t count = 0;  ///< 1 for single-ended, 2 for a pair
+  };
+  std::map<layout::TraceId, MemberSlots> member_slots_;
+  std::uint32_t next_net_ = 0;  ///< one clearance net per member
+};
+
+/// Exact routed-board equivalence: same groups with the same members, every
+/// member's final trace geometry bit-identical between the two layouts, and
+/// identical per-group violation sets (per-net and cross-member, compared
+/// field by field in order). This is the oracle behind the edit_storm bench
+/// and tests: a session's incremental state after an edit script must be
+/// `routes_equivalent` to a fresh route of the same edited board. On
+/// mismatch returns false and, when `why` is non-null, stores a one-line
+/// description of the first difference found.
+[[nodiscard]] bool routes_equivalent(const layout::Layout& a, const BoardRoute& ra,
+                                     const layout::Layout& b, const BoardRoute& rb,
+                                     std::string* why = nullptr);
+
+}  // namespace lmr::pipeline

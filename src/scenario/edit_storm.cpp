@@ -1,0 +1,203 @@
+#include "scenario/edit_storm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "geom/distance.hpp"
+#include "workload/synth.hpp"
+
+namespace lmr::scenario {
+
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+
+/// Storm-local view of one grouped member's pristine geometry.
+struct MemberView {
+  layout::TraceId id = 0;
+  layout::MemberKind kind = layout::MemberKind::SingleEnded;
+  const layout::RoutableArea* area = nullptr;
+};
+
+double dist_to_path(const Point& c, const geom::Polyline& path) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < path.segment_count(); ++s) {
+    best = std::min(best, geom::dist_point_segment(c, path.segment(s)));
+  }
+  return best;
+}
+
+/// Placement legality of a via-like obstacle centered at `c` — the board
+/// generator's own rule (sprinkle_vias): keep effective_obs + r +
+/// 0.55 * effective_gap clear of every pristine member path (pairs add the
+/// widest restore band), and 3 r of centroid distance from every existing
+/// hole, so the re-extended members can thread past the new obstacle
+/// exactly like they thread past generated vias.
+bool via_fits(const layout::Layout& scratch, const ScenarioSpec& spec, const Point& c,
+              double r) {
+  const double base_clear =
+      spec.rules.effective_obs() + r + 0.55 * spec.rules.effective_gap();
+  const double pair_reach =
+      spec.pair_pitch * (spec.dra_sections > 1 ? spec.dra_width_factor : 1.0);
+  for (const auto& [id, t] : scratch.traces()) {
+    (void)id;
+    if (dist_to_path(c, t.path) < base_clear) return false;
+  }
+  for (const auto& [id, p] : scratch.pairs()) {
+    (void)id;
+    if (dist_to_path(c, p.positive.path) < base_clear + pair_reach) return false;
+    if (dist_to_path(c, p.negative.path) < base_clear + pair_reach) return false;
+  }
+  for (const auto& [id, area] : scratch.routable_areas()) {
+    (void)id;
+    for (const Polygon& h : area.holes) {
+      if (geom::dist(h.centroid(), c) < 3.0 * r) return false;
+    }
+  }
+  return true;
+}
+
+/// Smallest legal group target: the single-ended extender rejects targets
+/// below a member's current length, so retargets clamp above every pristine
+/// member length (pairs included for symmetry).
+double min_group_target(const layout::Layout& scratch, const layout::MatchGroup& g) {
+  double len = 0.0;
+  for (const layout::GroupMember& m : g.members) {
+    if (m.kind == layout::MemberKind::SingleEnded) {
+      len = std::max(len, scratch.trace(m.id).length());
+    } else {
+      const layout::DiffPair& p = scratch.pair(m.id);
+      len = std::max({len, p.positive.length(), p.negative.length()});
+    }
+  }
+  return len * 1.02;
+}
+
+layout::BoardEdit retarget_edit(const layout::Layout& scratch, std::mt19937_64& rng) {
+  const auto g = static_cast<std::size_t>(workload::uniform_real(
+      rng, 0.0, static_cast<double>(scratch.groups().size()) - 1e-9));
+  const layout::MatchGroup& group = scratch.groups()[g];
+  const double factor = workload::uniform_real(rng, 0.98, 1.08);
+  layout::BoardEdit e;
+  e.kind = layout::BoardEditKind::SetGroupTarget;
+  e.group = g;
+  e.target = std::max(group.target_length * factor, min_group_target(scratch, group));
+  return e;
+}
+
+}  // namespace
+
+std::vector<EditStormCase> edit_storm_cases(bool smoke) {
+  std::vector<EditStormCase> cases;
+  {
+    // Several stacked groups: the bread-and-butter incrementality case —
+    // most edits land in one band and must re-route only that group.
+    EditStormCase c;
+    c.base = family("multi_group", smoke).cases.at(0);
+    c.name = smoke ? "edit_storm/multi_group-2x3/e6" : "edit_storm/multi_group-3x6/e12";
+    c.edits = smoke ? 6 : 12;
+    c.edit_seed = smoke ? 9101 : 9201;
+    cases.push_back(std::move(c));
+  }
+  {
+    // Mixed single-ended + differential members: storms must drive the pair
+    // restore path through reroute too.
+    EditStormCase c;
+    c.base = family("mixed_se_diff", smoke).cases.at(0);
+    c.name = smoke ? "edit_storm/mixed_se_diff-4/e5" : "edit_storm/mixed_se_diff-8/e8";
+    c.edits = smoke ? 5 : 8;
+    c.edit_seed = smoke ? 9102 : 9202;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+EditStorm materialize_storm(const EditStormCase& c) {
+  EditStorm storm;
+  storm.spec = c;
+  storm.scenario = materialize(c.base);
+  const ScenarioSpec& spec = storm.scenario.spec;
+
+  // The scratch board rolls forward through the script: obstacle indices in
+  // later edits are valid against the state they will meet, and placement
+  // sees every earlier edit. Trace geometry stays pristine throughout (the
+  // scratch is never routed), which is exactly the geometry reroute
+  // restores before re-extending.
+  layout::Layout scratch = storm.scenario.layout;
+  std::mt19937_64 rng(c.edit_seed);
+
+  std::vector<MemberView> members;
+  for (const layout::MatchGroup& g : scratch.groups()) {
+    for (const layout::GroupMember& m : g.members) {
+      members.push_back({m.id, m.kind, scratch.routable_area(m.id)});
+    }
+  }
+
+  for (int k = 0; k < c.edits; ++k) {
+    const double kind_draw = workload::uniform_real(rng, 0.0, 1.0);
+    layout::BoardEdit edit;
+    bool placed = false;
+
+    if (kind_draw < 0.40) {
+      // Drop a via-like octagon into a random member's band.
+      const double r = spec.via_radius;
+      for (int attempt = 0; attempt < 40 && !placed; ++attempt) {
+        const auto mi = static_cast<std::size_t>(workload::uniform_real(
+            rng, 0.0, static_cast<double>(members.size()) - 1e-9));
+        const geom::Box bb = members[mi].area->outline.bbox();
+        const Point cpt{workload::uniform_real(rng, bb.lo.x + 2.0, bb.hi.x - 2.0),
+                        workload::uniform_real(rng, bb.lo.y + r + 0.2, bb.hi.y - r - 0.2)};
+        if (!members[mi].area->outline.contains(cpt)) continue;
+        if (!via_fits(scratch, spec, cpt, r)) continue;
+        edit.kind = layout::BoardEditKind::AddObstacle;
+        edit.shape = Polygon::regular(cpt, r, 8, M_PI / 8.0);
+        edit.name = "storm_via";
+        placed = true;
+      }
+    } else if (kind_draw < 0.65 && scratch.obstacle_count() > 0) {
+      // Nudge an existing obstacle, keeping the generator's clearance rule
+      // for the destination.
+      for (int attempt = 0; attempt < 40 && !placed; ++attempt) {
+        const auto oi = static_cast<std::size_t>(workload::uniform_real(
+            rng, 0.0, static_cast<double>(scratch.obstacle_count()) - 1e-9));
+        const geom::Vec2 d{workload::uniform_real(rng, -2.0, 2.0),
+                           workload::uniform_real(rng, -2.0, 2.0)};
+        const Polygon& shape = scratch.obstacle(oi).shape;
+        const Point dest = shape.centroid() + d;
+        const double r = 0.5 * std::max(shape.bbox().width(), shape.bbox().height());
+        // Stay inside whichever area holds the obstacle now (hole and
+        // obstacle move together; a hole straying out of its outline would
+        // stop constraining the member it was punched for).
+        bool inside_ok = true;
+        for (const auto& [id, area] : scratch.routable_areas()) {
+          (void)id;
+          if (area.outline.contains(shape.centroid()) && !area.outline.contains(dest)) {
+            inside_ok = false;
+            break;
+          }
+        }
+        if (!inside_ok || !via_fits(scratch, spec, dest, r)) continue;
+        edit.kind = layout::BoardEditKind::MoveObstacle;
+        edit.obstacle = oi;
+        edit.move = d;
+        placed = true;
+      }
+    } else if (kind_draw < 0.82 && scratch.obstacle_count() > 0) {
+      // Remove an obstacle — always legal, frees routing room.
+      const auto oi = static_cast<std::size_t>(workload::uniform_real(
+          rng, 0.0, static_cast<double>(scratch.obstacle_count()) - 1e-9));
+      edit.kind = layout::BoardEditKind::RemoveObstacle;
+      edit.obstacle = oi;
+      placed = true;
+    }
+    if (!placed) edit = retarget_edit(scratch, rng);
+
+    layout::apply_edit(scratch, edit);
+    storm.edits.push_back(std::move(edit));
+  }
+  return storm;
+}
+
+}  // namespace lmr::scenario

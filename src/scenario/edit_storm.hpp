@@ -1,0 +1,52 @@
+#pragma once
+/// \file edit_storm.hpp
+/// Seeded edit scripts over routed boards — the incremental-reroute
+/// workload.
+///
+/// An edit storm is a base scenario plus a deterministic sequence of N
+/// user-level edits (via drops, obstacle nudges/removals, group retargets)
+/// generated against the pristine board with the same placement-legality
+/// rules the board generator itself uses, so the edited board stays in the
+/// routable regime. The script is plain data: the bench harness and the
+/// oracle tests replay the identical edits on a live `pipeline::Session`
+/// and on a fresh pristine copy, and require bit-identical outcomes.
+///
+/// Generation walks a scratch copy of the layout forward through its own
+/// edits (`layout::apply_edit`), so obstacle indices in later edits are
+/// valid against the board state they will meet and placement checks see
+/// every obstacle dropped so far.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/board_edit.hpp"
+#include "scenario/scenario_families.hpp"
+
+namespace lmr::scenario {
+
+/// One storm case: which board, how many edits, which edit stream.
+struct EditStormCase {
+  std::string name;
+  FamilyCase base;             ///< the board to route, then edit
+  int edits = 6;               ///< script length
+  std::uint64_t edit_seed = 0; ///< drives the (portable) edit stream
+};
+
+/// A materialized storm: the pristine board plus the concrete edit script.
+struct EditStorm {
+  EditStormCase spec;
+  Scenario scenario;                     ///< pristine (un-routed) board
+  std::vector<layout::BoardEdit> edits;  ///< apply in order
+};
+
+/// The standard storm catalogue (smoke shrinks boards and scripts to CI
+/// size). Every storm rides on a multi-group or mixed base so incremental
+/// re-routes genuinely skip groups.
+[[nodiscard]] std::vector<EditStormCase> edit_storm_cases(bool smoke);
+
+/// Build the board and the edit script for one case. Deterministic:
+/// identical (case, seeds) always produce the identical script.
+[[nodiscard]] EditStorm materialize_storm(const EditStormCase& c);
+
+}  // namespace lmr::scenario

@@ -244,8 +244,10 @@ Scenario ScenarioGenerator::generate(std::uint64_t seed) const {
       rotate_points(sc.layout.pair(id).negative.path.points(), c, s);
     }
     // Obstacles, then every area outline/hole (areas are stored per trace).
-    for (layout::Obstacle& o : sc.layout.obstacles()) {
-      rotate_points(o.shape.points(), c, s);
+    for (std::size_t oi = 0; oi < sc.layout.obstacle_count(); ++oi) {
+      geom::Polygon shape = sc.layout.obstacle(oi).shape;
+      rotate_points(shape.points(), c, s);
+      sc.layout.set_obstacle_shape(oi, std::move(shape));
     }
     const auto rotate_area = [&](layout::TraceId id) {
       if (const layout::RoutableArea* area = sc.layout.routable_area(id)) {

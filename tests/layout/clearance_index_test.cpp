@@ -144,5 +144,99 @@ TEST(ClearanceIndex, SweepIsRepeatable) {
   EXPECT_EQ(keys(index.sweep()), keys(first));  // query-only: no state consumed
 }
 
+TEST(ClearanceIndex, RemoveTakesSlotOutOfTheSweep) {
+  const DenseBoard b = dense_board(1);
+  ClearanceIndex index(b.rules);
+  for (const SweepTrace& st : b.traces) index.add_slot(st.trace->width, st.net);
+  for (std::uint32_t i = 0; i < b.traces.size(); ++i) index.insert(i, *b.traces[i].trace);
+  ASSERT_FALSE(index.sweep().empty());
+
+  // Removing a slot must be equivalent to never having inserted it.
+  const std::uint32_t victim = 3;
+  index.remove(victim);
+  EXPECT_FALSE(index.slot_inserted(victim));
+  std::vector<SweepTrace> remaining;
+  for (std::uint32_t i = 0; i < b.traces.size(); ++i) {
+    if (i != victim) remaining.push_back(b.traces[i]);
+  }
+  EXPECT_EQ(keys(index.sweep()), keys(cross_clearance_sweep(remaining, b.rules)));
+
+  // ...and re-inserting restores the full result, in the original order.
+  index.insert(victim, *b.traces[victim].trace);
+  EXPECT_EQ(keys(index.sweep()), keys(cross_clearance_sweep(b.traces, b.rules)));
+}
+
+TEST(ClearanceIndex, CachedSweepSurvivesEditStorms) {
+  // Interleave moves (re-insert with shifted geometry), removes and
+  // restores; after every step the cached/overlay sweep must match a fresh
+  // one-shot sweep over the current traces. Enough steps to cross the
+  // quarter-dirty compaction threshold several times.
+  const DenseBoard b = dense_board(2);
+  std::vector<Trace> shifted(b.traces.size());
+  ClearanceIndex index(b.rules);
+  for (const SweepTrace& st : b.traces) index.add_slot(st.trace->width, st.net);
+  for (std::uint32_t i = 0; i < b.traces.size(); ++i) index.insert(i, *b.traces[i].trace);
+  ASSERT_FALSE(index.sweep().empty());
+
+  std::vector<bool> moved(b.traces.size(), false), removed(b.traces.size(), false);
+  for (std::uint32_t step = 0; step < 20; ++step) {
+    const auto i = static_cast<std::uint32_t>((step * 7 + 3) % b.traces.size());
+    switch (step % 3) {
+      case 0: {  // move: re-insert shifted geometry (kept alive in `shifted`)
+        shifted[i] = *b.traces[i].trace;
+        for (geom::Point& p : shifted[i].path.points()) p += {0.0, 0.35};
+        index.insert(i, shifted[i]);
+        moved[i] = true;
+        removed[i] = false;
+        break;
+      }
+      case 1:  // remove
+        index.remove(i);
+        removed[i] = true;
+        break;
+      default:  // restore original
+        index.insert(i, *b.traces[i].trace);
+        moved[i] = false;
+        removed[i] = false;
+    }
+    std::vector<SweepTrace> current;
+    for (std::uint32_t k = 0; k < b.traces.size(); ++k) {
+      if (removed[k]) continue;
+      current.push_back({moved[k] ? &shifted[k] : b.traces[k].trace, b.traces[k].net});
+    }
+    ASSERT_EQ(keys(index.sweep()), keys(cross_clearance_sweep(current, b.rules)))
+        << "step " << step;
+    // Back-to-back sweep with no edit: served from the violation cache.
+    ASSERT_EQ(keys(index.sweep()), keys(cross_clearance_sweep(current, b.rules)))
+        << "step " << step << " (cached)";
+  }
+}
+
+TEST(ClearanceIndex, MoveLeavesMovedFromEmptyAndReusable) {
+  const DenseBoard b = dense_board(1);
+  ClearanceIndex index(b.rules);
+  for (const SweepTrace& st : b.traces) index.add_slot(st.trace->width, st.net);
+  for (std::uint32_t i = 0; i < b.traces.size(); ++i) index.insert(i, *b.traces[i].trace);
+  const auto reference = keys(index.sweep());  // populate tree + result caches
+  ASSERT_FALSE(reference.empty());
+
+  // Move construction transfers slots and caches wholesale.
+  ClearanceIndex moved(std::move(index));
+  EXPECT_EQ(keys(moved.sweep()), reference);
+
+  // The moved-from index is an empty-but-valid index: no slots, clean
+  // sweep, and it can be rebuilt from scratch without touching stale cache.
+  EXPECT_EQ(index.slot_count(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(index.sweep().empty());
+  for (const SweepTrace& st : b.traces) index.add_slot(st.trace->width, st.net);
+  for (std::uint32_t i = 0; i < b.traces.size(); ++i) index.insert(i, *b.traces[i].trace);
+  EXPECT_EQ(keys(index.sweep()), reference);
+
+  // Move assignment, including self-refresh afterwards.
+  ClearanceIndex assigned(b.rules);
+  assigned = std::move(moved);
+  EXPECT_EQ(keys(assigned.sweep()), reference);
+}
+
 }  // namespace
 }  // namespace lmr::layout

@@ -1,0 +1,140 @@
+/// Versioned-layout invariants: the journal counts every recorded mutation
+/// exactly once, deltas_since returns a contiguous suffix, dirty boxes
+/// cover what the edit touched, and the routing freeze blocks board edits
+/// without disturbing the journal.
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "layout/layout.hpp"
+
+namespace lmr::layout {
+namespace {
+
+Layout small_board() {
+  Layout l(geom::Polygon::rect({{0, 0}, {100, 100}}));
+  Trace t;
+  t.path = geom::Polyline{{{0, 10}, {50, 10}}};
+  t.width = 0.2;
+  const TraceId id = l.add_trace(t);
+  MatchGroup g;
+  g.name = "g0";
+  g.target_length = 60.0;
+  g.members = {{MemberKind::SingleEnded, id}};
+  l.add_group(g);
+  return l;
+}
+
+TEST(LayoutVersion, EveryRecordedMutationBumpsOnce) {
+  Layout l;
+  EXPECT_EQ(l.version(), 0u);
+  l.set_board(geom::Polygon::rect({{0, 0}, {10, 10}}));
+  EXPECT_EQ(l.version(), 1u);
+  const LayoutDelta d =
+      l.add_obstacle({geom::Polygon::rect({{1, 1}, {2, 2}}), "via"});
+  EXPECT_EQ(l.version(), 2u);
+  EXPECT_EQ(d.version, 2u);
+  EXPECT_EQ(d.kind, DeltaKind::AddObstacle);
+  EXPECT_EQ(d.obstacle, 0u);
+
+  Trace t;
+  t.path = geom::Polyline{{{0, 5}, {9, 5}}};
+  const TraceId id = l.add_trace(t);
+  EXPECT_EQ(l.version(), 3u);  // trace additions journal too
+  EXPECT_EQ(l.deltas_since(2).front().kind, DeltaKind::AddTrace);
+  EXPECT_EQ(l.deltas_since(2).front().trace, id);
+
+  // Routing write-backs are not board edits: no version bump.
+  l.trace(id).path = geom::Polyline{{{0, 5}, {4, 7}, {9, 5}}};
+  EXPECT_EQ(l.version(), 3u);
+}
+
+TEST(LayoutVersion, DeltasSinceIsTheContiguousSuffix) {
+  Layout l = small_board();
+  const std::uint64_t v0 = l.version();
+  l.add_obstacle({geom::Polygon::rect({{20, 20}, {22, 22}}), "a"});
+  l.move_obstacle(0, {1.0, 0.0});
+  l.set_group_target(0, 70.0);
+
+  const auto deltas = l.deltas_since(v0);
+  ASSERT_EQ(deltas.size(), 3u);
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    EXPECT_EQ(deltas[i].version, v0 + i + 1);  // contiguous, in order
+  }
+  EXPECT_EQ(l.deltas_since(l.version()).size(), 0u);
+  EXPECT_EQ(l.deltas_since(0).size(), l.version());
+  EXPECT_THROW((void)l.deltas_since(l.version() + 1), std::invalid_argument);
+}
+
+TEST(LayoutVersion, DirtyBoxesCoverTheEdit) {
+  Layout l = small_board();
+  l.add_obstacle({geom::Polygon::rect({{30, 30}, {32, 32}}), "a"});
+  const std::uint64_t v = l.version();
+  const LayoutDelta moved = l.move_obstacle(0, {5.0, -2.0});
+  // The move's dirty box must cover the union of the before and after
+  // footprints — a reroute proof that only looks at one end would miss
+  // groups near the other.
+  EXPECT_LE(moved.dirty.lo.x, 30.0);
+  EXPECT_LE(moved.dirty.lo.y, 28.0);
+  EXPECT_GE(moved.dirty.hi.x, 37.0);
+  EXPECT_GE(moved.dirty.hi.y, 32.0);
+  EXPECT_TRUE(l.dirty_since(v).contains({31.0, 31.0}));
+  EXPECT_TRUE(l.dirty_since(v).contains({36.0, 29.0}));
+}
+
+TEST(LayoutVersion, FreezeBlocksBoardEditsNotWriteBacks) {
+  Layout l = small_board();
+  const TraceId id = l.groups()[0].members[0].id;
+  const std::uint64_t v = l.version();
+  {
+    const Layout::RoutingFreeze freeze = l.freeze_for_routing();
+    EXPECT_TRUE(l.frozen());
+    EXPECT_THROW(l.add_obstacle({geom::Polygon::rect({{1, 1}, {2, 2}}), "x"}),
+                 std::logic_error);
+    EXPECT_THROW(l.set_group_target(0, 80.0), std::logic_error);
+    // Routing write-backs stay open: extension results land while frozen.
+    l.trace(id).path = geom::Polyline{{{0, 10}, {25, 12}, {50, 10}}};
+  }
+  EXPECT_FALSE(l.frozen());
+  EXPECT_EQ(l.version(), v);  // the rejected edits never reached the journal
+  l.set_group_target(0, 80.0);
+  EXPECT_EQ(l.version(), v + 1);
+}
+
+TEST(LayoutVersion, CopyStartsUnfrozenWithJournalIntact) {
+  Layout l = small_board();
+  const std::uint64_t v = l.version();
+  const Layout::RoutingFreeze freeze = l.freeze_for_routing();
+  Layout copy = l;
+  EXPECT_FALSE(copy.frozen());
+  EXPECT_TRUE(l.frozen());
+  EXPECT_EQ(copy.version(), v);
+  copy.set_group_target(0, 75.0);  // the copy is editable immediately
+  EXPECT_EQ(copy.version(), v + 1);
+  EXPECT_THROW(l.set_group_target(0, 75.0), std::logic_error);
+}
+
+TEST(LayoutVersion, RemoveGroupMemberDropsTargetOverride) {
+  Layout l(geom::Polygon::rect({{0, 0}, {100, 100}}));
+  Trace t;
+  t.path = geom::Polyline{{{0, 10}, {50, 10}}};
+  const TraceId a = l.add_trace(t);
+  t.path = geom::Polyline{{{0, 20}, {50, 20}}};
+  const TraceId b = l.add_trace(t);
+  MatchGroup g;
+  g.target_length = 60.0;
+  g.members = {{MemberKind::SingleEnded, a}, {MemberKind::SingleEnded, b}};
+  g.member_targets = {0.0, 90.0};
+  l.add_group(g);
+
+  l.remove_group_member(0, 0);
+  ASSERT_EQ(l.groups()[0].members.size(), 1u);
+  EXPECT_EQ(l.groups()[0].members[0].id, b);
+  // b's override must follow it to slot 0, not evaporate.
+  EXPECT_DOUBLE_EQ(l.groups()[0].target_for(0), 90.0);
+  EXPECT_EQ(l.group_of(a), kNoIndex);
+}
+
+}  // namespace
+}  // namespace lmr::layout

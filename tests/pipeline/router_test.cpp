@@ -247,7 +247,7 @@ TEST(Router, RouteAllDeterministicAcrossThreadCounts) {
 TEST(Router, ThrowingMemberTaskPropagatesAndAbortsCleanly) {
   drc::DesignRules rules;
   layout::Layout l = small_group(rules);
-  l.groups()[0].target_length = 5.0;  // every trace is already >= 30 long
+  l.set_group_target(0, 5.0);  // every trace is already >= 30 long
   const layout::Layout before = l;
 
   RouterOptions opts;

@@ -1,0 +1,231 @@
+/// Session / incremental-reroute oracle tests.
+///
+/// The contract under test: a `pipeline::Session` driven through an edit
+/// script must end bit-identical — member geometry and violation sets — to
+/// generating the edited board from scratch and routing it fresh, under
+/// every DRC schedule and thread count; and the reroute must actually prune
+/// work (strictly fewer groups re-run than the board holds) on the
+/// multi-group storms. Plus the session-level mutation invariants: stale or
+/// out-of-order delta lists are rejected, edits cannot interleave with a
+/// route in flight, and routing never bumps the board version.
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "layout/board_edit.hpp"
+#include "pipeline/session.hpp"
+#include "scenario/edit_storm.hpp"
+
+namespace lmr::pipeline {
+namespace {
+
+/// The bench suite's router configuration (Suite::router_options_for), so
+/// the oracle runs the exact flow the recorded storms were validated under.
+RouterOptions storm_options(const scenario::Scenario& sc, DrcSchedule schedule,
+                            std::size_t threads) {
+  RouterOptions o;
+  o.extender.l_disc = 0.5;
+  o.extender.max_width_steps = 24;
+  o.drc_schedule = schedule;
+  o.threads = threads;
+  if (sc.spec.extender_tolerance > 0.0) o.extender.tolerance = sc.spec.extender_tolerance;
+  if (sc.pair_rule_set.size() > 1) o.pair_rule_set = sc.pair_rule_set;
+  return o;
+}
+
+TEST(Session, ApplyBeforeRouteThrows) {
+  scenario::EditStorm storm =
+      scenario::materialize_storm(scenario::edit_storm_cases(true).at(0));
+  Session session(storm.scenario.rules,
+                  storm_options(storm.scenario, DrcSchedule::Overlapped, 1),
+                  storm.scenario.layout);
+  EXPECT_THROW((void)session.apply(storm.edits.front()), std::logic_error);
+}
+
+TEST(Session, EditStormsMatchFreshRouteUnderEverySchedule) {
+  for (const scenario::EditStormCase& c : scenario::edit_storm_cases(true)) {
+    scenario::EditStorm storm = scenario::materialize_storm(c);
+    for (const DrcSchedule schedule :
+         {DrcSchedule::Barrier, DrcSchedule::Overlapped}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        SCOPED_TRACE(c.name + (schedule == DrcSchedule::Barrier ? "/barrier" : "/overlap") +
+                     "/t" + std::to_string(threads));
+        const RouterOptions opts = storm_options(storm.scenario, schedule, threads);
+
+        Session session(storm.scenario.rules, opts, storm.scenario.layout);
+        session.route();
+        const std::uint64_t v0 = session.version();  // route() never edits
+        EXPECT_EQ(v0, storm.scenario.layout.version());
+
+        std::size_t rerouted_total = 0;
+        bool pruned = false;
+        for (const layout::BoardEdit& edit : storm.edits) {
+          const ApplyOutcome out = session.apply(edit);
+          EXPECT_FALSE(out.deltas.empty());
+          rerouted_total += out.rerouted_groups.size();
+          if (out.rerouted_groups.size() < out.groups_total) pruned = true;
+        }
+        EXPECT_GT(session.version(), v0);
+
+        // Fresh oracle: same pristine board, same script, routed from zero.
+        scenario::Scenario fresh = scenario::materialize(c.base);
+        for (const layout::BoardEdit& edit : storm.edits) {
+          layout::apply_edit(fresh.layout, edit);
+        }
+        const Router router(fresh.rules, opts);
+        const BoardRoute full = router.route_board(fresh.layout);
+        std::string why;
+        EXPECT_TRUE(routes_equivalent(session.layout(), session.route_state(),
+                                      fresh.layout, full, &why))
+            << why;
+
+        // Multi-group storms must prove incrementality, not just equality:
+        // at least one edit re-routes strictly fewer groups than exist.
+        if (session.layout().groups().size() > 1) {
+          EXPECT_TRUE(pruned) << "every edit re-routed all "
+                              << session.layout().groups().size() << " groups";
+        }
+        EXPECT_GT(rerouted_total, 0u);
+      }
+    }
+  }
+}
+
+TEST(Session, BoardClearanceMatchesAFreshSessionOnTheEditedBoard) {
+  const scenario::EditStormCase c = scenario::edit_storm_cases(true).at(0);
+  scenario::EditStorm storm = scenario::materialize_storm(c);
+  const RouterOptions opts = storm_options(storm.scenario, DrcSchedule::Overlapped, 1);
+
+  Session session(storm.scenario.rules, opts, storm.scenario.layout);
+  session.route();
+  for (const layout::BoardEdit& edit : storm.edits) (void)session.apply(edit);
+
+  scenario::Scenario fresh = scenario::materialize(c.base);
+  for (const layout::BoardEdit& edit : storm.edits) {
+    layout::apply_edit(fresh.layout, edit);
+  }
+  Session oracle(fresh.rules, opts, fresh.layout);
+  oracle.route();
+
+  // Slot numbering is first-seen member order in both sessions (identical
+  // group tables), so the incrementally maintained sweep must agree with
+  // the from-scratch one entry for entry — and a second call is served from
+  // the cache without changing the answer.
+  const std::vector<layout::Violation> incremental = session.board_clearance();
+  const std::vector<layout::Violation> scratch = oracle.board_clearance();
+  ASSERT_EQ(incremental.size(), scratch.size());
+  for (std::size_t i = 0; i < incremental.size(); ++i) {
+    EXPECT_EQ(incremental[i].trace, scratch[i].trace);
+    EXPECT_EQ(incremental[i].other_trace, scratch[i].other_trace);
+    EXPECT_EQ(incremental[i].index_a, scratch[i].index_a);
+    EXPECT_EQ(incremental[i].index_b, scratch[i].index_b);
+    EXPECT_DOUBLE_EQ(incremental[i].measured, scratch[i].measured);
+  }
+  EXPECT_EQ(session.board_clearance().size(), incremental.size());
+}
+
+TEST(Reroute, RejectsStaleAndOutOfOrderDeltaLists) {
+  scenario::EditStorm storm =
+      scenario::materialize_storm(scenario::edit_storm_cases(true).at(0));
+  const RouterOptions opts = storm_options(storm.scenario, DrcSchedule::Overlapped, 1);
+  const Router router(storm.scenario.rules, opts);
+
+  layout::Layout board = storm.scenario.layout;
+  const BoardRoute prior = router.route_board(board);
+
+  std::vector<layout::LayoutDelta> deltas;
+  for (int i = 0; i < 2 && i < static_cast<int>(storm.edits.size()); ++i) {
+    std::vector<layout::LayoutDelta> d = layout::apply_edit(board, storm.edits[i]);
+    deltas.insert(deltas.end(), d.begin(), d.end());
+  }
+  ASSERT_GE(deltas.size(), 2u);
+
+  // Truncated list: the deltas no longer connect prior.version to the
+  // board's version — accepting it would silently skip edits.
+  std::vector<layout::LayoutDelta> stale(deltas.begin(), deltas.end() - 1);
+  EXPECT_THROW((void)router.reroute(board, prior, stale), std::invalid_argument);
+
+  // Shuffled list: right length, wrong order.
+  std::vector<layout::LayoutDelta> shuffled = deltas;
+  std::swap(shuffled.front(), shuffled.back());
+  EXPECT_THROW((void)router.reroute(board, prior, shuffled), std::invalid_argument);
+
+  // The intact journal suffix goes through.
+  const BoardRoute next = router.reroute(board, prior, deltas);
+  EXPECT_EQ(next.version, board.version());
+
+  // A second reroute from the *old* state is stale too.
+  EXPECT_THROW((void)router.reroute(board, prior, stale), std::invalid_argument);
+}
+
+TEST(Reroute, VersionIsMonotoneAcrossRouteAndReroute) {
+  scenario::EditStorm storm =
+      scenario::materialize_storm(scenario::edit_storm_cases(true).at(0));
+  const RouterOptions opts = storm_options(storm.scenario, DrcSchedule::Overlapped, 1);
+  const Router router(storm.scenario.rules, opts);
+
+  layout::Layout board = storm.scenario.layout;
+  const std::uint64_t v0 = board.version();
+  BoardRoute route = router.route_board(board);
+  EXPECT_EQ(board.version(), v0);  // routing write-backs never version
+  EXPECT_EQ(route.version, v0);
+
+  std::uint64_t prev = v0;
+  for (const layout::BoardEdit& edit : storm.edits) {
+    (void)layout::apply_edit(board, edit);
+    EXPECT_GT(board.version(), prev);
+    route = router.reroute(board, route);  // journal-suffix overload
+    EXPECT_EQ(route.version, board.version());
+    prev = board.version();
+  }
+}
+
+TEST(Reroute, BoardEditsCannotInterleaveWithARouteInFlight) {
+  // Two halves. (1) Deterministic: while any routing freeze is alive —
+  // exactly the state Router::run holds for its whole body — every recorded
+  // mutator throws before touching the board, so an edit stream can never
+  // corrupt a route in flight. (2) Threaded: a real route_all observably
+  // raises the freeze from another thread (atomic read only: attempting the
+  // mutation from here would race with the route's own reads between group
+  // chains) and releases it by the time it returns, after which edits work.
+  scenario::Scenario sc =
+      scenario::materialize(scenario::family("multi_group", false).cases.at(0));
+  RouterOptions opts;
+  opts.extender.l_disc = 0.5;
+  opts.extender.max_width_steps = 24;
+  opts.threads = 2;
+  const Router router(sc.rules, opts);
+
+  {
+    const layout::Layout::RoutingFreeze freeze = sc.layout.freeze_for_routing();
+    const std::uint64_t v = sc.layout.version();
+    EXPECT_THROW(sc.layout.add_obstacle(
+                     {geom::Polygon::rect({{1.0, 1.0}, {1.5, 1.5}}), "mid-route"}),
+                 std::logic_error);
+    EXPECT_EQ(sc.layout.version(), v);  // the rejected edit left no journal entry
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> observed_frozen{false};
+  std::thread worker([&] {
+    (void)router.route_all(sc.layout);
+    done.store(true);
+  });
+  while (!done.load()) {
+    if (sc.layout.frozen()) observed_frozen.store(true);
+  }
+  worker.join();
+  EXPECT_TRUE(observed_frozen.load());
+  EXPECT_FALSE(sc.layout.frozen());
+  const std::size_t obstacles = sc.layout.obstacle_count();
+  (void)sc.layout.add_obstacle(
+      {geom::Polygon::rect({{1.0, 1.0}, {1.5, 1.5}}), "post-route"});
+  EXPECT_EQ(sc.layout.obstacle_count(), obstacles + 1);
+}
+
+}  // namespace
+}  // namespace lmr::pipeline

@@ -3,7 +3,7 @@
 
 The single script-side twin of ``lmr::bench::strip_volatile``
 (src/bench_harness/report.cpp): removes the ``run`` object, the
-``scaling`` and ``drc_overlap`` sections, the parallelism context
+``scaling``, ``drc_overlap`` and ``edit_storm`` sections, the parallelism context
 (``threads_used``, ``pool_policy``) and every ``*_s``-suffixed key. Two
 runs with the same seeds — at any thread count or DRC schedule — must
 strip to identical documents. The bench_harness unit tests diff this
@@ -18,7 +18,7 @@ Usage:
 import json
 import sys
 
-VOLATILE_KEYS = {"run", "scaling", "drc_overlap", "threads_used", "pool_policy"}
+VOLATILE_KEYS = {"run", "scaling", "drc_overlap", "edit_storm", "threads_used", "pool_policy"}
 
 
 def strip(obj):
