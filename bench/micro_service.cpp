@@ -1,0 +1,244 @@
+/// \file micro_service.cpp
+/// `bench_micro_service` — service-tier scheduling microbenchmarks.
+///
+///   bench_micro_service [--repeats N] [--threads N] [--smoke] [--out PATH]
+///
+/// Two measurements on the RoutingService, isolated from board variety (one
+/// small multi_group board, safe retarget edits only):
+///
+///  * coalescing: bursts of 1/2/4/8 edits submitted to a *serial* service
+///    and drained — every burst becomes exactly one apply batch, so the
+///    per-edit amortized wall time shows how one reroute + one clearance
+///    re-sweep absorbs a whole burst (burst=1 is the uncoalesced baseline);
+///  * dispatch latency: a round-robin stream over two boards on a shared
+///    2-thread service with no intermediate drains — the queue-depth and
+///    dispatch-wait counters expose how long edits sat behind an in-flight
+///    route before their batch started.
+///
+/// Results go through the `lmr::bench` JSON writer (default
+/// BENCH_micro_service.json, volatile-key conventions of report.hpp); the
+/// tracked-results counterpart is the `"service"` section `bench_suite
+/// --service` attaches to BENCH_results.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_harness/report.hpp"
+#include "scenario/scenario_families.hpp"
+#include "service/routing_service.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n == 0 ? 0.0 : (n % 2 == 1 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2.0);
+}
+
+/// Retarget scripts that are always legal: the extender rejects targets
+/// below a member's pristine length, so each group's floor is its longest
+/// pristine member * 1.02 (the edit_storm clamp). Edit k cycles through the
+/// groups with a slowly wobbling factor so consecutive retargets of one
+/// group differ and each forces a real reroute of that group.
+class RetargetScript {
+ public:
+  explicit RetargetScript(const lmr::layout::Layout& pristine) {
+    for (const lmr::layout::MatchGroup& g : pristine.groups()) {
+      double len = 0.0;
+      for (const lmr::layout::GroupMember& m : g.members) {
+        if (m.kind == lmr::layout::MemberKind::SingleEnded) {
+          len = std::max(len, pristine.trace(m.id).length());
+        } else {
+          const lmr::layout::DiffPair& p = pristine.pair(m.id);
+          len = std::max({len, p.positive.length(), p.negative.length()});
+        }
+      }
+      floors_.push_back(std::max(g.target_length, len * 1.02));
+    }
+  }
+
+  lmr::layout::BoardEdit next() {
+    const std::size_t g = k_ % floors_.size();
+    const double factor = 1.0 + 0.003 * static_cast<double>((k_ % 4) + 1);
+    ++k_;
+    lmr::layout::BoardEdit e;
+    e.kind = lmr::layout::BoardEditKind::SetGroupTarget;
+    e.group = g;
+    e.target = floors_[g] * factor;
+    return e;
+  }
+
+ private:
+  std::vector<double> floors_;
+  std::size_t k_ = 0;
+};
+
+lmr::pipeline::RouterOptions board_options(const lmr::scenario::Scenario& sc) {
+  lmr::pipeline::RouterOptions opts;
+  opts.extender.l_disc = 0.5;
+  opts.extender.max_width_steps = 24;
+  if (sc.spec.extender_tolerance > 0.0) opts.extender.tolerance = sc.spec.extender_tolerance;
+  if (sc.pair_rule_set.size() > 1) opts.pair_rule_set = sc.pair_rule_set;
+  return opts;
+}
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--repeats N] [--threads N] [--smoke] [--out PATH]\n"
+      "  --repeats N  timed rounds per burst size / stream length factor (default 6)\n"
+      "  --threads N  latency-stream service parallelism (default 2)\n"
+      "  --smoke      fewer rounds\n"
+      "  --out PATH   results file (default BENCH_micro_service.json)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeats = 6;
+  std::size_t threads = 2;
+  bool smoke = false;
+  std::string out_path = "BENCH_micro_service.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repeats" && i + 1 < argc) {
+      repeats = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) repeats = std::min(repeats, 3);
+
+  const lmr::scenario::Scenario sc =
+      lmr::scenario::materialize(lmr::scenario::family("multi_group", true).cases.at(0));
+
+  lmr::bench::Json doc = lmr::bench::Json::object();
+  doc["schema"] = "lmroute-micro-service/v1";
+  doc["run"] = lmr::bench::run_info_json(lmr::bench::collect_run_info());
+  doc["repeats"] = repeats;
+  doc["scenario"] = sc.spec.name;
+
+  // --- coalescing: serial service, one board, bursts of growing size ----
+  std::printf("%-12s %-8s %-8s %-8s %-10s %-12s %-12s\n", "bench", "burst", "edits",
+              "batches", "maxbatch", "edit-min[s]", "edit-med[s]");
+  lmr::bench::Json jcoalesce = lmr::bench::Json::array();
+  for (const std::size_t burst : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                  std::size_t{8}}) {
+    lmr::service::ServiceOptions sopts;
+    sopts.threads = 1;  // 0-worker pool: bursts queue fully, drain dispatches
+    lmr::service::RoutingService svc(sopts);
+    svc.add_board("b0", sc.rules, board_options(sc), sc.layout);
+    svc.drain();
+
+    RetargetScript script(sc.layout);
+    std::vector<double> per_edit;
+    for (int r = 0; r < repeats; ++r) {
+      const auto t0 = Clock::now();
+      for (std::size_t k = 0; k < burst; ++k) svc.submit("b0", script.next());
+      svc.drain();
+      per_edit.push_back(seconds_since(t0) / static_cast<double>(burst));
+    }
+    const lmr::service::BoardStats st = svc.stats("b0");
+    const double mn = *std::min_element(per_edit.begin(), per_edit.end());
+    const double md = median(per_edit);
+    std::printf("%-12s %-8zu %-8llu %-8llu %-10llu %-12.5f %-12.5f\n", "coalesce", burst,
+                static_cast<unsigned long long>(st.applied),
+                static_cast<unsigned long long>(st.batches),
+                static_cast<unsigned long long>(st.max_batch), mn, md);
+
+    lmr::bench::Json jc = lmr::bench::Json::object();
+    jc["burst"] = lmr::bench::Json{burst};
+    jc["rounds"] = repeats;
+    jc["edits"] = lmr::bench::Json{st.applied};
+    jc["batches"] = lmr::bench::Json{st.batches};
+    jc["coalesced_batches"] = lmr::bench::Json{st.coalesced_batches};
+    jc["max_batch"] = lmr::bench::Json{st.max_batch};
+    jc["per_edit_min_s"] = mn;
+    jc["per_edit_median_s"] = md;
+    jc["apply_total_s"] = st.apply_s;
+    jcoalesce.push_back(std::move(jc));
+  }
+  doc["coalescing"] = std::move(jcoalesce);
+
+  // --- dispatch latency: 2 boards round-robin on a shared pool ----------
+  {
+    lmr::service::ServiceOptions sopts;
+    sopts.threads = threads;
+    lmr::service::RoutingService svc(sopts);
+    svc.add_board("b0", sc.rules, board_options(sc), sc.layout);
+    svc.add_board("b1", sc.rules, board_options(sc), sc.layout);
+    svc.drain();
+
+    RetargetScript s0(sc.layout);
+    RetargetScript s1(sc.layout);
+    const std::size_t edits_per_board = static_cast<std::size_t>(repeats) * 4;
+    const auto t0 = Clock::now();
+    for (std::size_t k = 0; k < edits_per_board; ++k) {
+      svc.submit("b0", s0.next());
+      svc.submit("b1", s1.next());
+    }
+    const double submit_all_s = seconds_since(t0);  // enqueue cost only
+    svc.drain();
+    const double stream_s = seconds_since(t0);
+
+    lmr::bench::Json jlat = lmr::bench::Json::object();
+    jlat["service_threads"] = lmr::bench::Json{svc.threads()};
+    jlat["boards"] = 2;
+    jlat["edits"] = lmr::bench::Json{2 * edits_per_board};
+    jlat["submit_all_s"] = submit_all_s;
+    jlat["stream_s"] = stream_s;
+    jlat["edits_per_s"] =
+        stream_s > 0.0 ? static_cast<double>(2 * edits_per_board) / stream_s : 0.0;
+    lmr::bench::Json jboards = lmr::bench::Json::array();
+    for (const char* id : {"b0", "b1"}) {
+      const lmr::service::BoardStats st = svc.stats(id);
+      std::printf("%-12s %-8s edits=%-5llu batches=%-4llu coalesced=%-4llu "
+                  "wait-mean[s]=%-10.5f wait-max[s]=%-10.5f\n",
+                  "latency", id, static_cast<unsigned long long>(st.applied),
+                  static_cast<unsigned long long>(st.batches),
+                  static_cast<unsigned long long>(st.coalesced_batches),
+                  st.applied > 0 ? st.dispatch_wait_s / static_cast<double>(st.applied)
+                                 : 0.0,
+                  st.max_dispatch_wait_s);
+      lmr::bench::Json jb = lmr::bench::Json::object();
+      jb["board"] = std::string(id);
+      jb["edits"] = lmr::bench::Json{st.applied};
+      jb["batches"] = lmr::bench::Json{st.batches};
+      jb["coalesced_batches"] = lmr::bench::Json{st.coalesced_batches};
+      jb["max_batch"] = lmr::bench::Json{st.max_batch};
+      jb["max_queue_depth"] = lmr::bench::Json{st.max_queue_depth};
+      jb["queued_while_frozen"] = lmr::bench::Json{st.queued_while_frozen};
+      jb["dispatch_wait_total_s"] = st.dispatch_wait_s;
+      jb["dispatch_wait_max_s"] = st.max_dispatch_wait_s;
+      jb["apply_total_s"] = st.apply_s;
+      jboards.push_back(std::move(jb));
+    }
+    jlat["boards_detail"] = std::move(jboards);
+    doc["latency"] = std::move(jlat);
+  }
+
+  return lmr::bench::write_results_file(out_path, doc);
+}

@@ -13,7 +13,10 @@
 /// barrier schedule on the same families under `"drc_overlap"`;
 /// `--edit-storm` replays the seeded edit scripts on live sessions under
 /// `"edit_storm"` and *fails the run* unless every incremental end state is
-/// bit-identical to a fresh route of the edited board.
+/// bit-identical to a fresh route of the edited board; `--service` replays
+/// the multi-board service_storm streams through a RoutingService at every
+/// default scaling thread count under `"service"`, with the same hard
+/// bit-identical-per-board gate (evictions and thaws included).
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +32,7 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--smoke] [--out PATH] [--family NAME]... [--threads N] [--no-drc] "
-      "[--scaling] [--drc-overlap] [--edit-storm] [--list]\n"
+      "[--scaling] [--drc-overlap] [--edit-storm] [--service] [--list]\n"
       "  --smoke        tiny per-family variants (CI-sized seeds)\n"
       "  --out PATH     results file (default BENCH_results.json)\n"
       "  --family NAME  run only this family (repeatable; default all)\n"
@@ -41,6 +44,9 @@ void usage(const char* argv0) {
       "                 barrier schedule on large_group/multi_group\n"
       "  --edit-storm   also replay seeded edit scripts on live sessions; fails\n"
       "                 unless each end state matches a fresh route bit for bit\n"
+      "  --service      also replay multi-board service storms through a\n"
+      "                 RoutingService at 1/2/4/hw threads; fails unless every\n"
+      "                 board's end state matches a fresh route bit for bit\n"
       "  --list         print family names and exit\n",
       argv0);
 }
@@ -53,6 +59,7 @@ int main(int argc, char** argv) {
   bool scaling = false;
   bool drc_overlap = false;
   bool edit_storm = false;
+  bool service = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -64,6 +71,8 @@ int main(int argc, char** argv) {
       drc_overlap = true;
     } else if (arg == "--edit-storm") {
       edit_storm = true;
+    } else if (arg == "--service") {
+      service = true;
     } else if (arg == "--no-drc") {
       opts.run_drc = false;
     } else if (arg == "--list") {
@@ -181,6 +190,39 @@ int main(int argc, char** argv) {
       }
     }
     doc["edit_storm"] = lmr::bench::Suite::edit_storm_json(storms);
+  }
+
+  if (service) {
+    std::vector<lmr::bench::ServiceStormOutcome> storms;
+    try {
+      storms = suite.run_service(lmr::bench::Suite::default_scaling_threads());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "service replay failed: %s\n", e.what());
+      return 2;
+    }
+    std::printf("\nservice storms (multi-board replay through RoutingService):\n");
+    std::printf("%-24s %-8s %-8s %-10s %-10s %-8s %-8s %-7s %-6s %-5s\n", "storm",
+                "threads", "events", "replay[s]", "edits/s", "batches", "coalsc",
+                "maxq", "thaws", "eq");
+    for (const lmr::bench::ServiceStormOutcome& s : storms) {
+      for (const lmr::bench::ServiceThreadPoint& p : s.points) {
+        std::printf("%-24s %-8zu %-8zu %-10.3f %-10.1f %-8llu %-8llu %-7llu %-6llu %-5s\n",
+                    s.name.c_str(), p.threads, s.events, p.replay_s, p.edits_per_s,
+                    static_cast<unsigned long long>(p.batches),
+                    static_cast<unsigned long long>(p.coalesced_batches),
+                    static_cast<unsigned long long>(p.max_queue_depth),
+                    static_cast<unsigned long long>(p.thaws),
+                    p.all_equivalent ? "yes" : "NO");
+        for (const lmr::bench::ServiceBoardOutcome& b : p.boards) {
+          if (b.equivalent) continue;
+          std::fprintf(stderr,
+                       "service storm %s @%zu threads: board %s NOT equivalent: %s\n",
+                       s.name.c_str(), p.threads, b.board.c_str(), b.mismatch.c_str());
+          storms_ok = false;
+        }
+      }
+    }
+    doc["service"] = lmr::bench::Suite::service_json(storms);
   }
 
   const int write_rc = lmr::bench::write_results_file(out_path, doc);

@@ -6,6 +6,8 @@
 #include "bench_harness/report.hpp"
 #include "pipeline/session.hpp"
 #include "scenario/edit_storm.hpp"
+#include "scenario/service_storm.hpp"
+#include "service/routing_service.hpp"
 
 namespace lmr::bench {
 
@@ -98,15 +100,20 @@ Suite::Suite(SuiteOptions opts)
 
 exec::TaskPool* Suite::pool() const { return pool_handle_.acquire(); }
 
-pipeline::RouterOptions Suite::router_options_for(const scenario::Scenario& sc) const {
+pipeline::RouterOptions Suite::scenario_router_options(const scenario::Scenario& sc) const {
   pipeline::RouterOptions ropts = opts_.router;
-  ropts.threads = opts_.threads;
   ropts.run_drc = opts_.run_drc;
-  ropts.pool = pool();  // one executor across cases, groups and members
   if (sc.spec.extender_tolerance > 0.0) {
     ropts.extender.tolerance = sc.spec.extender_tolerance;
   }
   if (sc.pair_rule_set.size() > 1) ropts.pair_rule_set = sc.pair_rule_set;
+  return ropts;
+}
+
+pipeline::RouterOptions Suite::router_options_for(const scenario::Scenario& sc) const {
+  pipeline::RouterOptions ropts = scenario_router_options(sc);
+  ropts.threads = opts_.threads;
+  ropts.pool = pool();  // one executor across cases, groups and members
   return ropts;
 }
 
@@ -336,6 +343,153 @@ Json Suite::edit_storm_json(const std::vector<EditStormOutcome>& storms) {
     js["reroute_total_s"] = s.reroute_total_s;
     js["full_route_s"] = s.full_route_s;
     js["speedup"] = s.speedup;
+    out.push_back(std::move(js));
+  }
+  return out;
+}
+
+bool ServiceStormOutcome::all_equivalent() const {
+  return std::all_of(points.begin(), points.end(),
+                     [](const ServiceThreadPoint& p) { return p.all_equivalent; });
+}
+
+std::vector<ServiceStormOutcome> Suite::run_service(
+    const std::vector<std::size_t>& thread_counts) const {
+  std::vector<ServiceStormOutcome> outcomes;
+  for (const scenario::ServiceStormCase& c :
+       scenario::service_storm_cases(opts_.smoke)) {
+    scenario::ServiceStorm storm = scenario::materialize_service_storm(c);
+
+    ServiceStormOutcome out;
+    out.name = c.name;
+    out.boards = storm.boards.size();
+    out.events = storm.stream.size();
+
+    // Per-board stream-event counts, for the per-board readout.
+    std::vector<std::size_t> event_counts(storm.boards.size(), 0);
+    for (const scenario::ServiceStormEvent& ev : storm.stream) {
+      ++event_counts[ev.board];
+    }
+
+    // Oracle end states: regenerate each pristine board, replay its script,
+    // route it from scratch. Computed once, not per thread count — routed
+    // geometry is thread-count invariant by construction (and separately
+    // enforced by the reproducibility tests).
+    std::vector<scenario::Scenario> fresh;
+    std::vector<pipeline::BoardRoute> fresh_routes;
+    for (const scenario::EditStorm& bs : storm.boards) {
+      scenario::Scenario f = scenario::materialize(bs.spec.base);
+      for (const layout::BoardEdit& e : bs.edits) layout::apply_edit(f.layout, e);
+      const pipeline::Router router(f.rules, router_options_for(f));
+      fresh_routes.push_back(router.route_board(f.layout));
+      fresh.push_back(std::move(f));
+    }
+
+    for (const std::size_t threads : thread_counts) {
+      service::ServiceOptions sopts;
+      sopts.threads = threads;
+      service::RoutingService svc(sopts);
+      for (const scenario::EditStorm& bs : storm.boards) {
+        svc.add_board(bs.spec.name, bs.scenario.rules,
+                      scenario_router_options(bs.scenario), bs.scenario.layout);
+      }
+      svc.drain();  // initial routes settle before the replay clock starts
+
+      const auto t0 = Clock::now();
+      for (const scenario::ServiceStormEvent& ev : storm.stream) {
+        svc.submit(storm.boards[ev.board].spec.name, ev.edit);
+        if (ev.sync_after) svc.drain();
+        if (ev.evict_after) {
+          svc.drain();
+          svc.evict_idle();
+        }
+      }
+      svc.drain();
+      const double replay_s = seconds_since(t0);
+
+      ServiceThreadPoint p;
+      p.threads = threads;
+      p.replay_s = replay_s;
+      p.edits_per_s =
+          replay_s > 0.0 ? static_cast<double>(out.events) / replay_s : 0.0;
+      p.all_equivalent = true;
+      for (std::size_t b = 0; b < storm.boards.size(); ++b) {
+        const std::string& id = storm.boards[b].spec.name;
+        const service::BoardStats st = svc.stats(id);
+        ServiceBoardOutcome bo;
+        bo.board = id;
+        bo.edits = event_counts[b];
+        bo.applied = st.applied;
+        bo.batches = st.batches;
+        bo.coalesced_batches = st.coalesced_batches;
+        bo.max_batch = st.max_batch;
+        bo.max_queue_depth = st.max_queue_depth;
+        bo.queued_while_frozen = st.queued_while_frozen;
+        bo.evictions = st.evictions;
+        bo.thaws = st.thaws;
+        bo.equivalent =
+            pipeline::routes_equivalent(svc.board_layout(id), svc.board_route(id),
+                                        fresh[b].layout, fresh_routes[b], &bo.mismatch);
+        p.all_equivalent = p.all_equivalent && bo.equivalent;
+        p.batches += bo.batches;
+        p.coalesced_batches += bo.coalesced_batches;
+        p.max_batch = std::max(p.max_batch, bo.max_batch);
+        p.max_queue_depth = std::max(p.max_queue_depth, bo.max_queue_depth);
+        p.queued_while_frozen += bo.queued_while_frozen;
+        p.evictions += bo.evictions;
+        p.thaws += bo.thaws;
+        p.boards.push_back(std::move(bo));
+      }
+      out.points.push_back(std::move(p));
+    }
+    outcomes.push_back(std::move(out));
+  }
+  return outcomes;
+}
+
+Json Suite::service_json(const std::vector<ServiceStormOutcome>& storms) {
+  Json out = Json::array();
+  for (const ServiceStormOutcome& s : storms) {
+    Json js = Json::object();
+    js["name"] = s.name;
+    js["boards"] = static_cast<std::int64_t>(s.boards);
+    js["events"] = static_cast<std::int64_t>(s.events);
+    js["all_equivalent"] = s.all_equivalent();
+    Json jpoints = Json::array();
+    for (const ServiceThreadPoint& p : s.points) {
+      Json jp = Json::object();
+      jp["threads"] = static_cast<std::int64_t>(p.threads);
+      jp["replay_s"] = p.replay_s;
+      jp["edits_per_s"] = p.edits_per_s;
+      jp["batches"] = static_cast<std::int64_t>(p.batches);
+      jp["coalesced_batches"] = static_cast<std::int64_t>(p.coalesced_batches);
+      jp["max_batch"] = static_cast<std::int64_t>(p.max_batch);
+      jp["max_queue_depth"] = static_cast<std::int64_t>(p.max_queue_depth);
+      jp["queued_while_frozen"] = static_cast<std::int64_t>(p.queued_while_frozen);
+      jp["evictions"] = static_cast<std::int64_t>(p.evictions);
+      jp["thaws"] = static_cast<std::int64_t>(p.thaws);
+      jp["all_equivalent"] = p.all_equivalent;
+      Json jboards = Json::array();
+      for (const ServiceBoardOutcome& b : p.boards) {
+        Json jb = Json::object();
+        jb["board"] = b.board;
+        jb["edits"] = static_cast<std::int64_t>(b.edits);
+        jb["applied"] = static_cast<std::int64_t>(b.applied);
+        jb["batches"] = static_cast<std::int64_t>(b.batches);
+        jb["coalesced_batches"] = static_cast<std::int64_t>(b.coalesced_batches);
+        jb["max_batch"] = static_cast<std::int64_t>(b.max_batch);
+        jb["max_queue_depth"] = static_cast<std::int64_t>(b.max_queue_depth);
+        jb["queued_while_frozen"] = static_cast<std::int64_t>(b.queued_while_frozen);
+        jb["evictions"] = static_cast<std::int64_t>(b.evictions);
+        jb["thaws"] = static_cast<std::int64_t>(b.thaws);
+        jb["equivalent"] = b.equivalent;
+        if (!b.equivalent) jb["mismatch"] = b.mismatch;
+        jboards.push_back(std::move(jb));
+      }
+      jp["boards"] = std::move(jboards);
+      jpoints.push_back(std::move(jp));
+    }
+    js["points"] = std::move(jpoints);
     out.push_back(std::move(js));
   }
   return out;

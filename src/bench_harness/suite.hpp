@@ -160,6 +160,50 @@ struct EditStormOutcome {
   double speedup = 0.0;
 };
 
+/// One board's end-of-stream outcome inside a service replay point.
+struct ServiceBoardOutcome {
+  std::string board;              ///< board id (the per-board storm name)
+  std::size_t edits = 0;          ///< stream events addressed to this board
+  std::uint64_t applied = 0;      ///< edits applied through the Session
+  std::uint64_t batches = 0;      ///< dispatches (one reroute + sweep each)
+  std::uint64_t coalesced_batches = 0;
+  std::uint64_t max_batch = 0;
+  std::uint64_t max_queue_depth = 0;
+  std::uint64_t queued_while_frozen = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t thaws = 0;
+  /// Service end state is routes_equivalent to a fresh route_board of the
+  /// edited board — the hard gate, per board per thread count.
+  bool equivalent = false;
+  std::string mismatch;           ///< first difference when !equivalent
+};
+
+/// One thread count of a service replay sweep.
+struct ServiceThreadPoint {
+  std::size_t threads = 0;
+  double replay_s = 0.0;     ///< submit of event 0 → final drain returned
+  double edits_per_s = 0.0;  ///< events / replay_s, the aggregate rate
+  std::uint64_t batches = 0;             ///< summed over boards
+  std::uint64_t coalesced_batches = 0;
+  std::uint64_t max_batch = 0;           ///< max over boards
+  std::uint64_t max_queue_depth = 0;     ///< max over boards
+  std::uint64_t queued_while_frozen = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t thaws = 0;
+  std::vector<ServiceBoardOutcome> boards;
+  bool all_equivalent = false;
+};
+
+/// One service-storm case replayed at every swept thread count.
+struct ServiceStormOutcome {
+  std::string name;
+  std::size_t boards = 0;
+  std::size_t events = 0;
+  std::vector<ServiceThreadPoint> points;  ///< in sweep order
+
+  [[nodiscard]] bool all_equivalent() const;
+};
+
 /// The runner. Construct with options, `run()` as often as needed — the
 /// executor persists for the Suite's lifetime, so repeated runs reuse the
 /// same workers.
@@ -216,6 +260,22 @@ class Suite {
   /// strip_volatile removes the whole section — the payload is timings).
   [[nodiscard]] static Json edit_storm_json(const std::vector<EditStormOutcome>& storms);
 
+  /// Replay the service-storm catalogue (scenario::service_storm_cases)
+  /// through a service::RoutingService once per entry of `thread_counts`
+  /// (each service owning its own executor of that size), honouring the
+  /// stream's sync/evict markers, and oracle-check every board's end state
+  /// against a fresh route_board of its edited board — computed once per
+  /// board, since routed geometry is thread-count invariant. Queue-depth,
+  /// coalescing and eviction/thaw counters come from the service's own
+  /// per-board stats.
+  [[nodiscard]] std::vector<ServiceStormOutcome> run_service(
+      const std::vector<std::size_t>& thread_counts) const;
+
+  /// `"service"` section for a result document (volatile by definition:
+  /// strip_volatile removes the whole section — the payload is timings,
+  /// rates and scheduling counters).
+  [[nodiscard]] static Json service_json(const std::vector<ServiceStormOutcome>& storms);
+
   [[nodiscard]] const SuiteOptions& options() const { return opts_; }
 
   /// The executor `run()` fans out on: nullptr when fully serial
@@ -234,6 +294,11 @@ class Suite {
   /// pair rule set. Shared by run_case and run_edit_storm so the storm
   /// sessions route exactly like the suite routes the same family.
   [[nodiscard]] pipeline::RouterOptions router_options_for(
+      const scenario::Scenario& sc) const;
+  /// The scenario-specific half of router_options_for, without the
+  /// executor wiring: what run_service hands to RoutingService::add_board
+  /// (the service overrides pool/threads with its own executor).
+  [[nodiscard]] pipeline::RouterOptions scenario_router_options(
       const scenario::Scenario& sc) const;
 
   SuiteOptions opts_;

@@ -33,9 +33,39 @@ void rewrite_matching_holes(Layout& l, const geom::Polygon& match, Rewrite rewri
   }
 }
 
+/// Reject bad indices up front with a message naming the edit, so a queued
+/// edit invalidated by an earlier edit in the same batch (an obstacle or
+/// group it referred to no longer exists) fails cleanly before any mutation
+/// instead of surfacing as a bare container error mid-lowering.
+void check_indices(const Layout& l, const BoardEdit& edit) {
+  switch (edit.kind) {
+    case BoardEditKind::MoveObstacle:
+    case BoardEditKind::RemoveObstacle:
+      if (edit.obstacle >= l.obstacle_count()) {
+        throw std::out_of_range(
+            "apply_edit: obstacle " + std::to_string(edit.obstacle) +
+            " does not exist (board has " + std::to_string(l.obstacle_count()) +
+            "); was it removed by an earlier edit?");
+      }
+      break;
+    case BoardEditKind::SetGroupTarget:
+      if (edit.group >= l.groups().size()) {
+        throw std::out_of_range(
+            "apply_edit: SetGroupTarget on missing group " +
+            std::to_string(edit.group) + " (board has " +
+            std::to_string(l.groups().size()) +
+            "); was it removed by an earlier edit?");
+      }
+      break;
+    case BoardEditKind::AddObstacle:
+      break;
+  }
+}
+
 }  // namespace
 
 std::vector<LayoutDelta> apply_edit(Layout& l, const BoardEdit& edit) {
+  check_indices(l, edit);
   std::vector<LayoutDelta> deltas;
   switch (edit.kind) {
     case BoardEditKind::AddObstacle: {

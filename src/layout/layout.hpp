@@ -87,12 +87,33 @@ class Layout {
     RoutingFreeze& operator=(RoutingFreeze&&) = delete;
 
    private:
+    /// try_freeze already took the count via CAS; adopt without incrementing.
+    struct Adopt {};
+    RoutingFreeze(Layout& l, Adopt) : l_(&l) {}
+    friend class Layout;
+
     Layout* l_;
   };
   [[nodiscard]] RoutingFreeze freeze_for_routing() { return RoutingFreeze(*this); }
+  /// Non-throwing freeze probe for schedulers that queue instead of catch
+  /// (service layers): atomically acquire the freeze iff no other freeze is
+  /// alive — unlike `freeze_for_routing`, which nests unconditionally.
+  /// Returns std::nullopt while a route is in flight; the recorded-mutator
+  /// throw path is unchanged either way.
+  [[nodiscard]] std::optional<RoutingFreeze> try_freeze() {
+    int expected = 0;
+    if (!route_freezes_.compare_exchange_strong(expected, 1,
+                                                std::memory_order_relaxed)) {
+      return std::nullopt;
+    }
+    return RoutingFreeze(*this, RoutingFreeze::Adopt{});
+  }
   [[nodiscard]] bool frozen() const {
     return route_freezes_.load(std::memory_order_relaxed) != 0;
   }
+  /// Probe-style alias of `frozen()`: safe from any thread (atomic load),
+  /// pairs with `try_freeze` in queue-instead-of-catch callers.
+  [[nodiscard]] bool is_frozen() const { return frozen(); }
 
   // --- board ---
   LayoutDelta set_board(geom::Polygon b);

@@ -1,6 +1,7 @@
 #include "pipeline/session.hpp"
 
 #include <chrono>
+#include <exception>
 #include <stdexcept>
 #include <utility>
 
@@ -36,6 +37,21 @@ Session::Session(drc::DesignRules rules, RouterOptions options, layout::Layout b
       layout_(std::move(board)),
       board_index_(router_.rules(), router_.options().drc) {}
 
+Session::Session(drc::DesignRules rules, RouterOptions options, layout::Layout board,
+                 BoardRoute prior)
+    : Session(std::move(rules), std::move(options), std::move(board)) {
+  if (prior.version != layout_.version()) {
+    throw std::invalid_argument(
+        "Session: snapshot route version " + std::to_string(prior.version) +
+        " does not match layout version " + std::to_string(layout_.version()));
+  }
+  route_ = std::move(prior);
+  routed_ = true;
+  std::vector<std::size_t> all;
+  for (std::size_t g = 0; g < layout_.groups().size(); ++g) all.push_back(g);
+  reindex_groups(all);
+}
+
 const BoardRoute& Session::route() {
   route_ = router_.route_board(layout_);
   routed_ = true;
@@ -54,19 +70,50 @@ ApplyOutcome Session::apply(std::span<const layout::BoardEdit> edits) {
     throw std::logic_error("Session::apply: route() the board first");
   }
   ApplyOutcome outcome;
+  outcome.version_before = layout_.version();
+  outcome.edit_offsets.push_back(0);
+  std::exception_ptr failed;
   for (const layout::BoardEdit& e : edits) {
-    std::vector<layout::LayoutDelta> deltas = layout::apply_edit(layout_, e);
+    std::vector<layout::LayoutDelta> deltas;
+    try {
+      deltas = layout::apply_edit(layout_, e);
+    } catch (...) {
+      // A mid-batch lowering failure (bad index after an earlier queued
+      // edit) leaves the layout exactly at the state after the last good
+      // edit — apply_edit validates before mutating. Reroute over the
+      // applied prefix below so route_ catches up, then rethrow.
+      failed = std::current_exception();
+      break;
+    }
     outcome.deltas.insert(outcome.deltas.end(),
                           std::make_move_iterator(deltas.begin()),
                           std::make_move_iterator(deltas.end()));
+    outcome.edit_offsets.push_back(outcome.deltas.size());
   }
   const auto t0 = Clock::now();
   route_ = router_.reroute(layout_, route_, outcome.deltas);
   outcome.reroute_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  outcome.version_after = layout_.version();
   outcome.rerouted_groups = route_.rerouted_groups;
   outcome.groups_total = layout_.groups().size();
   reindex_groups(outcome.rerouted_groups);
+  if (failed) std::rethrow_exception(failed);
   return outcome;
+}
+
+std::pair<layout::Layout, BoardRoute> Session::release() {
+  if (!routed_) {
+    throw std::logic_error("Session::release: route() the board first");
+  }
+  {
+    // Prove quiescence: if a route is still in flight (a freeze is alive),
+    // evicting now would rip the layout out from under it.
+    auto freeze = layout_.try_freeze();
+    if (!freeze) {
+      throw std::logic_error("Session::release: a route is in flight");
+    }
+  }
+  return {std::move(layout_), std::move(route_)};
 }
 
 void Session::reindex_groups(std::span<const std::size_t> groups) {

@@ -18,6 +18,7 @@
 #include <map>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "layout/board_edit.hpp"
@@ -30,8 +31,20 @@ namespace lmr::pipeline {
 /// What one `apply()` did, for latency accounting and the
 /// strictly-fewer-groups proof in the bench/tests.
 struct ApplyOutcome {
-  /// Primitive deltas the edit lowered to (journal order).
+  /// Primitive deltas the edit batch lowered to (journal order). Each delta
+  /// carries its journal version, so `deltas` plus the fields below let a
+  /// caller correlate every queued edit with the versions it produced
+  /// without re-reading `Layout::deltas_since`.
   std::vector<layout::LayoutDelta> deltas;
+  /// Per-edit attribution into `deltas`: edit k lowered to
+  /// `deltas[edit_offsets[k] .. edit_offsets[k+1])`. Size is the number of
+  /// edits applied plus one (the final entry is `deltas.size()`).
+  std::vector<std::size_t> edit_offsets;
+  /// Journal versions bracketing the batch: the deltas carry versions
+  /// `(version_before, version_after]` and
+  /// `version_after - version_before == deltas.size()`.
+  std::uint64_t version_before = 0;
+  std::uint64_t version_after = 0;
   /// Group indices Router::reroute actually re-ran.
   std::vector<std::size_t> rerouted_groups;
   /// Total groups on the board, for the re-routed-fraction readout.
@@ -49,6 +62,16 @@ class Session {
   /// references handed to the clearance index must stay stable).
   Session(drc::DesignRules rules, RouterOptions options, layout::Layout board);
 
+  /// Thaw constructor: resume a session from a snapshot previously taken by
+  /// `release()`. `prior` must be the route of exactly this `board` state
+  /// (`prior.version == board.version()`, throws std::invalid_argument
+  /// otherwise). The rebuilt session behaves identically to the one that
+  /// was released: `route()` has effectively been called, so `apply` works
+  /// immediately and `board_clearance` re-derives the incremental index
+  /// from the routed geometry.
+  Session(drc::DesignRules rules, RouterOptions options, layout::Layout board,
+          BoardRoute prior);
+
   /// Initial full route of every group. Must be called once, before the
   /// first `apply`. Returns the whole-board route (also via `route_state`).
   const BoardRoute& route();
@@ -58,7 +81,18 @@ class Session {
   ApplyOutcome apply(const layout::BoardEdit& edit);
   /// Apply a whole edit batch, then re-route once over the combined deltas
   /// — cheaper than per-edit apply when edits cluster on the same groups.
+  /// Exception-safe: if edit k fails to lower (bad index after an earlier
+  /// queued edit, say), the session still reroutes over the deltas of edits
+  /// [0, k) before rethrowing, so layout and route never fall out of sync.
   ApplyOutcome apply(std::span<const layout::BoardEdit> edits);
+
+  /// Dismantle the session into its compact snapshot — the layout (with
+  /// journal) and the last whole-board route — for idle-session eviction.
+  /// Only valid when the session is routed and quiescent: proves no route
+  /// is in flight by acquiring `layout().try_freeze()`, and throws
+  /// std::logic_error otherwise. The session must not be used afterwards;
+  /// thaw by constructing a new Session from the returned pair.
+  [[nodiscard]] std::pair<layout::Layout, BoardRoute> release();
 
   /// Cross-member clearance violations over the whole board, from the
   /// session's incremental index: after an edit, only re-routed members

@@ -1,0 +1,91 @@
+#include "scenario/service_storm.hpp"
+
+#include <algorithm>
+#include <random>
+#include <utility>
+
+#include "workload/synth.hpp"
+
+namespace lmr::scenario {
+
+namespace {
+
+/// One board's edit-storm case for slot `b` of a service storm: the two
+/// storm bases alternate (so the stream mixes single-ended-only and mixed
+/// SE/diff boards) and the generator/edit seeds vary per slot — N genuinely
+/// different boards, not N copies. Base boards are always smoke-sized: the
+/// service tier is stressed by board *count*, not board size.
+EditStormCase board_case(std::size_t b, int edits, std::uint64_t seed0) {
+  const bool mixed = b % 2 == 1;
+  EditStormCase c;
+  c.base = family(mixed ? "mixed_se_diff" : "multi_group", /*smoke=*/true).cases.at(0);
+  c.base.seed += 101 * b;
+  c.name = "b" + std::to_string(b) + "/" + (mixed ? "mixed_se_diff" : "multi_group");
+  c.edits = edits;
+  c.edit_seed = seed0 + 17 * b;
+  return c;
+}
+
+bool event_before(const ServiceStormEvent& a, const ServiceStormEvent& b) {
+  if (a.at_s != b.at_s) return a.at_s < b.at_s;
+  return a.board < b.board;
+}
+
+}  // namespace
+
+std::vector<ServiceStormCase> service_storm_cases(bool smoke) {
+  std::vector<ServiceStormCase> cases;
+  ServiceStormCase c;
+  const std::size_t boards = smoke ? 8 : 10;
+  const int edits = smoke ? 4 : 8;
+  c.name = smoke ? "service_storm/smoke-8x4" : "service_storm/full-10x8";
+  for (std::size_t b = 0; b < boards; ++b) {
+    c.boards.push_back(board_case(b, edits, smoke ? 9500 : 9600));
+  }
+  c.stream_seed = smoke ? 7301 : 7401;
+  // Drain roughly every 2.5 × boards events; evict every idle session at
+  // the stream midpoint so the second half replays through thawed boards.
+  c.sync_every = smoke ? 20 : 25;
+  c.evict_at = boards * static_cast<std::size_t>(edits) / 2;
+  cases.push_back(std::move(c));
+  return cases;
+}
+
+ServiceStorm materialize_service_storm(const ServiceStormCase& c) {
+  ServiceStorm storm;
+  storm.spec = c;
+  for (const EditStormCase& bc : c.boards) {
+    storm.boards.push_back(materialize_storm(bc));
+  }
+
+  // Per-board monotone timestamps with a bursty gap mix: ~35% of gaps are
+  // near-zero (a same-board burst the service should coalesce), the rest
+  // are long pauses that let other boards' events interleave.
+  std::mt19937_64 rng(c.stream_seed);
+  for (std::size_t b = 0; b < storm.boards.size(); ++b) {
+    double t = workload::uniform_real(rng, 0.0, 0.5);  // staggered start
+    for (const layout::BoardEdit& edit : storm.boards[b].edits) {
+      const bool burst = workload::uniform_real(rng, 0.0, 1.0) < 0.35;
+      t += burst ? workload::uniform_real(rng, 0.001, 0.01)
+                 : workload::uniform_real(rng, 0.2, 1.0);
+      ServiceStormEvent e;
+      e.board = b;
+      e.edit = edit;
+      e.at_s = t;
+      storm.stream.push_back(std::move(e));
+    }
+  }
+  std::stable_sort(storm.stream.begin(), storm.stream.end(), event_before);
+
+  if (c.sync_every > 0) {
+    for (std::size_t i = c.sync_every - 1; i < storm.stream.size(); i += c.sync_every) {
+      storm.stream[i].sync_after = true;
+    }
+  }
+  if (c.evict_at > 0 && c.evict_at <= storm.stream.size()) {
+    storm.stream[c.evict_at - 1].evict_after = true;
+  }
+  return storm;
+}
+
+}  // namespace lmr::scenario

@@ -1,0 +1,72 @@
+#pragma once
+/// \file service_storm.hpp
+/// Multi-board edit streams — the RoutingService workload.
+///
+/// A service storm is N seeded boards, each with its own `edit_storm`
+/// script, presented as ONE global timestamped event stream: every event
+/// says "at time t, board b receives edit k". Per-board timestamps are
+/// monotone with a bursty gap distribution (a run of near-zero gaps
+/// followed by a pause), so the merged stream interleaves boards while
+/// keeping genuine same-board bursts adjacent — exactly the traffic shape
+/// that exercises the service's queueing and coalescing.
+///
+/// The stream also carries replay markers: `sync_after` events make the
+/// replayer drain the service (all boards idle) before continuing, and
+/// `evict_after` events make it drain and evict every idle session
+/// mid-stream, so thaw-on-next-edit is exercised with the oracle still
+/// required to pass. Replays ignore the absolute times (full-speed replay);
+/// the timestamps exist to define the interleaving and burstiness
+/// deterministically.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/board_edit.hpp"
+#include "scenario/edit_storm.hpp"
+
+namespace lmr::scenario {
+
+/// One service-storm case: which boards (each an edit-storm case of its
+/// own) and how their scripts interleave.
+struct ServiceStormCase {
+  std::string name;
+  std::vector<EditStormCase> boards;  ///< one edit script per board
+  std::uint64_t stream_seed = 0;      ///< drives the timestamp interleave
+  /// Drain the service after every `sync_every` events (0 = never): the
+  /// oracle needs the final drain anyway; intermediate syncs bound queue
+  /// growth and create fresh idle windows.
+  std::size_t sync_every = 0;
+  /// After event index `evict_at - 1`, drain and evict every idle session
+  /// (0 = never). Later events for evicted boards thaw them.
+  std::size_t evict_at = 0;
+};
+
+/// One event of the merged stream.
+struct ServiceStormEvent {
+  std::size_t board = 0;  ///< index into ServiceStorm::boards
+  layout::BoardEdit edit;
+  double at_s = 0.0;       ///< stream time (defines order + burstiness)
+  bool sync_after = false;
+  bool evict_after = false;
+};
+
+/// A materialized service storm: per-board storms (pristine board + edit
+/// script each) plus the merged global stream over them.
+struct ServiceStorm {
+  ServiceStormCase spec;
+  std::vector<EditStorm> boards;
+  std::vector<ServiceStormEvent> stream;  ///< sorted by at_s
+};
+
+/// The standard service-storm catalogue. Smoke: 8 boards × 4 edits; full:
+/// 10 boards × 8 edits (both on smoke-sized base boards — the service tier
+/// is about many boards, not big ones). Both include mid-stream eviction
+/// and periodic syncs.
+[[nodiscard]] std::vector<ServiceStormCase> service_storm_cases(bool smoke);
+
+/// Build every board and the merged stream for one case. Deterministic:
+/// identical (case, seeds) always produce the identical stream.
+[[nodiscard]] ServiceStorm materialize_service_storm(const ServiceStormCase& c);
+
+}  // namespace lmr::scenario

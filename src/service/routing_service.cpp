@@ -1,0 +1,274 @@
+#include "service/routing_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace lmr::service {
+
+RoutingService::RoutingService(ServiceOptions opts) : opts_(opts) {
+  if (opts_.pool != nullptr) {
+    pool_ = opts_.pool;
+    threads_ = pool_->parallelism();
+  } else {
+    threads_ = exec::resolve_threads(opts_.threads);
+    // threads == 1 owns a 0-worker pool: pump tasks then run inline on the
+    // thread that drains, which makes the serial service deterministic.
+    owned_pool_ = std::make_unique<exec::TaskPool>(threads_ - 1);
+    pool_ = owned_pool_.get();
+  }
+  group_ = std::make_unique<exec::TaskGroup>(*pool_);
+}
+
+RoutingService::~RoutingService() = default;  // ~TaskGroup drains the pumps
+
+RoutingService::Board& RoutingService::board_at(const BoardId& id) {
+  auto it = boards_.find(id);
+  if (it == boards_.end()) {
+    throw std::out_of_range("RoutingService: unknown board '" + id + "'");
+  }
+  return it->second;
+}
+
+const RoutingService::Board& RoutingService::board_at(const BoardId& id) const {
+  auto it = boards_.find(id);
+  if (it == boards_.end()) {
+    throw std::out_of_range("RoutingService: unknown board '" + id + "'");
+  }
+  return it->second;
+}
+
+const RoutingService::Board& RoutingService::idle_board_at(const BoardId& id) const {
+  const Board& b = board_at(id);
+  if (b.busy) {
+    throw std::logic_error("RoutingService: board '" + id +
+                           "' is busy; drain() before reading its state");
+  }
+  return b;
+}
+
+void RoutingService::add_board(const BoardId& id, drc::DesignRules rules,
+                               pipeline::RouterOptions options, layout::Layout board) {
+  // The board's Router must fan out on the service's executor — a private
+  // per-board pool would oversubscribe the machine N-fold.
+  options.pool = pool_;
+  options.threads = threads_;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = boards_.try_emplace(id);
+  if (!inserted) {
+    throw std::invalid_argument("RoutingService: board '" + id + "' already exists");
+  }
+  Board& b = it->second;
+  b.rules = rules;
+  b.options = options;
+  b.session = std::make_unique<pipeline::Session>(std::move(rules), std::move(options),
+                                                  std::move(board));
+  b.busy = true;  // the initial-route pump owns the board from birth
+  schedule_locked(id);
+}
+
+std::uint64_t RoutingService::submit(const BoardId& id, layout::BoardEdit edit) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Board& b = board_at(id);
+  if (b.dead) {
+    throw std::logic_error("RoutingService: board '" + id +
+                           "' is dead (its initial route failed)");
+  }
+  ++b.stats.submitted;
+  // is_frozen() is an atomic probe, safe to read while the pump routes;
+  // each hit is an edit that would have been a RoutingFreeze throw.
+  if (b.busy && b.session != nullptr && b.session->layout().is_frozen()) {
+    ++b.stats.queued_while_frozen;
+  }
+  b.queue.push_back(Pending{std::move(edit), Clock::now()});
+  b.stats.max_queue_depth =
+      std::max<std::uint64_t>(b.stats.max_queue_depth, b.queue.size());
+  if (!b.busy) {
+    b.busy = true;
+    schedule_locked(id);
+  }
+  return b.stats.submitted;
+}
+
+void RoutingService::schedule_locked(const BoardId& id) {
+  group_->run([this, id] { pump(id); });
+}
+
+void RoutingService::pump(const BoardId& id) {
+  Board* b = nullptr;
+  bool initial = false;
+  std::vector<layout::BoardEdit> batch;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    b = &boards_.at(id);
+    if (b->session == nullptr) {
+      // Thaw-on-next-edit: rebuild the Session from the snapshot. Done
+      // under the lock so the `session` pointer never changes while
+      // another thread may probe it.
+      BoardSnapshot snap = std::move(*b->snapshot);
+      b->snapshot.reset();
+      b->session = std::make_unique<pipeline::Session>(
+          b->rules, b->options, std::move(snap.layout), std::move(snap.route));
+      ++b->stats.thaws;
+    }
+    initial = !b->routed;
+    if (!initial) {
+      std::size_t n = b->queue.size();
+      if (opts_.max_batch != 0) n = std::min(n, opts_.max_batch);
+      batch.reserve(n);
+      const auto now = Clock::now();
+      for (std::size_t i = 0; i < n; ++i) {
+        Pending& p = b->queue.front();
+        const double waited = std::chrono::duration<double>(now - p.enqueued).count();
+        b->stats.dispatch_wait_s += waited;
+        b->stats.max_dispatch_wait_s = std::max(b->stats.max_dispatch_wait_s, waited);
+        batch.push_back(std::move(p.edit));
+        b->queue.pop_front();
+      }
+    }
+  }
+
+  // The unlocked section: only this pump touches the Session (busy flag).
+  const auto t0 = Clock::now();
+  std::exception_ptr err;
+  std::uint64_t violations = 0;
+  try {
+    if (initial) {
+      b->session->route();
+    } else {
+      b->session->apply(std::span<const layout::BoardEdit>(batch));
+    }
+    // One clearance re-sweep per dispatch, however many edits coalesced.
+    violations = b->session->board_clearance().size();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::lock_guard<std::mutex> lk(mu_);
+  BoardStats& s = b->stats;
+  if (err != nullptr) {
+    if (b->error == nullptr) b->error = err;
+    if (initial) {
+      // No valid whole-board route to edit against: the board is dead.
+      b->dead = true;
+      b->queue.clear();
+    }
+  }
+  if (initial) {
+    if (err == nullptr) {
+      b->routed = true;
+      s.route_s += elapsed;
+      s.clearance_violations = violations;
+    }
+  } else {
+    ++s.batches;
+    ++s.reroutes;
+    if (batch.size() > 1) ++s.coalesced_batches;
+    s.max_batch = std::max<std::uint64_t>(s.max_batch, batch.size());
+    s.apply_s += elapsed;
+    if (err == nullptr) {
+      s.applied += batch.size();
+      s.clearance_violations = violations;
+    }
+  }
+  if (!b->dead && !b->queue.empty()) {
+    schedule_locked(id);  // stay busy: more edits arrived meanwhile
+  } else {
+    b->busy = false;
+  }
+}
+
+void RoutingService::drain() {
+  // TaskGroup::wait helps: it runs pool tasks on this thread until every
+  // pump (including the ones pumps reschedule) has finished — which is
+  // also what executes everything on a 0-worker serial service.
+  group_->wait();
+  std::exception_ptr first;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [id, b] : boards_) {
+    if (first == nullptr && b.error != nullptr) first = b.error;
+    b.error = nullptr;
+  }
+  if (first != nullptr) std::rethrow_exception(first);
+}
+
+bool RoutingService::evict_locked(Board& b) {
+  if (b.busy || b.dead || !b.routed || !b.queue.empty() || b.session == nullptr) {
+    return false;
+  }
+  auto [board, route] = b.session->release();
+  b.snapshot = BoardSnapshot{std::move(board), std::move(route)};
+  b.session.reset();
+  ++b.stats.evictions;
+  return true;
+}
+
+bool RoutingService::evict(const BoardId& id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evict_locked(board_at(id));
+}
+
+std::size_t RoutingService::evict_idle() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t evicted = 0;
+  for (auto& [id, b] : boards_) {
+    if (evict_locked(b)) ++evicted;
+  }
+  return evicted;
+}
+
+const layout::Layout& RoutingService::board_layout(const BoardId& id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Board& b = idle_board_at(id);
+  return b.session != nullptr ? b.session->layout() : b.snapshot->layout;
+}
+
+const pipeline::BoardRoute& RoutingService::board_route(const BoardId& id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Board& b = idle_board_at(id);
+  return b.session != nullptr ? b.session->route_state() : b.snapshot->route;
+}
+
+bool RoutingService::is_evicted(const BoardId& id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return board_at(id).session == nullptr;
+}
+
+std::size_t RoutingService::queue_depth(const BoardId& id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return board_at(id).queue.size();
+}
+
+BoardStats RoutingService::stats(const BoardId& id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return board_at(id).stats;
+}
+
+std::vector<BoardId> RoutingService::board_ids() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<BoardId> ids;
+  ids.reserve(boards_.size());
+  for (const auto& [id, b] : boards_) ids.push_back(id);
+  return ids;
+}
+
+ServiceTotals RoutingService::totals() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServiceTotals t;
+  for (const auto& [id, b] : boards_) {
+    const BoardStats& s = b.stats;
+    t.submitted += s.submitted;
+    t.applied += s.applied;
+    t.batches += s.batches;
+    t.coalesced_batches += s.coalesced_batches;
+    t.max_batch = std::max(t.max_batch, s.max_batch);
+    t.max_queue_depth = std::max(t.max_queue_depth, s.max_queue_depth);
+    t.evictions += s.evictions;
+    t.thaws += s.thaws;
+    t.queued_while_frozen += s.queued_while_frozen;
+  }
+  return t;
+}
+
+}  // namespace lmr::service

@@ -1,0 +1,211 @@
+#pragma once
+/// \file routing_service.hpp
+/// The multi-board serving tier: many pipeline::Sessions behind one facade,
+/// sharing one exec::TaskPool.
+///
+/// A `RoutingService` owns a Session per board id and mediates every edit
+/// through a per-board queue. A Session is single-threaded by design and
+/// its layout is frozen while a route is in flight, so the service never
+/// calls into a busy board: edits that arrive mid-route are enqueued (the
+/// `RoutingFreeze` throw path is never hit from here) and dispatched when
+/// the board's current work finishes. Consecutive queued edits for one
+/// board are *coalesced* — applied as a single `Session::apply(span)` batch
+/// with one reroute and one clearance re-sweep — which is the burst-
+/// absorbing behaviour the edit_storm numbers motivated.
+///
+/// Fairness comes from the executor, not from a scheduler here: each board
+/// with pending work has exactly one pump task in the shared TaskPool at a
+/// time, so N busy boards hold N tasks and the work-stealing deques
+/// interleave them. A board is never touched by two pump tasks at once
+/// (the `busy` flag under the service mutex is the per-board serializer),
+/// which preserves the Session's single-threaded facade contract.
+///
+/// Lifecycle: an idle routed board can be *evicted* — its Session is
+/// dismantled into the compact {layout + journal, BoardRoute} snapshot via
+/// `Session::release()` — and is transparently *thawed* (Session rebuilt
+/// from the snapshot) by the next edit. The service end state is oracle-
+/// checked bit-identical to fresh routes by the service_storm bench/tests,
+/// evictions included.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/task_pool.hpp"
+#include "layout/board_edit.hpp"
+#include "pipeline/session.hpp"
+
+namespace lmr::service {
+
+using BoardId = std::string;
+
+/// Service-level knobs. Router-level options (engine, DRC schedule, …)
+/// stay per-board: they are passed to `add_board`.
+struct ServiceOptions {
+  /// Thread-count convention shared with Router/Suite: 0 = hardware, 1 =
+  /// serial (a 0-worker pool: pump tasks run inline on the draining
+  /// thread), N = private pool with N-1 workers. Ignored when `pool` is
+  /// set.
+  std::size_t threads = 0;
+  /// Borrow an existing executor instead of owning one.
+  exec::TaskPool* pool = nullptr;
+  /// Cap on how many queued edits one dispatch may coalesce into a single
+  /// apply batch. 0 = unbounded (drain the whole queue), the default.
+  std::size_t max_batch = 0;
+};
+
+/// Per-board counters, all monotone over the board's lifetime. Snapshot
+/// them via `stats(id)`; the service keeps updating its own copy.
+struct BoardStats {
+  std::uint64_t submitted = 0;          ///< edits accepted by submit()
+  std::uint64_t applied = 0;            ///< edits applied through the Session
+  std::uint64_t batches = 0;            ///< apply dispatches (1 reroute each)
+  std::uint64_t coalesced_batches = 0;  ///< batches with more than one edit
+  std::uint64_t max_batch = 0;          ///< largest single batch
+  std::uint64_t max_queue_depth = 0;    ///< high-water mark of the queue
+  std::uint64_t reroutes = 0;           ///< Session reroutes (== batches)
+  std::uint64_t evictions = 0;
+  std::uint64_t thaws = 0;
+  /// Edits that arrived while the board's layout was route-frozen — each
+  /// one would have been a RoutingFreeze throw without the queue.
+  std::uint64_t queued_while_frozen = 0;
+  double route_s = 0.0;  ///< initial full route wall time
+  double apply_s = 0.0;  ///< total apply+sweep wall time
+  /// Total/maximum time edits sat queued before their dispatch started.
+  double dispatch_wait_s = 0.0;
+  double max_dispatch_wait_s = 0.0;
+  /// Board-wide cross-member violation count after the latest sweep.
+  std::uint64_t clearance_violations = 0;
+};
+
+/// What an evicted board shrinks to: the versioned layout (journal intact)
+/// and the last whole-board route. Exactly the `Session::release()` pair.
+struct BoardSnapshot {
+  layout::Layout layout;
+  pipeline::BoardRoute route;
+};
+
+/// Aggregate across boards, for the bench JSON.
+struct ServiceTotals {
+  std::uint64_t submitted = 0;
+  std::uint64_t applied = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced_batches = 0;
+  std::uint64_t max_batch = 0;
+  std::uint64_t max_queue_depth = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t thaws = 0;
+  std::uint64_t queued_while_frozen = 0;
+};
+
+/// The serving facade. Thread-safe: `submit` may be called from any thread
+/// (including concurrently with dispatches running on pool workers); the
+/// state accessors require the board to be idle and are meant for the
+/// drained state between replay phases.
+class RoutingService {
+ public:
+  explicit RoutingService(ServiceOptions opts = {});
+  /// Drains all in-flight work before tearing down (pending queued edits
+  /// are dispatched; errors surface nowhere — call drain() yourself first
+  /// if you care).
+  ~RoutingService();
+
+  RoutingService(const RoutingService&) = delete;
+  RoutingService& operator=(const RoutingService&) = delete;
+
+  /// Register a board and schedule its initial full route. The session is
+  /// created immediately; the route runs asynchronously on the pool (wait
+  /// for it with drain()). Routing options are per-board; their `pool` is
+  /// overridden to the service's executor and `threads` to the service
+  /// thread count, so nested member fan-out shares the same workers.
+  /// Throws std::invalid_argument on a duplicate id.
+  void add_board(const BoardId& id, drc::DesignRules rules,
+                 pipeline::RouterOptions options, layout::Layout board);
+
+  /// Enqueue one edit for `id` and make sure a dispatch is scheduled.
+  /// Never blocks on routing and never throws RoutingFreeze's logic_error:
+  /// a busy board just queues. Returns the board's submission ordinal
+  /// (1-based). Throws std::out_of_range for an unknown id and
+  /// std::logic_error for a dead board (initial route failed).
+  std::uint64_t submit(const BoardId& id, layout::BoardEdit edit);
+
+  /// Block until every board is idle with an empty queue, helping the pool
+  /// run tasks while waiting (so a 0-worker serial service drains inline).
+  /// Rethrows the first board error captured since the last drain; the
+  /// remaining boards still finish first, and a board whose *initial
+  /// route* failed is dead (its queue is discarded, later submits throw).
+  void drain();
+
+  /// Evict one idle routed board to its compact snapshot. Returns false
+  /// (and does nothing) when the board is busy, has queued edits, or is
+  /// already evicted. The next submit() thaws it transparently.
+  bool evict(const BoardId& id);
+  /// Evict every board that is currently idle; returns how many.
+  std::size_t evict_idle();
+
+  // --- drained-state accessors (throw std::logic_error while busy) ---
+  [[nodiscard]] const layout::Layout& board_layout(const BoardId& id) const;
+  [[nodiscard]] const pipeline::BoardRoute& board_route(const BoardId& id) const;
+  [[nodiscard]] bool is_evicted(const BoardId& id) const;
+  [[nodiscard]] std::size_t queue_depth(const BoardId& id) const;
+  [[nodiscard]] BoardStats stats(const BoardId& id) const;
+  [[nodiscard]] std::vector<BoardId> board_ids() const;
+  [[nodiscard]] ServiceTotals totals() const;
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    layout::BoardEdit edit;
+    Clock::time_point enqueued;
+  };
+
+  /// Everything the service knows about one board. Nodes live in a
+  /// std::map and are never erased, so a pump task may hold a Board*
+  /// across the unlocked apply. `session`/`snapshot` pointers only change
+  /// under mu_; the pointees are touched exclusively by the pump task that
+  /// set `busy`.
+  struct Board {
+    drc::DesignRules rules;
+    pipeline::RouterOptions options;
+    std::unique_ptr<pipeline::Session> session;  ///< null while evicted
+    std::optional<BoardSnapshot> snapshot;       ///< set while evicted
+    std::deque<Pending> queue;
+    bool busy = false;    ///< a pump task owns this board right now
+    bool routed = false;  ///< initial route completed
+    bool dead = false;    ///< initial route failed; board unusable
+    std::exception_ptr error;  ///< first failure since last drain()
+    BoardStats stats;
+  };
+
+  Board& board_at(const BoardId& id);
+  const Board& board_at(const BoardId& id) const;
+  const Board& idle_board_at(const BoardId& id) const;
+  /// Schedule a pump task for `id`. Caller holds mu_ and has set busy.
+  void schedule_locked(const BoardId& id);
+  /// One dispatch for one board: initial route, or one coalesced batch.
+  void pump(const BoardId& id);
+  static bool evict_locked(Board& b);
+
+  ServiceOptions opts_;
+  std::size_t threads_;  ///< resolved service parallelism (>= 1)
+  std::unique_ptr<exec::TaskPool> owned_pool_;
+  exec::TaskPool* pool_;  ///< owned_pool_.get() or opts_.pool
+
+  mutable std::mutex mu_;
+  std::map<BoardId, Board> boards_;
+
+  /// Destroyed first (member order): ~TaskGroup drains every pump task
+  /// while sessions, boards_ and the pool are still alive above it.
+  std::unique_ptr<exec::TaskGroup> group_;
+};
+
+}  // namespace lmr::service

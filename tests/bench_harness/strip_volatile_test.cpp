@@ -71,5 +71,32 @@ TEST(StripVolatile, DrcOverlapSectionIsVolatile) {
   EXPECT_NE(stripped.find("schema"), nullptr);
 }
 
+TEST(StripVolatile, ServiceSectionIsVolatile) {
+  // The multi-board replay section is pure timing + scheduling counters
+  // (edits/sec, queue depths, batch sizes): thread count and dispatch
+  // interleaving change every number, so the whole section strips.
+  Json doc = Json::object();
+  doc["schema"] = "test";
+  Json storm = Json::object();
+  storm["name"] = "service_storm/smoke-8x4";
+  storm["all_equivalent"] = true;
+  Json point = Json::object();
+  point["threads"] = 4;
+  point["replay_s"] = 0.25;
+  point["edits_per_s"] = 128.0;
+  Json points = Json::array();
+  points.push_back(std::move(point));
+  storm["points"] = std::move(points);
+  Json section = Json::array();
+  section.push_back(std::move(storm));
+  doc["service"] = std::move(section);
+  doc["groups"] = 7;
+
+  const Json stripped = strip_volatile(doc);
+  EXPECT_EQ(stripped.find("service"), nullptr);
+  EXPECT_NE(stripped.find("schema"), nullptr);
+  EXPECT_NE(stripped.find("groups"), nullptr);
+}
+
 }  // namespace
 }  // namespace lmr::bench

@@ -1,0 +1,170 @@
+/// BoardEdit lowering edge cases: the service's queued-edit path replays
+/// scripts whose obstacles/groups may have been invalidated by earlier
+/// edits of the same batch, and drops obstacles wherever the user clicks —
+/// including outside every routable area. The lowering must degrade
+/// cleanly: no hole punched when nothing overlaps, hole rewrites skipped
+/// when no exact-match hole exists, and bad indices rejected with a clear
+/// error *before* any mutation (not UB, no partial journal entry).
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "layout/board_edit.hpp"
+#include "layout/layout.hpp"
+
+namespace lmr::layout {
+namespace {
+
+/// A board with one grouped trace whose routable area covers the left half
+/// and carries one pre-punched hole matching obstacle 0 exactly (the
+/// generator's convention: identical polygon in both places).
+Layout holed_board() {
+  Layout l(geom::Polygon::rect({{0, 0}, {100, 100}}));
+  const geom::Polygon via = geom::Polygon::rect({{20, 20}, {22, 22}});
+  l.add_obstacle({via, "via0"});
+
+  Trace t;
+  t.path = geom::Polyline{{{0, 10}, {50, 10}}};
+  t.width = 0.2;
+  const TraceId id = l.add_trace(t);
+
+  RoutableArea area;
+  area.outline = geom::Polygon::rect({{0, 0}, {50, 100}});
+  area.holes = {via};
+  l.set_routable_area(id, area);
+
+  MatchGroup g;
+  g.name = "g0";
+  g.target_length = 60.0;
+  g.members = {{MemberKind::SingleEnded, id}};
+  l.add_group(g);
+  return l;
+}
+
+TEST(BoardEdit, AddObstacleOutsideEveryAreaPunchesNoHole) {
+  Layout l = holed_board();
+  const std::size_t holes_before =
+      l.routable_areas().begin()->second.holes.size();
+
+  BoardEdit e;
+  e.kind = BoardEditKind::AddObstacle;
+  e.shape = geom::Polygon::rect({{80, 80}, {82, 82}});  // right half: no area
+  e.name = "stray";
+  const std::vector<LayoutDelta> deltas = apply_edit(l, e);
+
+  // Exactly the AddObstacle primitive — no SetRoutableArea rides along.
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].kind, DeltaKind::AddObstacle);
+  EXPECT_EQ(l.routable_areas().begin()->second.holes.size(), holes_before);
+  EXPECT_EQ(l.obstacle_count(), 2u);
+}
+
+TEST(BoardEdit, MoveWithNoMatchingHoleMovesOnlyTheObstacle) {
+  Layout l = holed_board();
+  // Obstacle 1 exists but was never punched into any area (added raw, not
+  // through apply_edit): the hole rewrite must find nothing and skip.
+  l.add_obstacle({geom::Polygon::rect({{30, 60}, {32, 62}}), "unpunched"});
+
+  BoardEdit e;
+  e.kind = BoardEditKind::MoveObstacle;
+  e.obstacle = 1;
+  e.move = {2.0, 0.0};
+  const std::vector<LayoutDelta> deltas = apply_edit(l, e);
+
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].kind, DeltaKind::MoveObstacle);
+  ASSERT_EQ(l.routable_areas().begin()->second.holes.size(), 1u);  // untouched
+  EXPECT_EQ(l.obstacle(1).shape.bbox().lo.x, 32.0);
+}
+
+TEST(BoardEdit, RemoveWithNoMatchingHoleRemovesOnlyTheObstacle) {
+  Layout l = holed_board();
+  l.add_obstacle({geom::Polygon::rect({{30, 60}, {32, 62}}), "unpunched"});
+
+  BoardEdit e;
+  e.kind = BoardEditKind::RemoveObstacle;
+  e.obstacle = 1;
+  const std::vector<LayoutDelta> deltas = apply_edit(l, e);
+
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].kind, DeltaKind::RemoveObstacle);
+  EXPECT_EQ(l.obstacle_count(), 1u);
+  EXPECT_EQ(l.routable_areas().begin()->second.holes.size(), 1u);
+}
+
+TEST(BoardEdit, MatchedHoleFollowsItsObstacle) {
+  // The positive counterpart: obstacle 0 *was* punched, so moving and then
+  // removing it rewrites the hole both times.
+  Layout l = holed_board();
+
+  BoardEdit mv;
+  mv.kind = BoardEditKind::MoveObstacle;
+  mv.obstacle = 0;
+  mv.move = {3.0, 0.0};
+  std::vector<LayoutDelta> deltas = apply_edit(l, mv);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[1].kind, DeltaKind::SetRoutableArea);
+  const RoutableArea& area = l.routable_areas().begin()->second;
+  ASSERT_EQ(area.holes.size(), 1u);
+  EXPECT_EQ(area.holes[0].bbox().lo.x, 23.0);  // hole moved with the shape
+
+  BoardEdit rm;
+  rm.kind = BoardEditKind::RemoveObstacle;
+  rm.obstacle = 0;
+  deltas = apply_edit(l, rm);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_TRUE(l.routable_areas().begin()->second.holes.empty());
+}
+
+TEST(BoardEdit, BadObstacleIndexIsRejectedBeforeAnyMutation) {
+  Layout l = holed_board();
+  const std::uint64_t v = l.version();
+
+  for (const BoardEditKind kind :
+       {BoardEditKind::MoveObstacle, BoardEditKind::RemoveObstacle}) {
+    BoardEdit e;
+    e.kind = kind;
+    e.obstacle = l.obstacle_count();  // one past the end — "already removed"
+    e.move = {1.0, 0.0};
+    try {
+      (void)apply_edit(l, e);
+      FAIL() << "apply_edit accepted a dangling obstacle index";
+    } catch (const std::out_of_range& ex) {
+      // The message names the failure and hints at the queued-edit cause.
+      EXPECT_NE(std::string(ex.what()).find("does not exist"), std::string::npos)
+          << ex.what();
+    }
+    EXPECT_EQ(l.version(), v);  // nothing reached the journal
+    EXPECT_EQ(l.obstacle_count(), 1u);
+  }
+}
+
+TEST(BoardEdit, SetGroupTargetOnMissingGroupIsRejectedWithAClearError) {
+  // The satellite scenario: an earlier queued edit conceptually removed the
+  // group this retarget addressed; by apply time the index is dangling. The
+  // lowering must reject it up front — clear error, board untouched.
+  Layout l = holed_board();
+  const std::uint64_t v = l.version();
+  const double target_before = l.groups().at(0).target_length;
+
+  BoardEdit e;
+  e.kind = BoardEditKind::SetGroupTarget;
+  e.group = l.groups().size() + 3;
+  e.target = 99.0;
+  try {
+    (void)apply_edit(l, e);
+    FAIL() << "apply_edit accepted a dangling group index";
+  } catch (const std::out_of_range& ex) {
+    EXPECT_NE(std::string(ex.what()).find("missing group"), std::string::npos)
+        << ex.what();
+    EXPECT_NE(std::string(ex.what()).find("earlier edit"), std::string::npos)
+        << ex.what();
+  }
+  EXPECT_EQ(l.version(), v);
+  EXPECT_DOUBLE_EQ(l.groups().at(0).target_length, target_before);
+}
+
+}  // namespace
+}  // namespace lmr::layout

@@ -3,6 +3,7 @@
 /// cover what the edit touched, and the routing freeze blocks board edits
 /// without disturbing the journal.
 
+#include <optional>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -113,6 +114,38 @@ TEST(LayoutVersion, CopyStartsUnfrozenWithJournalIntact) {
   copy.set_group_target(0, 75.0);  // the copy is editable immediately
   EXPECT_EQ(copy.version(), v + 1);
   EXPECT_THROW(l.set_group_target(0, 75.0), std::logic_error);
+}
+
+TEST(LayoutVersion, TryFreezeAcquiresOnlyWhenUnfrozen) {
+  Layout l = small_board();
+  EXPECT_FALSE(l.is_frozen());
+
+  // Acquire: the probe takes the freeze and recorded mutators throw just
+  // like under freeze_for_routing — the throw path is unchanged.
+  {
+    std::optional<Layout::RoutingFreeze> f = l.try_freeze();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_TRUE(l.is_frozen());
+    const std::uint64_t v = l.version();
+    EXPECT_THROW(l.set_group_target(0, 80.0), std::logic_error);
+    EXPECT_EQ(l.version(), v);
+
+    // A second probe declines instead of nesting.
+    EXPECT_FALSE(l.try_freeze().has_value());
+  }
+  // Released on destruction, exactly like the throwing RAII freeze.
+  EXPECT_FALSE(l.is_frozen());
+  EXPECT_TRUE(l.try_freeze().has_value());
+  EXPECT_FALSE(l.is_frozen());
+
+  // And it declines while a plain routing freeze is alive — the service's
+  // queue-instead-of-catch probe never steals an in-flight route's freeze.
+  {
+    const Layout::RoutingFreeze routing = l.freeze_for_routing();
+    EXPECT_FALSE(l.try_freeze().has_value());
+    EXPECT_TRUE(l.is_frozen());
+  }
+  l.set_group_target(0, 80.0);  // edits work once everything released
 }
 
 TEST(LayoutVersion, RemoveGroupMemberDropsTargetOverride) {

@@ -10,8 +10,10 @@
 /// route in flight, and routing never bumps the board version.
 
 #include <atomic>
+#include <span>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -182,6 +184,146 @@ TEST(Reroute, VersionIsMonotoneAcrossRouteAndReroute) {
     EXPECT_EQ(route.version, board.version());
     prev = board.version();
   }
+}
+
+TEST(Session, ApplyOutcomeCorrelatesEditsWithJournalVersions) {
+  // Satellite contract: the outcome alone — deltas + edit_offsets +
+  // version_before/after — lets a caller attribute every journal version to
+  // the edit that produced it, without re-reading deltas_since.
+  scenario::EditStorm storm =
+      scenario::materialize_storm(scenario::edit_storm_cases(true).at(0));
+  Session session(storm.scenario.rules,
+                  storm_options(storm.scenario, DrcSchedule::Overlapped, 1),
+                  storm.scenario.layout);
+  session.route();
+
+  // Per-edit apply: offsets are {0, deltas.size()} and the versions bracket
+  // exactly the deltas returned.
+  const std::uint64_t v0 = session.version();
+  const ApplyOutcome one = session.apply(storm.edits.at(0));
+  ASSERT_EQ(one.edit_offsets.size(), 2u);
+  EXPECT_EQ(one.edit_offsets.front(), 0u);
+  EXPECT_EQ(one.edit_offsets.back(), one.deltas.size());
+  EXPECT_EQ(one.version_before, v0);
+  EXPECT_EQ(one.version_after, session.version());
+  EXPECT_EQ(one.version_after - one.version_before, one.deltas.size());
+  for (std::size_t k = 0; k < one.deltas.size(); ++k) {
+    EXPECT_EQ(one.deltas[k].version, one.version_before + k + 1);
+  }
+
+  // Batch apply: one offset bracket per edit, contiguous and exhaustive.
+  const std::span<const layout::BoardEdit> rest(storm.edits.data() + 1,
+                                                storm.edits.size() - 1);
+  const ApplyOutcome batch = session.apply(rest);
+  ASSERT_EQ(batch.edit_offsets.size(), rest.size() + 1);
+  EXPECT_EQ(batch.edit_offsets.front(), 0u);
+  EXPECT_EQ(batch.edit_offsets.back(), batch.deltas.size());
+  for (std::size_t k = 0; k + 1 < batch.edit_offsets.size(); ++k) {
+    EXPECT_LE(batch.edit_offsets[k], batch.edit_offsets[k + 1]);
+    // Every edit lowers to at least one delta on these storms.
+    EXPECT_LT(batch.edit_offsets[k], batch.edit_offsets[k + 1]);
+  }
+  EXPECT_EQ(batch.version_before, one.version_after);
+  EXPECT_EQ(batch.version_after, session.version());
+  for (std::size_t k = 0; k < batch.deltas.size(); ++k) {
+    EXPECT_EQ(batch.deltas[k].version, batch.version_before + k + 1);
+  }
+}
+
+TEST(Session, ReleaseThenThawContinuesIdentically) {
+  // Eviction round trip: a session dismantled to {layout, route} and
+  // rebuilt from the snapshot must continue an edit script exactly like the
+  // session that never released — the service's thaw-on-next-edit contract.
+  const scenario::EditStormCase c = scenario::edit_storm_cases(true).at(0);
+  scenario::EditStorm storm = scenario::materialize_storm(c);
+  const RouterOptions opts = storm_options(storm.scenario, DrcSchedule::Overlapped, 1);
+  ASSERT_GE(storm.edits.size(), 2u);
+
+  Session witness(storm.scenario.rules, opts, storm.scenario.layout);
+  witness.route();
+
+  Session before(storm.scenario.rules, opts, storm.scenario.layout);
+  before.route();
+  (void)witness.apply(storm.edits.at(0));
+  (void)before.apply(storm.edits.at(0));
+
+  auto [board, route] = before.release();
+  Session after(storm.scenario.rules, opts, std::move(board), std::move(route));
+  for (std::size_t k = 1; k < storm.edits.size(); ++k) {
+    (void)witness.apply(storm.edits.at(k));
+    (void)after.apply(storm.edits.at(k));
+  }
+  std::string why;
+  EXPECT_TRUE(routes_equivalent(after.layout(), after.route_state(),
+                                witness.layout(), witness.route_state(), &why))
+      << why;
+  // The rebuilt clearance index answers like the uninterrupted one.
+  EXPECT_EQ(after.board_clearance().size(), witness.board_clearance().size());
+}
+
+TEST(Session, ReleaseAndThawErrorPaths) {
+  scenario::EditStorm storm =
+      scenario::materialize_storm(scenario::edit_storm_cases(true).at(0));
+  const RouterOptions opts = storm_options(storm.scenario, DrcSchedule::Overlapped, 1);
+
+  // release() before route(): no whole-board route to snapshot.
+  Session unrouted(storm.scenario.rules, opts, storm.scenario.layout);
+  EXPECT_THROW((void)unrouted.release(), std::logic_error);
+
+  Session session(storm.scenario.rules, opts, storm.scenario.layout);
+  session.route();
+
+  // release() while a route is (apparently) in flight: the freeze makes
+  // try_freeze fail, so dismantling is refused.
+  {
+    const layout::Layout::RoutingFreeze freeze =
+        const_cast<layout::Layout&>(session.layout()).freeze_for_routing();
+    EXPECT_THROW((void)session.release(), std::logic_error);
+  }
+
+  // Thaw with a mismatched snapshot version is rejected up front.
+  auto [board, route] = session.release();
+  layout::Layout edited = board;
+  (void)layout::apply_edit(edited, storm.edits.at(0));
+  EXPECT_THROW(Session(storm.scenario.rules, opts, edited, route),
+               std::invalid_argument);
+  Session thawed(storm.scenario.rules, opts, std::move(board), std::move(route));
+  EXPECT_NO_THROW((void)thawed.apply(storm.edits.at(0)));
+}
+
+TEST(Session, BatchApplyReroutesThePrefixBeforeRethrowing) {
+  // Exception safety: when edit k of a batch fails to lower, the session
+  // must reroute over edits [0, k) so layout and route stay in sync — and
+  // then keep working normally.
+  const scenario::EditStormCase c = scenario::edit_storm_cases(true).at(0);
+  scenario::EditStorm storm = scenario::materialize_storm(c);
+  const RouterOptions opts = storm_options(storm.scenario, DrcSchedule::Overlapped, 1);
+  Session session(storm.scenario.rules, opts, storm.scenario.layout);
+  session.route();
+
+  layout::BoardEdit bogus;
+  bogus.kind = layout::BoardEditKind::SetGroupTarget;
+  bogus.group = session.layout().groups().size() + 7;  // no such group
+  bogus.target = 100.0;
+
+  std::vector<layout::BoardEdit> batch = {storm.edits.at(0), bogus,
+                                          storm.edits.at(1)};
+  EXPECT_THROW((void)session.apply(std::span<const layout::BoardEdit>(batch)),
+               std::out_of_range);
+
+  // The good prefix landed: same end state as an oracle session that
+  // applied edit 0, then the remaining script on both.
+  Session oracle(storm.scenario.rules, opts, storm.scenario.layout);
+  oracle.route();
+  (void)oracle.apply(storm.edits.at(0));
+  for (std::size_t k = 1; k < storm.edits.size(); ++k) {
+    (void)session.apply(storm.edits.at(k));
+    (void)oracle.apply(storm.edits.at(k));
+  }
+  std::string why;
+  EXPECT_TRUE(routes_equivalent(session.layout(), session.route_state(),
+                                oracle.layout(), oracle.route_state(), &why))
+      << why;
 }
 
 TEST(Reroute, BoardEditsCannotInterleaveWithARouteInFlight) {

@@ -1,0 +1,331 @@
+/// RoutingService tests: the multi-board serving tier over Sessions.
+///
+/// The hard contract mirrors the session oracle, lifted to N boards: after
+/// replaying a service_storm stream — queued edits, coalesced batches,
+/// mid-stream eviction and thaw included — every board's end state must be
+/// routes_equivalent to a fresh route_board of its edited board, under both
+/// DRC schedules and at 1 and 4 threads. Around it, the scheduling
+/// semantics the bench counters report: edits queue instead of hitting the
+/// RoutingFreeze throw, a serial service coalesces a burst into one batch,
+/// eviction refuses busy/queued boards, and a failed edit surfaces at
+/// drain() without wedging the board.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pipeline/session.hpp"
+#include "scenario/service_storm.hpp"
+#include "service/routing_service.hpp"
+
+namespace lmr::service {
+namespace {
+
+/// The bench suite's router configuration (Suite::scenario_router_options):
+/// the storms were generated and validated under exactly this flow.
+pipeline::RouterOptions storm_options(const scenario::Scenario& sc,
+                                      pipeline::DrcSchedule schedule) {
+  pipeline::RouterOptions o;
+  o.extender.l_disc = 0.5;
+  o.extender.max_width_steps = 24;
+  o.drc_schedule = schedule;
+  if (sc.spec.extender_tolerance > 0.0) o.extender.tolerance = sc.spec.extender_tolerance;
+  if (sc.pair_rule_set.size() > 1) o.pair_rule_set = sc.pair_rule_set;
+  return o;
+}
+
+/// Full-speed replay honouring the stream's sync/evict markers — the same
+/// loop Suite::run_service and the CI gate run.
+void replay(RoutingService& svc, const scenario::ServiceStorm& storm) {
+  for (const scenario::ServiceStormEvent& ev : storm.stream) {
+    svc.submit(storm.boards[ev.board].spec.name, ev.edit);
+    if (ev.sync_after) svc.drain();
+    if (ev.evict_after) {
+      svc.drain();
+      svc.evict_idle();
+    }
+  }
+  svc.drain();
+}
+
+TEST(RoutingService, ServiceStormMatchesFreshRoutesUnderEverySchedule) {
+  const scenario::ServiceStormCase c = scenario::service_storm_cases(true).at(0);
+  scenario::ServiceStorm storm = scenario::materialize_service_storm(c);
+  ASSERT_GE(storm.boards.size(), 8u);
+
+  for (const pipeline::DrcSchedule schedule :
+       {pipeline::DrcSchedule::Barrier, pipeline::DrcSchedule::Overlapped}) {
+    // Fresh oracles once per schedule: regenerate each board, replay its
+    // script, route from scratch.
+    std::vector<scenario::Scenario> fresh;
+    std::vector<pipeline::BoardRoute> fresh_routes;
+    for (const scenario::EditStorm& bs : storm.boards) {
+      scenario::Scenario f = scenario::materialize(bs.spec.base);
+      for (const layout::BoardEdit& e : bs.edits) layout::apply_edit(f.layout, e);
+      const pipeline::Router router(f.rules, storm_options(f, schedule));
+      fresh_routes.push_back(router.route_board(f.layout));
+      fresh.push_back(std::move(f));
+    }
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE((schedule == pipeline::DrcSchedule::Barrier ? "barrier" : "overlap") +
+                   std::string("/t") + std::to_string(threads));
+      ServiceOptions sopts;
+      sopts.threads = threads;
+      RoutingService svc(sopts);
+      for (const scenario::EditStorm& bs : storm.boards) {
+        svc.add_board(bs.spec.name, bs.scenario.rules,
+                      storm_options(bs.scenario, schedule), bs.scenario.layout);
+      }
+      svc.drain();
+      replay(svc, storm);
+
+      ServiceTotals totals = svc.totals();
+      EXPECT_EQ(totals.submitted, storm.stream.size());
+      EXPECT_EQ(totals.applied, storm.stream.size());
+      // The stream's evict marker fired mid-replay and later edits thawed.
+      EXPECT_GT(totals.evictions, 0u);
+      EXPECT_GT(totals.thaws, 0u);
+      EXPECT_LE(totals.thaws, totals.evictions);
+      if (threads == 1) {
+        // Serial replay queues whole bursts between drains: coalescing is
+        // deterministic, not a scheduling accident.
+        EXPECT_GT(totals.coalesced_batches, 0u);
+        EXPECT_GT(totals.max_batch, 1u);
+      }
+
+      for (std::size_t b = 0; b < storm.boards.size(); ++b) {
+        const std::string& id = storm.boards[b].spec.name;
+        std::string why;
+        EXPECT_TRUE(pipeline::routes_equivalent(svc.board_layout(id),
+                                                svc.board_route(id), fresh[b].layout,
+                                                fresh_routes[b], &why))
+            << id << ": " << why;
+      }
+    }
+  }
+}
+
+TEST(RoutingService, SerialServiceCoalescesABurstIntoOneBatch) {
+  const scenario::ServiceStormCase c = scenario::service_storm_cases(true).at(0);
+  scenario::ServiceStorm storm = scenario::materialize_service_storm(c);
+  const scenario::EditStorm& bs = storm.boards.at(0);
+  ASSERT_GE(bs.edits.size(), 3u);
+
+  ServiceOptions sopts;
+  sopts.threads = 1;  // 0-worker pool: pumps only run inside drain()
+  RoutingService svc(sopts);
+  const std::string id = bs.spec.name;
+  svc.add_board(id, bs.scenario.rules,
+                storm_options(bs.scenario, pipeline::DrcSchedule::Overlapped),
+                bs.scenario.layout);
+  svc.drain();
+
+  // A burst of 3 submits with no drain between: all of them queue (the
+  // dispatch cannot run yet), none throws despite the routed board.
+  EXPECT_EQ(svc.submit(id, bs.edits.at(0)), 1u);
+  EXPECT_EQ(svc.submit(id, bs.edits.at(1)), 2u);
+  EXPECT_EQ(svc.submit(id, bs.edits.at(2)), 3u);
+  EXPECT_EQ(svc.queue_depth(id), 3u);
+  svc.drain();
+  EXPECT_EQ(svc.queue_depth(id), 0u);
+
+  const BoardStats st = svc.stats(id);
+  EXPECT_EQ(st.submitted, 3u);
+  EXPECT_EQ(st.applied, 3u);
+  EXPECT_EQ(st.batches, 1u);  // one dispatch, one reroute, one sweep
+  EXPECT_EQ(st.coalesced_batches, 1u);
+  EXPECT_EQ(st.max_batch, 3u);
+  EXPECT_EQ(st.max_queue_depth, 3u);
+  EXPECT_EQ(st.reroutes, 1u);
+
+  // The coalesced end state equals applying the same prefix to a fresh
+  // session as one batch.
+  scenario::Scenario f = scenario::materialize(bs.spec.base);
+  for (std::size_t k = 0; k < 3; ++k) layout::apply_edit(f.layout, bs.edits.at(k));
+  const pipeline::Router router(
+      f.rules, storm_options(f, pipeline::DrcSchedule::Overlapped));
+  const pipeline::BoardRoute full = router.route_board(f.layout);
+  std::string why;
+  EXPECT_TRUE(pipeline::routes_equivalent(svc.board_layout(id), svc.board_route(id),
+                                          f.layout, full, &why))
+      << why;
+}
+
+TEST(RoutingService, MaxBatchCapsCoalescing) {
+  const scenario::ServiceStormCase c = scenario::service_storm_cases(true).at(0);
+  scenario::ServiceStorm storm = scenario::materialize_service_storm(c);
+  const scenario::EditStorm& bs = storm.boards.at(0);
+  ASSERT_GE(bs.edits.size(), 3u);
+
+  ServiceOptions sopts;
+  sopts.threads = 1;
+  sopts.max_batch = 2;
+  RoutingService svc(sopts);
+  const std::string id = bs.spec.name;
+  svc.add_board(id, bs.scenario.rules,
+                storm_options(bs.scenario, pipeline::DrcSchedule::Overlapped),
+                bs.scenario.layout);
+  svc.drain();
+  for (std::size_t k = 0; k < 3; ++k) svc.submit(id, bs.edits.at(k));
+  svc.drain();
+
+  const BoardStats st = svc.stats(id);
+  EXPECT_EQ(st.applied, 3u);
+  EXPECT_EQ(st.batches, 2u);  // 2 + 1, not 3 in one
+  EXPECT_EQ(st.max_batch, 2u);
+}
+
+TEST(RoutingService, EvictAndThawRoundTrip) {
+  const scenario::ServiceStormCase c = scenario::service_storm_cases(true).at(0);
+  scenario::ServiceStorm storm = scenario::materialize_service_storm(c);
+  const scenario::EditStorm& bs = storm.boards.at(0);
+
+  ServiceOptions sopts;
+  sopts.threads = 1;
+  RoutingService svc(sopts);
+  const std::string id = bs.spec.name;
+  svc.add_board(id, bs.scenario.rules,
+                storm_options(bs.scenario, pipeline::DrcSchedule::Overlapped),
+                bs.scenario.layout);
+
+  // Not routed yet (initial route still queued): eviction refuses.
+  EXPECT_FALSE(svc.evict(id));
+  svc.drain();
+
+  // Queued edit: eviction refuses too — the snapshot would go stale.
+  svc.submit(id, bs.edits.at(0));
+  EXPECT_FALSE(svc.evict(id));
+  svc.drain();
+
+  // Idle and routed: evicts to the snapshot; state stays readable; a
+  // second evict is a no-op.
+  EXPECT_TRUE(svc.evict(id));
+  EXPECT_TRUE(svc.is_evicted(id));
+  EXPECT_FALSE(svc.evict(id));
+  EXPECT_EQ(svc.board_route(id).version, svc.board_layout(id).version());
+
+  // Thaw-on-next-edit: the submit goes through transparently.
+  svc.submit(id, bs.edits.at(1));
+  svc.drain();
+  EXPECT_FALSE(svc.is_evicted(id));
+  const BoardStats st = svc.stats(id);
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.thaws, 1u);
+  EXPECT_EQ(st.applied, 2u);
+
+  // And the thawed board still matches a fresh route of the edited board.
+  scenario::Scenario f = scenario::materialize(bs.spec.base);
+  layout::apply_edit(f.layout, bs.edits.at(0));
+  layout::apply_edit(f.layout, bs.edits.at(1));
+  const pipeline::Router router(
+      f.rules, storm_options(f, pipeline::DrcSchedule::Overlapped));
+  const pipeline::BoardRoute full = router.route_board(f.layout);
+  std::string why;
+  EXPECT_TRUE(pipeline::routes_equivalent(svc.board_layout(id), svc.board_route(id),
+                                          f.layout, full, &why))
+      << why;
+}
+
+TEST(RoutingService, FailedEditSurfacesAtDrainWithoutWedgingTheBoard) {
+  const scenario::ServiceStormCase c = scenario::service_storm_cases(true).at(0);
+  scenario::ServiceStorm storm = scenario::materialize_service_storm(c);
+  const scenario::EditStorm& bs = storm.boards.at(0);
+
+  ServiceOptions sopts;
+  sopts.threads = 1;
+  RoutingService svc(sopts);
+  const std::string id = bs.spec.name;
+  svc.add_board(id, bs.scenario.rules,
+                storm_options(bs.scenario, pipeline::DrcSchedule::Overlapped),
+                bs.scenario.layout);
+  svc.drain();
+
+  layout::BoardEdit bogus;
+  bogus.kind = layout::BoardEditKind::SetGroupTarget;
+  bogus.group = svc.board_layout(id).groups().size() + 5;
+  bogus.target = 123.0;
+  svc.submit(id, bogus);
+  EXPECT_THROW(svc.drain(), std::out_of_range);
+
+  // The error was consumed by that drain; the board keeps serving and the
+  // end state still matches a fresh route of the *good* edits only.
+  EXPECT_NO_THROW(svc.drain());
+  svc.submit(id, bs.edits.at(0));
+  svc.drain();
+  const BoardStats st = svc.stats(id);
+  EXPECT_EQ(st.submitted, 2u);
+  EXPECT_EQ(st.applied, 1u);
+
+  scenario::Scenario f = scenario::materialize(bs.spec.base);
+  layout::apply_edit(f.layout, bs.edits.at(0));
+  const pipeline::Router router(
+      f.rules, storm_options(f, pipeline::DrcSchedule::Overlapped));
+  const pipeline::BoardRoute full = router.route_board(f.layout);
+  std::string why;
+  EXPECT_TRUE(pipeline::routes_equivalent(svc.board_layout(id), svc.board_route(id),
+                                          f.layout, full, &why))
+      << why;
+}
+
+TEST(RoutingService, DuplicateAndUnknownBoardIdsThrow) {
+  const scenario::ServiceStormCase c = scenario::service_storm_cases(true).at(0);
+  scenario::ServiceStorm storm = scenario::materialize_service_storm(c);
+  const scenario::EditStorm& bs = storm.boards.at(0);
+
+  ServiceOptions sopts;
+  sopts.threads = 1;
+  RoutingService svc(sopts);
+  svc.add_board(bs.spec.name, bs.scenario.rules,
+                storm_options(bs.scenario, pipeline::DrcSchedule::Overlapped),
+                bs.scenario.layout);
+  EXPECT_THROW(svc.add_board(bs.spec.name, bs.scenario.rules,
+                             storm_options(bs.scenario, pipeline::DrcSchedule::Overlapped),
+                             bs.scenario.layout),
+               std::invalid_argument);
+  EXPECT_THROW(svc.submit("no-such-board", bs.edits.at(0)), std::out_of_range);
+  EXPECT_THROW((void)svc.stats("no-such-board"), std::out_of_range);
+  svc.drain();
+}
+
+TEST(RoutingService, SharedStreamStressWithConcurrentSubmitters) {
+  // Thread-safety smoke for TSAN: several boards replayed with submits
+  // racing the dispatches on a multi-worker pool, then the oracle on one
+  // board (the full oracle matrix lives in the schedule test above).
+  const scenario::ServiceStormCase c = scenario::service_storm_cases(true).at(0);
+  scenario::ServiceStorm storm = scenario::materialize_service_storm(c);
+
+  ServiceOptions sopts;
+  sopts.threads = 4;
+  RoutingService svc(sopts);
+  for (const scenario::EditStorm& bs : storm.boards) {
+    svc.add_board(bs.spec.name, bs.scenario.rules,
+                  storm_options(bs.scenario, pipeline::DrcSchedule::Overlapped),
+                  bs.scenario.layout);
+  }
+  // No initial drain: submits race the initial routes — every edit must
+  // queue behind its board's route instead of throwing.
+  for (const scenario::ServiceStormEvent& ev : storm.stream) {
+    svc.submit(storm.boards[ev.board].spec.name, ev.edit);
+  }
+  svc.drain();
+  const ServiceTotals totals = svc.totals();
+  EXPECT_EQ(totals.applied, storm.stream.size());
+
+  const scenario::EditStorm& bs = storm.boards.at(0);
+  scenario::Scenario f = scenario::materialize(bs.spec.base);
+  for (const layout::BoardEdit& e : bs.edits) layout::apply_edit(f.layout, e);
+  const pipeline::Router router(
+      f.rules, storm_options(f, pipeline::DrcSchedule::Overlapped));
+  const pipeline::BoardRoute full = router.route_board(f.layout);
+  std::string why;
+  EXPECT_TRUE(pipeline::routes_equivalent(svc.board_layout(bs.spec.name),
+                                          svc.board_route(bs.spec.name), f.layout,
+                                          full, &why))
+      << why;
+}
+
+}  // namespace
+}  // namespace lmr::service
