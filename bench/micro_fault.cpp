@@ -1,0 +1,214 @@
+/// \file micro_fault.cpp
+/// `bench_micro_fault` — fault-plane overhead microbenchmarks.
+///
+///   bench_micro_fault [--repeats N] [--smoke] [--out PATH]
+///
+/// The fault plane is on every hot path (one site probe per member
+/// extension, one cancellation poll per extender pattern placement), so its
+/// *disarmed* cost is the number that matters. Two measurements:
+///
+///  * token/plan primitives: ns per `CancelToken::check()` for the empty
+///    token (one null test — the disarmed steady state), an armed cancel
+///    source, and a deadline child (parent-chain walk + clock read); plus
+///    ns per `FaultPlan::at_site()` against a non-matching rule (the armed-
+///    but-idle plan scan);
+///  * route overhead: median full-board route of the smoke multi_group
+///    scenario under (a) no fault plane at all — the baseline, (b) an armed
+///    plan whose rules never match, (c) a far-future deadline (armed token
+///    threaded through the extender's per-pop polls). The relative overhead
+///    of (b) and (c) over (a) is reported; the budget is <= 1%.
+///
+/// Results go through the `lmr::bench` JSON writer (default
+/// BENCH_micro_fault.json, volatile-key conventions of report.hpp); the
+/// tracked-results counterpart is the `"fault_storm"` section `bench_suite
+/// --fault-storm` attaches to BENCH_results.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_harness/report.hpp"
+#include "fault/cancel.hpp"
+#include "fault/fault_plan.hpp"
+#include "pipeline/router.hpp"
+#include "scenario/scenario_families.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n == 0 ? 0.0 : (n % 2 == 1 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2.0);
+}
+
+/// Keep the loop body observable so the check isn't hoisted or elided.
+template <typename T>
+void do_not_optimize(const T& value) {
+  asm volatile("" : : "r"(&value) : "memory");
+}
+
+template <typename Fn>
+double ns_per_op(std::size_t iters, Fn&& fn) {
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn();
+  return seconds_since(t0) * 1e9 / static_cast<double>(iters);
+}
+
+lmr::pipeline::RouterOptions board_options(const lmr::scenario::Scenario& sc) {
+  lmr::pipeline::RouterOptions opts;
+  opts.extender.l_disc = 0.5;
+  opts.extender.max_width_steps = 24;
+  if (sc.spec.extender_tolerance > 0.0) opts.extender.tolerance = sc.spec.extender_tolerance;
+  if (sc.pair_rule_set.size() > 1) opts.pair_rule_set = sc.pair_rule_set;
+  return opts;
+}
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--repeats N] [--smoke] [--out PATH]\n"
+      "  --repeats N  timed route rounds per configuration (default 9)\n"
+      "  --smoke      fewer rounds and shorter primitive loops\n"
+      "  --out PATH   results file (default BENCH_micro_fault.json)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int repeats = 9;
+  bool smoke = false;
+  std::string out_path = "BENCH_micro_fault.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repeats" && i + 1 < argc) {
+      repeats = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) repeats = std::min(repeats, 5);
+  const std::size_t iters = smoke ? 2'000'000 : 20'000'000;
+
+  lmr::bench::Json doc = lmr::bench::Json::object();
+  doc["schema"] = "lmroute-micro-fault/v1";
+  doc["run"] = lmr::bench::run_info_json(lmr::bench::collect_run_info());
+  doc["repeats"] = repeats;
+
+  // --- primitives: ns per check/probe ---------------------------------
+  {
+    const lmr::fault::CancelToken empty;
+    const lmr::fault::CancelToken source = lmr::fault::CancelToken::source();
+    const lmr::fault::CancelToken deadline = source.with_deadline(3600.0);
+    lmr::fault::FaultPlan idle_plan;
+    idle_plan.add({"never:*", /*nth=*/1, /*count=*/1});
+
+    const double empty_ns = ns_per_op(iters, [&] {
+      empty.check();
+      do_not_optimize(empty);
+    });
+    const double source_ns = ns_per_op(iters, [&] {
+      source.check();
+      do_not_optimize(source);
+    });
+    const double deadline_ns = ns_per_op(iters, [&] {
+      deadline.check();
+      do_not_optimize(deadline);
+    });
+    const double at_site_ns = ns_per_op(iters, [&] {
+      idle_plan.at_site("extend:b0/g0/m0");
+      do_not_optimize(idle_plan);
+    });
+
+    std::printf("%-24s %12s\n", "primitive", "ns/op");
+    std::printf("%-24s %12.2f\n", "check/empty", empty_ns);
+    std::printf("%-24s %12.2f\n", "check/cancel-source", source_ns);
+    std::printf("%-24s %12.2f\n", "check/deadline-child", deadline_ns);
+    std::printf("%-24s %12.2f\n", "at_site/no-match", at_site_ns);
+
+    lmr::bench::Json jp = lmr::bench::Json::object();
+    jp["iters"] = lmr::bench::Json{iters};
+    jp["check_empty_ns"] = empty_ns;
+    jp["check_cancel_source_ns"] = source_ns;
+    jp["check_deadline_child_ns"] = deadline_ns;
+    jp["at_site_no_match_ns"] = at_site_ns;
+    doc["primitives"] = std::move(jp);
+  }
+
+  // --- route overhead: disarmed vs armed-idle plan vs far deadline ------
+  {
+    const lmr::scenario::Scenario sc = lmr::scenario::materialize(
+        lmr::scenario::family("multi_group", true).cases.at(0));
+
+    const auto route_median = [&](const lmr::pipeline::RouterOptions& opts) {
+      const lmr::pipeline::Router router(sc.rules, opts);
+      {
+        lmr::layout::Layout warmup = sc.layout;  // untimed: pool + allocator
+        (void)router.route_board(warmup);
+      }
+      std::vector<double> times;
+      times.reserve(static_cast<std::size_t>(repeats));
+      for (int r = 0; r < repeats; ++r) {
+        lmr::layout::Layout board = sc.layout;
+        const auto t0 = Clock::now();
+        (void)router.route_board(board);
+        times.push_back(seconds_since(t0));
+      }
+      return median(std::move(times));
+    };
+
+    const lmr::pipeline::RouterOptions base = board_options(sc);
+
+    lmr::pipeline::RouterOptions armed = base;
+    armed.fault_scope = "b0";
+    armed.fault_plan = std::make_shared<lmr::fault::FaultPlan>();
+    armed.fault_plan->add({"never:*", /*nth=*/1, /*count=*/1});
+
+    lmr::pipeline::RouterOptions timed = base;
+    timed.deadline_s = 3600.0;
+
+    const double base_s = route_median(base);
+    const double armed_s = route_median(armed);
+    const double timed_s = route_median(timed);
+    const auto overhead_pct = [base_s](double s) {
+      return base_s > 0.0 ? (s - base_s) / base_s * 100.0 : 0.0;
+    };
+
+    std::printf("\n%-24s %12s %12s\n", "route", "median[s]", "overhead[%]");
+    std::printf("%-24s %12.5f %12s\n", "disarmed", base_s, "-");
+    std::printf("%-24s %12.5f %12.2f\n", "armed-idle-plan", armed_s,
+                overhead_pct(armed_s));
+    std::printf("%-24s %12.5f %12.2f\n", "far-deadline", timed_s,
+                overhead_pct(timed_s));
+
+    lmr::bench::Json jr = lmr::bench::Json::object();
+    jr["scenario"] = sc.spec.name;
+    jr["rounds"] = repeats;
+    jr["disarmed_median_s"] = base_s;
+    jr["armed_idle_plan_median_s"] = armed_s;
+    jr["armed_idle_plan_overhead_pct"] = overhead_pct(armed_s);
+    jr["far_deadline_median_s"] = timed_s;
+    jr["far_deadline_overhead_pct"] = overhead_pct(timed_s);
+    doc["route_overhead"] = std::move(jr);
+  }
+
+  return lmr::bench::write_results_file(out_path, doc);
+}

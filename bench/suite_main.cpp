@@ -16,8 +16,14 @@
 /// bit-identical to a fresh route of the edited board; `--service` replays
 /// the multi-board service_storm streams through a RoutingService at every
 /// default scaling thread count under `"service"`, with the same hard
-/// bit-identical-per-board gate (evictions and thaws included).
+/// bit-identical-per-board gate (evictions and thaws included);
+/// `--fault-storm` replays the seeded fault_storm catalogue (transient
+/// faults, deadline timeouts, quarantine + resurrect) at the same thread
+/// counts under `"fault_storm"` and fails unless every board converges to
+/// the fault-free end state and each storm's fault gates fired
+/// (`--seed N` re-seeds the rule synthesis for reproduction).
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,7 +38,8 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--smoke] [--out PATH] [--family NAME]... [--threads N] [--no-drc] "
-      "[--scaling] [--drc-overlap] [--edit-storm] [--service] [--list]\n"
+      "[--scaling] [--drc-overlap] [--edit-storm] [--service] [--fault-storm] "
+      "[--seed N] [--list]\n"
       "  --smoke        tiny per-family variants (CI-sized seeds)\n"
       "  --out PATH     results file (default BENCH_results.json)\n"
       "  --family NAME  run only this family (repeatable; default all)\n"
@@ -47,6 +54,11 @@ void usage(const char* argv0) {
       "  --service      also replay multi-board service storms through a\n"
       "                 RoutingService at 1/2/4/hw threads; fails unless every\n"
       "                 board's end state matches a fresh route bit for bit\n"
+      "  --fault-storm  also replay fault-injected service storms (transient,\n"
+      "                 timeout, quarantine kinds) at 1/2/4/hw threads; fails\n"
+      "                 unless every board converges to the fault-free end state\n"
+      "                 and each storm's fault gates fired\n"
+      "  --seed N       re-seed the fault-storm rule synthesis (reproduction)\n"
       "  --list         print family names and exit\n",
       argv0);
 }
@@ -60,6 +72,8 @@ int main(int argc, char** argv) {
   bool drc_overlap = false;
   bool edit_storm = false;
   bool service = false;
+  bool fault_storm = false;
+  std::uint64_t fault_seed = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,6 +87,10 @@ int main(int argc, char** argv) {
       edit_storm = true;
     } else if (arg == "--service") {
       service = true;
+    } else if (arg == "--fault-storm") {
+      fault_storm = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--no-drc") {
       opts.run_drc = false;
     } else if (arg == "--list") {
@@ -223,6 +241,50 @@ int main(int argc, char** argv) {
       }
     }
     doc["service"] = lmr::bench::Suite::service_json(storms);
+  }
+
+  if (fault_storm) {
+    std::vector<lmr::bench::FaultStormOutcome> storms;
+    try {
+      storms = suite.run_fault_storm(lmr::bench::Suite::default_scaling_threads(),
+                                     fault_seed);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fault-storm replay failed: %s\n", e.what());
+      return 2;
+    }
+    std::printf("\nfault storms (fault-injected replay through RoutingService):\n");
+    std::printf("%-28s %-8s %-8s %-8s %-8s %-6s %-6s %-6s %-5s %-5s\n", "storm",
+                "threads", "retries", "tmouts", "faults", "quar", "resur", "drop",
+                "gate", "eq");
+    for (const lmr::bench::FaultStormOutcome& s : storms) {
+      for (const lmr::bench::FaultThreadPoint& p : s.points) {
+        std::printf("%-28s %-8zu %-8llu %-8llu %-8llu %-6llu %-6llu %-6llu %-5s %-5s\n",
+                    s.name.c_str(), p.threads,
+                    static_cast<unsigned long long>(p.retries),
+                    static_cast<unsigned long long>(p.timeouts),
+                    static_cast<unsigned long long>(p.injected_faults),
+                    static_cast<unsigned long long>(p.quarantines),
+                    static_cast<unsigned long long>(p.resurrections),
+                    static_cast<unsigned long long>(p.dropped_edits),
+                    p.gates_ok ? "yes" : "NO", p.all_equivalent ? "yes" : "NO");
+        if (!p.gates_ok) {
+          std::fprintf(stderr, "fault storm %s @%zu threads: fault gates missed\n",
+                       s.name.c_str(), p.threads);
+          storms_ok = false;
+        }
+        for (const lmr::bench::FaultBoardOutcome& b : p.boards) {
+          if (b.equivalent && b.prefix_equivalent && b.recovered) continue;
+          std::fprintf(stderr,
+                       "fault storm %s @%zu threads: board %s %s%s%s: %s\n",
+                       s.name.c_str(), p.threads, b.board.c_str(),
+                       b.equivalent ? "" : "NOT equivalent ",
+                       b.prefix_equivalent ? "" : "prefix mismatch ",
+                       b.recovered ? "" : "NOT recovered", b.mismatch.c_str());
+          storms_ok = false;
+        }
+      }
+    }
+    doc["fault_storm"] = lmr::bench::Suite::fault_storm_json(storms);
   }
 
   const int write_rc = lmr::bench::write_results_file(out_path, doc);

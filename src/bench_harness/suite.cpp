@@ -4,8 +4,10 @@
 #include <chrono>
 
 #include "bench_harness/report.hpp"
+#include "fault/fault_plan.hpp"
 #include "pipeline/session.hpp"
 #include "scenario/edit_storm.hpp"
+#include "scenario/fault_storm.hpp"
 #include "scenario/service_storm.hpp"
 #include "service/routing_service.hpp"
 
@@ -484,6 +486,241 @@ Json Suite::service_json(const std::vector<ServiceStormOutcome>& storms) {
         jb["thaws"] = static_cast<std::int64_t>(b.thaws);
         jb["equivalent"] = b.equivalent;
         if (!b.equivalent) jb["mismatch"] = b.mismatch;
+        jboards.push_back(std::move(jb));
+      }
+      jp["boards"] = std::move(jboards);
+      jpoints.push_back(std::move(jp));
+    }
+    js["points"] = std::move(jpoints);
+    out.push_back(std::move(js));
+  }
+  return out;
+}
+
+bool FaultStormOutcome::all_ok() const {
+  return !points.empty() &&
+         std::all_of(points.begin(), points.end(), [](const FaultThreadPoint& p) {
+           return p.all_equivalent && p.gates_ok;
+         });
+}
+
+namespace {
+
+const char* fault_kind_name(scenario::FaultStormKind k) {
+  switch (k) {
+    case scenario::FaultStormKind::Transient: return "transient";
+    case scenario::FaultStormKind::Timeout: return "timeout";
+    case scenario::FaultStormKind::Quarantine: return "quarantine";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::vector<FaultStormOutcome> Suite::run_fault_storm(
+    const std::vector<std::size_t>& thread_counts,
+    std::uint64_t seed_override) const {
+  std::vector<FaultStormOutcome> outcomes;
+  for (const scenario::FaultStormCase& c :
+       scenario::fault_storm_cases(opts_.smoke, seed_override)) {
+    const scenario::FaultStorm storm = scenario::materialize_fault_storm(c);
+
+    FaultStormOutcome out;
+    out.name = c.name;
+    out.kind = fault_kind_name(c.kind);
+    out.fault_seed = c.fault_seed;
+    out.boards = storm.storm.boards.size();
+    out.events = storm.storm.stream.size();
+    out.rules = storm.rules.size();
+
+    // Full-script oracles, once per board — routed geometry is thread-count
+    // invariant, and the fault plane must not change where a board *ends up*,
+    // only which attempts it loses on the way.
+    std::vector<scenario::Scenario> fresh;
+    std::vector<pipeline::BoardRoute> fresh_routes;
+    for (const scenario::EditStorm& bs : storm.storm.boards) {
+      scenario::Scenario f = scenario::materialize(bs.spec.base);
+      for (const layout::BoardEdit& e : bs.edits) layout::apply_edit(f.layout, e);
+      const pipeline::Router router(f.rules, router_options_for(f));
+      fresh_routes.push_back(router.route_board(f.layout));
+      fresh.push_back(std::move(f));
+    }
+
+    for (const std::size_t threads : thread_counts) {
+      // A FRESH plan per replay: occurrence counters are plan state, so a
+      // shared instance would shift every window on the second replay.
+      service::ServiceOptions sopts;
+      sopts.threads = threads;
+      sopts.max_attempts = c.max_attempts;
+      sopts.fault_plan = std::make_shared<fault::FaultPlan>(storm.rules);
+      service::RoutingService svc(sopts);
+      for (std::size_t b = 0; b < storm.storm.boards.size(); ++b) {
+        const scenario::EditStorm& bs = storm.storm.boards[b];
+        pipeline::RouterOptions ropts = scenario_router_options(bs.scenario);
+        if (b == storm.timeout_board) ropts.deadline_s = c.deadline_s;
+        svc.add_board(bs.spec.name, bs.scenario.rules, ropts, bs.scenario.layout);
+      }
+
+      FaultThreadPoint p;
+      p.threads = threads;
+      const auto drain = [&svc, &p] {
+        try {
+          svc.drain();
+        } catch (const service::ServiceError& e) {
+          p.drain_failures += e.failures().size();
+        }
+      };
+
+      drain();  // initial routes settle; initial-route kills surface here
+      const auto t0 = Clock::now();
+      for (const scenario::ServiceStormEvent& ev : storm.storm.stream) {
+        (void)svc.submit(storm.storm.boards[ev.board].spec.name, ev.edit);
+        if (ev.sync_after) drain();
+      }
+      drain();
+      p.replay_s = seconds_since(t0);
+
+      p.all_equivalent = true;
+      std::size_t quarantine_targets_hit = 0;
+      for (std::size_t b = 0; b < storm.storm.boards.size(); ++b) {
+        const scenario::EditStorm& bs = storm.storm.boards[b];
+        const std::string& id = bs.spec.name;
+        FaultBoardOutcome bo;
+        bo.board = id;
+        bo.edits = bs.edits.size();
+        bo.applied = svc.stats(id).applied;  // pre-recovery: the served prefix
+        bo.quarantined = svc.is_quarantined(id);
+
+        if (bo.quarantined) {
+          // A quarantined routed board must serve its last-good state: a
+          // fresh route of exactly the edits it committed. A board killed
+          // during its initial route serves nothing — skip straight to
+          // recovery.
+          if (svc.is_routed(id)) {
+            scenario::Scenario pre = scenario::materialize(bs.spec.base);
+            for (std::uint64_t k = 0; k < bo.applied; ++k) {
+              layout::apply_edit(pre.layout, bs.edits.at(k));
+            }
+            const pipeline::Router router(pre.rules, router_options_for(pre));
+            const pipeline::BoardRoute pre_route = router.route_board(pre.layout);
+            bo.prefix_equivalent = pipeline::routes_equivalent(
+                svc.board_layout(id), svc.board_route(id), pre.layout, pre_route,
+                &bo.mismatch);
+          }
+          // Re-admit and replay the lost suffix. The storm's rule windows are
+          // sized to be exhausted by now, so the replay must converge.
+          bool ok = svc.resurrect(id);
+          for (std::size_t k = bo.applied; k < bs.edits.size(); ++k) {
+            ok = svc.submit(id, bs.edits[k]).accepted() && ok;
+          }
+          try {
+            svc.drain();
+          } catch (const service::ServiceError& e) {
+            p.drain_failures += e.failures().size();
+            ok = false;
+          }
+          bo.recovered = ok && !svc.is_quarantined(id);
+        }
+
+        bo.equivalent = pipeline::routes_equivalent(
+            svc.board_layout(id), svc.board_route(id), fresh[b].layout,
+            fresh_routes[b], &bo.mismatch);
+
+        const service::BoardStats st = svc.stats(id);  // recovery included
+        bo.retries = st.retries;
+        bo.degraded_retries = st.degraded_retries;
+        bo.timeouts = st.timeouts;
+        bo.injected_faults = st.injected_faults;
+        bo.quarantines = st.quarantines;
+        bo.resurrections = st.resurrections;
+        bo.shed = st.shed;
+        bo.dropped_edits = st.dropped_edits;
+        bo.backoff_virtual_s = st.backoff_virtual_s;
+
+        p.retries += bo.retries;
+        p.timeouts += bo.timeouts;
+        p.injected_faults += bo.injected_faults;
+        p.quarantines += bo.quarantines;
+        p.resurrections += bo.resurrections;
+        p.shed += bo.shed;
+        p.dropped_edits += bo.dropped_edits;
+        p.all_equivalent = p.all_equivalent && bo.equivalent &&
+                           bo.prefix_equivalent && bo.recovered;
+        p.boards.push_back(std::move(bo));
+      }
+      for (const std::size_t qb : storm.quarantine_boards) {
+        if (p.boards[qb].quarantined) ++quarantine_targets_hit;
+      }
+
+      switch (c.kind) {
+        case scenario::FaultStormKind::Transient:
+          // Every window is one-shot: faults must have fired, the first
+          // retry rung must have absorbed them, nothing may quarantine.
+          p.gates_ok = p.injected_faults >= 1 && p.retries >= 1 &&
+                       p.quarantines == 0;
+          break;
+        case scenario::FaultStormKind::Timeout:
+          p.gates_ok = p.timeouts >= 1;
+          break;
+        case scenario::FaultStormKind::Quarantine:
+          p.gates_ok = quarantine_targets_hit == storm.quarantine_boards.size() &&
+                       p.quarantines >= storm.quarantine_boards.size() &&
+                       p.resurrections >= storm.quarantine_boards.size();
+          break;
+      }
+      out.points.push_back(std::move(p));
+    }
+    outcomes.push_back(std::move(out));
+  }
+  return outcomes;
+}
+
+Json Suite::fault_storm_json(const std::vector<FaultStormOutcome>& storms) {
+  Json out = Json::array();
+  for (const FaultStormOutcome& s : storms) {
+    Json js = Json::object();
+    js["name"] = s.name;
+    js["kind"] = s.kind;
+    js["fault_seed"] = static_cast<std::int64_t>(s.fault_seed);
+    js["boards"] = static_cast<std::int64_t>(s.boards);
+    js["events"] = static_cast<std::int64_t>(s.events);
+    js["rules"] = static_cast<std::int64_t>(s.rules);
+    js["all_ok"] = s.all_ok();
+    Json jpoints = Json::array();
+    for (const FaultThreadPoint& p : s.points) {
+      Json jp = Json::object();
+      jp["threads"] = static_cast<std::int64_t>(p.threads);
+      jp["replay_s"] = p.replay_s;
+      jp["retries"] = static_cast<std::int64_t>(p.retries);
+      jp["timeouts"] = static_cast<std::int64_t>(p.timeouts);
+      jp["injected_faults"] = static_cast<std::int64_t>(p.injected_faults);
+      jp["quarantines"] = static_cast<std::int64_t>(p.quarantines);
+      jp["resurrections"] = static_cast<std::int64_t>(p.resurrections);
+      jp["shed"] = static_cast<std::int64_t>(p.shed);
+      jp["dropped_edits"] = static_cast<std::int64_t>(p.dropped_edits);
+      jp["drain_failures"] = static_cast<std::int64_t>(p.drain_failures);
+      jp["all_equivalent"] = p.all_equivalent;
+      jp["gates_ok"] = p.gates_ok;
+      Json jboards = Json::array();
+      for (const FaultBoardOutcome& b : p.boards) {
+        Json jb = Json::object();
+        jb["board"] = b.board;
+        jb["edits"] = static_cast<std::int64_t>(b.edits);
+        jb["applied"] = static_cast<std::int64_t>(b.applied);
+        jb["retries"] = static_cast<std::int64_t>(b.retries);
+        jb["degraded_retries"] = static_cast<std::int64_t>(b.degraded_retries);
+        jb["timeouts"] = static_cast<std::int64_t>(b.timeouts);
+        jb["injected_faults"] = static_cast<std::int64_t>(b.injected_faults);
+        jb["quarantines"] = static_cast<std::int64_t>(b.quarantines);
+        jb["resurrections"] = static_cast<std::int64_t>(b.resurrections);
+        jb["shed"] = static_cast<std::int64_t>(b.shed);
+        jb["dropped_edits"] = static_cast<std::int64_t>(b.dropped_edits);
+        jb["backoff_virtual_s"] = b.backoff_virtual_s;
+        jb["quarantined"] = b.quarantined;
+        jb["prefix_equivalent"] = b.prefix_equivalent;
+        jb["recovered"] = b.recovered;
+        jb["equivalent"] = b.equivalent;
+        if (!b.mismatch.empty()) jb["mismatch"] = b.mismatch;
         jboards.push_back(std::move(jb));
       }
       jp["boards"] = std::move(jboards);

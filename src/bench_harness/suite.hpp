@@ -204,6 +204,68 @@ struct ServiceStormOutcome {
   [[nodiscard]] bool all_equivalent() const;
 };
 
+/// One board's end-of-storm verdict inside a fault replay point.
+struct FaultBoardOutcome {
+  std::string board;
+  std::size_t edits = 0;            ///< script length for this board
+  std::uint64_t applied = 0;        ///< edits committed before the final drain
+  std::uint64_t retries = 0;
+  std::uint64_t degraded_retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t injected_faults = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t resurrections = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t dropped_edits = 0;
+  double backoff_virtual_s = 0.0;
+  bool quarantined = false;  ///< board was quarantined when the stream drained
+  /// Quarantined boards only: the served last-good state matched a fresh
+  /// route of the applied-edit prefix of the script (vacuously true for a
+  /// board that was never routed — there is no state to serve).
+  bool prefix_equivalent = true;
+  /// Quarantined boards only: resurrect() + replay of the lost suffix
+  /// converged to the full-script oracle (true outright for survivors).
+  bool recovered = true;
+  /// End state (post-recovery where needed) is routes_equivalent to a fresh
+  /// route_board of the fully edited board — the hard gate.
+  bool equivalent = false;
+  std::string mismatch;  ///< first difference when a check failed
+};
+
+/// One thread count of a fault-storm replay.
+struct FaultThreadPoint {
+  std::size_t threads = 0;
+  double replay_s = 0.0;  ///< submit of event 0 → final drain returned
+  std::uint64_t retries = 0;             ///< summed over boards
+  std::uint64_t timeouts = 0;
+  std::uint64_t injected_faults = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t resurrections = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t dropped_edits = 0;
+  std::size_t drain_failures = 0;  ///< BoardFailure entries across all drains
+  std::vector<FaultBoardOutcome> boards;
+  bool all_equivalent = false;  ///< every board equivalent + prefix/recovery ok
+  /// The kind-specific fault gate: the storm actually exercised what it was
+  /// synthesized to (Transient: faults fired, retries absorbed them, nothing
+  /// quarantined; Timeout: a deadline fired; Quarantine: both target boards
+  /// quarantined and were resurrected).
+  bool gates_ok = false;
+};
+
+/// One fault-storm case replayed at every swept thread count.
+struct FaultStormOutcome {
+  std::string name;
+  std::string kind;  ///< "transient" | "timeout" | "quarantine"
+  std::uint64_t fault_seed = 0;
+  std::size_t boards = 0;
+  std::size_t events = 0;
+  std::size_t rules = 0;  ///< synthesized fault rules armed per replay
+  std::vector<FaultThreadPoint> points;  ///< in sweep order
+
+  [[nodiscard]] bool all_ok() const;  ///< equivalence + gates at every point
+};
+
 /// The runner. Construct with options, `run()` as often as needed — the
 /// executor persists for the Suite's lifetime, so repeated runs reuse the
 /// same workers.
@@ -275,6 +337,26 @@ class Suite {
   /// strip_volatile removes the whole section — the payload is timings,
   /// rates and scheduling counters).
   [[nodiscard]] static Json service_json(const std::vector<ServiceStormOutcome>& storms);
+
+  /// Replay the fault-storm catalogue (scenario::fault_storm_cases) once
+  /// per entry of `thread_counts`, each replay arming a FRESH FaultPlan
+  /// built from the storm's synthesized rules (occurrence counters are
+  /// plan state). The replay drives the full degradation ladder — retries,
+  /// degraded retries, deadline timeouts, quarantine — then checks, per
+  /// board: quarantined boards serve a last-good state equivalent to a
+  /// fresh route of their applied-edit prefix, resurrect() + replay of the
+  /// lost suffix converges, and every board's end state is
+  /// routes_equivalent to the full-script oracle. `seed_override`
+  /// (non-zero) re-seeds the rule synthesis — the reproduction knob behind
+  /// `bench_suite --fault-storm --seed N`.
+  [[nodiscard]] std::vector<FaultStormOutcome> run_fault_storm(
+      const std::vector<std::size_t>& thread_counts,
+      std::uint64_t seed_override = 0) const;
+
+  /// `"fault_storm"` section for a result document (volatile by definition:
+  /// strip_volatile removes the whole section — the payload is timings and
+  /// fault/retry counters).
+  [[nodiscard]] static Json fault_storm_json(const std::vector<FaultStormOutcome>& storms);
 
   [[nodiscard]] const SuiteOptions& options() const { return opts_; }
 

@@ -26,6 +26,7 @@
 #include "core/environment.hpp"
 #include "core/pattern.hpp"
 #include "drc/rules.hpp"
+#include "fault/cancel.hpp"
 #include "layout/routable_area.hpp"
 #include "layout/trace.hpp"
 
@@ -53,6 +54,11 @@ struct ExtenderConfig {
   /// URA halfwidth and the DP gap per segment. Empty = single-ended trace,
   /// no margin.
   RestoreMarginFn restore_margin;
+  /// Cooperative cancellation, polled once per queue pop (i.e. at pattern-
+  /// placement granularity: each pop is one DP run + splice). An expired
+  /// token aborts the extension with fault::RouteTimeout/RouteCancelled;
+  /// the default empty token costs one null test per pop.
+  fault::CancelToken cancel;
 };
 
 /// Outcome report of one extension run.

@@ -1,0 +1,44 @@
+#include "fault/cancel.hpp"
+
+namespace lmr::fault {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+CancelToken CancelToken::source() {
+  return CancelToken(std::make_shared<State>());
+}
+
+CancelToken CancelToken::with_deadline(double budget_s) const {
+  auto s = std::make_shared<State>();
+  s->has_deadline = true;
+  s->deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(budget_s));
+  s->budget_s = budget_s;
+  s->parent = state_;
+  return CancelToken(std::move(s));
+}
+
+void CancelToken::cancel() const {
+  if (state_ != nullptr) state_->cancelled.store(true, std::memory_order_release);
+}
+
+bool CancelToken::expired() const {
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_acquire)) return true;
+    if (s->has_deadline && Clock::now() > s->deadline) return true;
+  }
+  return false;
+}
+
+void CancelToken::check_armed() const {
+  for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->cancelled.load(std::memory_order_acquire)) throw RouteCancelled();
+    if (s->has_deadline && Clock::now() > s->deadline) {
+      throw RouteTimeout(s->budget_s);
+    }
+  }
+}
+
+}  // namespace lmr::fault

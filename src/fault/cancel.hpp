@@ -1,0 +1,93 @@
+#pragma once
+/// \file cancel.hpp
+/// Cooperative cancellation and deadlines for long-running routing work.
+///
+/// A `CancelToken` is a cheap, copyable handle that routing stages and the
+/// DP extender's outer loop poll at pattern-placement granularity. A
+/// default-constructed token is *empty*: `check()` on it is a single null
+/// pointer test, so the plumbing costs nothing when nobody asked for
+/// cancellation (see bench_micro_fault for the measured overhead).
+///
+/// Tokens form a chain: `source()` makes a manually cancellable root and
+/// `with_deadline(budget_s)` derives a child that also expires `budget_s`
+/// from the moment of derivation, while still honouring every ancestor.
+/// Expiry surfaces as a typed exception — `RouteTimeout` for a deadline,
+/// `RouteCancelled` for a manual cancel — thrown from `check()`; the
+/// Router's rollback-on-throw path turns either into a clean abort that
+/// leaves the layout untouched.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace lmr::fault {
+
+/// A route exceeded its deadline (`RouterOptions::deadline_s` or a token
+/// from `CancelToken::with_deadline`). The layout is untouched: the throw
+/// unwinds through the Router's rollback path.
+class RouteTimeout : public std::runtime_error {
+ public:
+  explicit RouteTimeout(double budget_s)
+      : std::runtime_error("route deadline of " + std::to_string(budget_s) +
+                           " s exceeded"),
+        budget_s_(budget_s) {}
+  [[nodiscard]] double budget_s() const noexcept { return budget_s_; }
+
+ private:
+  double budget_s_;
+};
+
+/// A route was cancelled via `CancelToken::cancel()`. Same rollback
+/// guarantee as RouteTimeout.
+class RouteCancelled : public std::runtime_error {
+ public:
+  RouteCancelled() : std::runtime_error("route cancelled") {}
+};
+
+/// Copyable cancellation handle. Thread-safe: any thread may `cancel()`
+/// while workers `check()`. Empty tokens never fire.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A manually cancellable root token.
+  [[nodiscard]] static CancelToken source();
+
+  /// Derive a token that additionally expires `budget_s` seconds from now.
+  /// The parent's cancellation/deadline still applies to the child. Called
+  /// on an empty token this just creates a deadline root.
+  [[nodiscard]] CancelToken with_deadline(double budget_s) const;
+
+  /// Request cancellation. No-op on an empty token; ancestors are not
+  /// affected, descendants observe it.
+  void cancel() const;
+
+  [[nodiscard]] bool armed() const noexcept { return state_ != nullptr; }
+
+  /// True when cancelled or past any deadline in the chain (non-throwing).
+  [[nodiscard]] bool expired() const;
+
+  /// Throw RouteCancelled / RouteTimeout when expired; otherwise return.
+  /// The hot-path cost of an empty token is this one null test.
+  void check() const {
+    if (state_ != nullptr) check_armed();
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    double budget_s = 0.0;
+    std::shared_ptr<State> parent;
+  };
+
+  explicit CancelToken(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  void check_armed() const;
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace lmr::fault

@@ -1,0 +1,63 @@
+#include "fault/fault_plan.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace lmr::fault {
+
+FaultPlan::FaultPlan(std::vector<FaultRule> rules) {
+  for (FaultRule& r : rules) add(std::move(r));
+}
+
+void FaultPlan::add(FaultRule rule) {
+  auto armed = std::make_unique<Armed>();
+  armed->rule = std::move(rule);
+  rules_.push_back(std::move(armed));
+}
+
+bool FaultPlan::matches(const FaultRule& r, std::string_view site) {
+  if (!r.site.empty() && r.site.back() == '*') {
+    const std::string_view prefix(r.site.data(), r.site.size() - 1);
+    return site.substr(0, prefix.size()) == prefix;
+  }
+  return site == r.site;
+}
+
+void FaultPlan::at_site(std::string_view site) {
+  for (const std::unique_ptr<Armed>& a : rules_) {
+    if (!matches(a->rule, site)) continue;
+    const std::uint64_t n = a->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n < a->rule.nth || n >= a->rule.nth + a->rule.count) continue;
+    a->fires.fetch_add(1, std::memory_order_relaxed);
+    total_fires_.fetch_add(1, std::memory_order_relaxed);
+    if (a->rule.action == FaultAction::Delay) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(a->rule.delay_s));
+      continue;  // a delay stalls the stage; it does not abort it
+    }
+    throw InjectedFault(std::string(site), n);
+  }
+}
+
+std::uint64_t FaultPlan::hits(std::size_t i) const {
+  return rules_.at(i)->hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultPlan::fires(std::size_t i) const {
+  return rules_.at(i)->fires.load(std::memory_order_relaxed);
+}
+
+std::string extend_site(std::string_view scope, std::size_t group, std::size_t member) {
+  return "extend:" + std::string(scope) + "/g" + std::to_string(group) + "/m" +
+         std::to_string(member);
+}
+
+std::string sweep_site(std::string_view scope, std::size_t group) {
+  return "sweep:" + std::string(scope) + "/g" + std::to_string(group);
+}
+
+std::string apply_site(std::string_view scope) {
+  return "session:apply:" + std::string(scope);
+}
+
+}  // namespace lmr::fault

@@ -1,0 +1,122 @@
+#pragma once
+/// \file fault_plan.hpp
+/// Deterministic, seeded fault injection for the routing stack.
+///
+/// A `FaultPlan` is a list of rules, each naming a *site key* — a
+/// thread-agnostic string identifying one place the pipeline calls
+/// `at_site()` from:
+///
+///   extend:<scope>/g<group>/m<member>   one member's extension starting
+///   sweep:<scope>/g<group>              one group's cross-member sweep
+///   session:apply:<scope>               one edit lowering in Session::apply
+///
+/// where `<scope>` is `RouterOptions::fault_scope` (the serving tier sets
+/// the board id). Each rule keeps its own occurrence counter: the rule
+/// fires on matching occurrences `[nth, nth + count)`, either throwing a
+/// typed `InjectedFault` or sleeping `delay_s` (to force deadline
+/// timeouts). Matching is exact, or prefix when the rule's site ends in
+/// `*`.
+///
+/// Determinism: a fire is a function of (site key, per-rule occurrence
+/// number) only — never of thread identity. When the visits matching one
+/// rule are serialized (one board's pumps are; one member's extensions
+/// are), the occurrence sequence — and therefore every fire — is
+/// byte-reproducible across thread counts. That is the property the
+/// fault_storm oracle leans on: its synthesized rules only target sites
+/// with serialized visit order (apply sites, and first-occurrence extend
+/// sites).
+///
+/// Thread-safety: counters are atomic, the rule list is immutable after
+/// installation — add every rule *before* sharing the plan with a Router
+/// or RoutingService. The disarmed cost (no plan installed) is one null
+/// pointer test per site; see bench_micro_fault.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lmr::fault {
+
+/// The typed failure a Throw rule raises. Derives from std::runtime_error
+/// (not logic_error): the serving tier classifies it as retryable.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(std::string site, std::uint64_t occurrence)
+      : std::runtime_error("injected fault at " + site + " (occurrence " +
+                           std::to_string(occurrence) + ")"),
+        site_(std::move(site)),
+        occurrence_(occurrence) {}
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+  [[nodiscard]] std::uint64_t occurrence() const noexcept { return occurrence_; }
+
+ private:
+  std::string site_;
+  std::uint64_t occurrence_;
+};
+
+enum class FaultAction : std::uint8_t {
+  Throw,  ///< raise InjectedFault at the site
+  Delay,  ///< sleep delay_s at the site (for deadline tests), then continue
+};
+
+/// One armed failure: fire on matching occurrences [nth, nth + count).
+struct FaultRule {
+  std::string site;          ///< exact site key, or prefix ending in '*'
+  std::uint64_t nth = 1;     ///< first matching occurrence that fires (1-based)
+  std::uint64_t count = 1;   ///< consecutive occurrences that fire from nth on
+  FaultAction action = FaultAction::Throw;
+  double delay_s = 0.0;      ///< Delay action sleep duration
+};
+
+/// The installed plan. Share via shared_ptr in RouterOptions::fault_plan /
+/// ServiceOptions::fault_plan; occurrence counters live in the plan, so a
+/// replay that must start from zero needs a fresh instance.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultRule> rules);
+
+  /// Arm one rule. Not thread-safe: call before installing the plan.
+  void add(FaultRule rule);
+
+  /// The pipeline's hook: count this visit against every matching rule and
+  /// fire the ones whose window covers it. Delay rules sleep and fall
+  /// through (a later Throw rule may still fire); the first matching Throw
+  /// rule in arming order wins.
+  void at_site(std::string_view site);
+
+  [[nodiscard]] bool empty() const noexcept { return rules_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return rules_.size(); }
+  [[nodiscard]] const FaultRule& rule(std::size_t i) const { return rules_.at(i)->rule; }
+  /// Matching occurrences rule `i` has seen so far.
+  [[nodiscard]] std::uint64_t hits(std::size_t i) const;
+  /// Times rule `i` actually fired.
+  [[nodiscard]] std::uint64_t fires(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total_fires() const noexcept {
+    return total_fires_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Armed {
+    FaultRule rule;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> fires{0};
+  };
+  static bool matches(const FaultRule& r, std::string_view site);
+
+  std::vector<std::unique_ptr<Armed>> rules_;  ///< unique_ptr: atomics pin addresses
+  std::atomic<std::uint64_t> total_fires_{0};
+};
+
+// Site-key builders, shared by the injection points and the tests/bench
+// that target them.
+[[nodiscard]] std::string extend_site(std::string_view scope, std::size_t group,
+                                      std::size_t member);
+[[nodiscard]] std::string sweep_site(std::string_view scope, std::size_t group);
+[[nodiscard]] std::string apply_site(std::string_view scope);
+
+}  // namespace lmr::fault

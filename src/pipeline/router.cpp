@@ -8,6 +8,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <span>
 #include <stdexcept>
 #include <utility>
@@ -189,6 +191,50 @@ void append(std::vector<layout::Violation>& out, std::vector<layout::Violation> 
              std::make_move_iterator(v.end()));
 }
 
+/// Rollback bookkeeping for the board-level strong guarantee. run() only
+/// restores its OWN group on failure; in the multi-group drivers below,
+/// sibling groups that finished before the failing one keep their freshly
+/// extended geometry (every claimer drains before an exception propagates).
+/// A retrying caller would then re-extend already-extended traces and land
+/// on different geometry than a fresh route of the same board — so the
+/// drivers snapshot every member they may touch and restore them all on
+/// the way out.
+struct SavedPath {
+  layout::TraceId id = 0;
+  layout::MemberKind kind = layout::MemberKind::SingleEnded;
+  geom::Polyline primary;
+  geom::Polyline secondary;
+};
+
+void save_path(const layout::Layout& layout, layout::TraceId id,
+               layout::MemberKind kind, std::set<layout::TraceId>& seen,
+               std::vector<SavedPath>& out) {
+  if (!seen.insert(id).second) return;
+  SavedPath s;
+  s.id = id;
+  s.kind = kind;
+  if (kind == layout::MemberKind::SingleEnded) {
+    s.primary = layout.trace(id).path;
+  } else {
+    const layout::DiffPair& pair = layout.pair(id);
+    s.primary = pair.positive.path;
+    s.secondary = pair.negative.path;
+  }
+  out.push_back(std::move(s));
+}
+
+void restore_paths(layout::Layout& layout, std::vector<SavedPath>& saved) {
+  for (SavedPath& s : saved) {
+    if (s.kind == layout::MemberKind::SingleEnded) {
+      layout.trace(s.id).path = std::move(s.primary);
+    } else {
+      layout::DiffPair& pair = layout.pair(s.id);
+      pair.positive.path = std::move(s.primary);
+      pair.negative.path = std::move(s.secondary);
+    }
+  }
+}
+
 }  // namespace
 
 bool RouteResult::matched() const {
@@ -221,17 +267,29 @@ std::vector<RouteResult> Router::route_all(layout::Layout& layout) const {
   const std::size_t n_groups = layout.groups().size();
   const std::size_t threads = exec::resolve_threads(options_.threads);
   std::vector<RouteResult> results(n_groups);
-  if (threads <= 1 || n_groups <= 1) {
-    for (std::size_t g = 0; g < n_groups; ++g) results[g] = run(layout, g, threads);
-    return results;
+  std::set<layout::TraceId> seen;
+  std::vector<SavedPath> saved;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    for (const layout::GroupMember& m : layout.groups()[g].members) {
+      save_path(layout, m.id, m.kind, seen, saved);
+    }
   }
-  // One task per group; the nested member fan-out inside run() lands on the
-  // same pool (workers push to their own deques, idle workers steal), so a
-  // board of many small groups fills every worker instead of running its
-  // groups back to back.
-  exec::parallel_for_dynamic(pool(), n_groups, threads, [&](std::size_t g) {
-    results[g] = run(layout, g, threads);
-  });
+  try {
+    if (threads <= 1 || n_groups <= 1) {
+      for (std::size_t g = 0; g < n_groups; ++g) results[g] = run(layout, g, threads);
+      return results;
+    }
+    // One task per group; the nested member fan-out inside run() lands on
+    // the same pool (workers push to their own deques, idle workers steal),
+    // so a board of many small groups fills every worker instead of running
+    // its groups back to back.
+    exec::parallel_for_dynamic(pool(), n_groups, threads, [&](std::size_t g) {
+      results[g] = run(layout, g, threads);
+    });
+  } catch (...) {
+    restore_paths(layout, saved);
+    throw;
+  }
   return results;
 }
 
@@ -257,6 +315,22 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
   const layout::MatchGroup& group = layout.groups()[group_index];
   const auto t_run = Clock::now();
   const bool drc = options_.run_drc;
+
+  // Fault plane + cancellation. The deadline budget is per run() call (one
+  // group's route); the derived token still honours an external cancel.
+  // Both are disarmed by default, in which case the only cost below is a
+  // null test per site/poll — the token is threaded into the extender
+  // config via a patched options copy made once per run, never per member.
+  fault::FaultPlan* const plan = options_.fault_plan.get();
+  fault::CancelToken token = options_.cancel;
+  if (options_.deadline_s > 0.0) token = token.with_deadline(options_.deadline_s);
+  const RouterOptions* opts = &options_;
+  std::optional<RouterOptions> patched;
+  if (token.armed()) {
+    patched = options_;
+    patched->extender.cancel = token;
+    opts = &*patched;
+  }
 
   // Stage 0 (serial): validate and snapshot every member before any stage
   // runs, declare every clearance-index slot (member order fixes the
@@ -303,7 +377,11 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
   // race-free); per-net DRC then reads that member's own layout geometry
   // and lands its sampled segments in the incremental clearance index.
   const auto extend_stage = [&](std::size_t i) {
-    reports[i] = route_member(rules_, options_, work[i]);
+    token.check();
+    if (plan != nullptr) {
+      plan->at_site(fault::extend_site(options_.fault_scope, group_index, i));
+    }
+    reports[i] = route_member(rules_, *opts, work[i]);
     extend_done_s[i] = seconds_since(t_run);
   };
   const auto writeback_stage = [&](std::size_t i) {
@@ -325,6 +403,7 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
   };
   const auto drc_stage = [&](std::size_t i) {
     if (!drc) return;
+    token.check();
     const auto t0 = Clock::now();
     const MemberWork& w = work[i];
     std::vector<layout::Violation>& out = net_violations[i];
@@ -389,6 +468,14 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
       };
       for (std::size_t c = 0; c < width; ++c) launch(c);
       task_group.wait();
+    }
+    // Sweep-site fault + final deadline check live INSIDE the try: the
+    // cross-member sweep below runs after the rollback block, so a fault
+    // meant to model "group failed during final DRC" must still unwind
+    // through the geometry restore to keep the strong guarantee.
+    token.check();
+    if (plan != nullptr) {
+      plan->at_site(fault::sweep_site(options_.fault_scope, group_index));
     }
   } catch (...) {
     // A failed chain aborts the whole group, but sibling chains may already
@@ -622,27 +709,48 @@ BoardRoute Router::reroute(layout::Layout& layout, const BoardRoute& prior,
       pair.negative.path = it->second.secondary;
     }
   };
+  // Snapshot every member the seed-restore below or the group re-runs may
+  // touch (the seed restore is itself a layout mutation): on failure the
+  // caller gets its pre-call geometry back, not a half-restored mix.
+  std::set<layout::TraceId> seen;
+  std::vector<SavedPath> saved;
   for (const std::size_t g : next.rerouted_groups) {
     if (g < prior.results.size()) {
       for (const MemberReport& m : prior.results[g].group.members) {
-        restore(m.id, m.kind);
+        save_path(layout, m.id, m.kind, seen, saved);
       }
     }
     for (const layout::GroupMember& m : layout.groups()[g].members) {
-      restore(m.id, m.kind);
+      save_path(layout, m.id, m.kind, seen, saved);
     }
   }
 
-  // Re-run only the affected groups, with route_all's executor discipline;
-  // untouched groups keep their spliced prior results verbatim.
-  const std::vector<std::size_t>& todo = next.rerouted_groups;
-  const std::size_t threads = exec::resolve_threads(options_.threads);
-  if (threads <= 1 || todo.size() <= 1) {
-    for (const std::size_t g : todo) next.results[g] = run(layout, g, threads);
-  } else {
-    exec::parallel_for_dynamic(pool(), todo.size(), threads, [&](std::size_t k) {
-      next.results[todo[k]] = run(layout, todo[k], threads);
-    });
+  try {
+    for (const std::size_t g : next.rerouted_groups) {
+      if (g < prior.results.size()) {
+        for (const MemberReport& m : prior.results[g].group.members) {
+          restore(m.id, m.kind);
+        }
+      }
+      for (const layout::GroupMember& m : layout.groups()[g].members) {
+        restore(m.id, m.kind);
+      }
+    }
+
+    // Re-run only the affected groups, with route_all's executor discipline;
+    // untouched groups keep their spliced prior results verbatim.
+    const std::vector<std::size_t>& todo = next.rerouted_groups;
+    const std::size_t threads = exec::resolve_threads(options_.threads);
+    if (threads <= 1 || todo.size() <= 1) {
+      for (const std::size_t g : todo) next.results[g] = run(layout, g, threads);
+    } else {
+      exec::parallel_for_dynamic(pool(), todo.size(), threads, [&](std::size_t k) {
+        next.results[todo[k]] = run(layout, todo[k], threads);
+      });
+    }
+  } catch (...) {
+    restore_paths(layout, saved);
+    throw;
   }
   return next;
 }

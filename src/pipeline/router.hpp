@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -37,6 +38,8 @@
 #include "core/trace_extender.hpp"
 #include "drc/rules.hpp"
 #include "exec/task_pool.hpp"
+#include "fault/cancel.hpp"
+#include "fault/fault_plan.hpp"
 #include "geom/box.hpp"
 #include "layout/drc_checker.hpp"
 #include "layout/layout.hpp"
@@ -115,6 +118,23 @@ struct RouterOptions {
   /// R) when a pair crosses several Design Rule Areas; empty means the
   /// single-DRA default {pair.pitch}.
   std::vector<double> pair_rule_set;
+  /// Cooperative cancellation: polled at every stage boundary and inside
+  /// the DP extender at pattern-placement granularity. `cancel.cancel()`
+  /// aborts in-flight routes with fault::RouteCancelled; the rollback path
+  /// guarantees the layout is untouched. Empty (the default) costs one null
+  /// test per poll.
+  fault::CancelToken cancel;
+  /// Per-group route budget in seconds; 0 = none. Each `run` (one group's
+  /// route, whether via route()/route_all()/reroute()) derives a deadline
+  /// token at entry; expiry surfaces as fault::RouteTimeout with the same
+  /// layout-untouched guarantee. Composes with `cancel`.
+  double deadline_s = 0.0;
+  /// Fault-injection plane (tests, fault_storm bench); nullptr = disarmed —
+  /// one null test per site. See fault/fault_plan.hpp for the site keys.
+  std::shared_ptr<fault::FaultPlan> fault_plan;
+  /// Prefix baked into this Router's fault site keys; the serving tier sets
+  /// the board id so plans can target one board out of many.
+  std::string fault_scope;
 };
 
 /// Per-net diagnostics: the matching report plus this net's oracle verdict.

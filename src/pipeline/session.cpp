@@ -52,8 +52,9 @@ Session::Session(drc::DesignRules rules, RouterOptions options, layout::Layout b
   reindex_groups(all);
 }
 
-const BoardRoute& Session::route() {
-  route_ = router_.route_board(layout_);
+const BoardRoute& Session::route(ApplyMode mode) {
+  route_ = mode == ApplyMode::Degraded ? degraded_router().route_board(layout_)
+                                       : router_.route_board(layout_);
   routed_ = true;
   std::vector<std::size_t> all;
   for (std::size_t g = 0; g < layout_.groups().size(); ++g) all.push_back(g);
@@ -65,10 +66,12 @@ ApplyOutcome Session::apply(const layout::BoardEdit& edit) {
   return apply(std::span<const layout::BoardEdit>{&edit, 1});
 }
 
-ApplyOutcome Session::apply(std::span<const layout::BoardEdit> edits) {
+ApplyOutcome Session::apply(std::span<const layout::BoardEdit> edits, ApplyMode mode) {
   if (!routed_) {
     throw std::logic_error("Session::apply: route() the board first");
   }
+  last_partial_.reset();
+  fault::FaultPlan* const plan = router_.options().fault_plan.get();
   ApplyOutcome outcome;
   outcome.version_before = layout_.version();
   outcome.edit_offsets.push_back(0);
@@ -76,11 +79,15 @@ ApplyOutcome Session::apply(std::span<const layout::BoardEdit> edits) {
   for (const layout::BoardEdit& e : edits) {
     std::vector<layout::LayoutDelta> deltas;
     try {
+      if (plan != nullptr) {
+        plan->at_site(fault::apply_site(router_.options().fault_scope));
+      }
       deltas = layout::apply_edit(layout_, e);
     } catch (...) {
       // A mid-batch lowering failure (bad index after an earlier queued
-      // edit) leaves the layout exactly at the state after the last good
-      // edit — apply_edit validates before mutating. Reroute over the
+      // edit, or an injected session:apply fault) leaves the layout exactly
+      // at the state after the last good edit — apply_edit validates before
+      // mutating and the fault site fires before it runs. Reroute over the
       // applied prefix below so route_ catches up, then rethrow.
       failed = std::current_exception();
       break;
@@ -90,15 +97,59 @@ ApplyOutcome Session::apply(std::span<const layout::BoardEdit> edits) {
                           std::make_move_iterator(deltas.end()));
     outcome.edit_offsets.push_back(outcome.deltas.size());
   }
-  const auto t0 = Clock::now();
-  route_ = router_.reroute(layout_, route_, outcome.deltas);
-  outcome.reroute_s = std::chrono::duration<double>(Clock::now() - t0).count();
   outcome.version_after = layout_.version();
+  try {
+    finish_reroute(outcome, mode);
+  } catch (...) {
+    // Reroute-phase failure: the prefix's deltas are journaled but the
+    // Router's rollback restored the prior geometry — route_ is stale until
+    // resync() (or the next apply, whose reroute covers the full suffix).
+    last_partial_ = outcome;
+    throw;
+  }
+  if (failed) {
+    last_partial_ = outcome;
+    std::rethrow_exception(failed);
+  }
+  return outcome;
+}
+
+ApplyOutcome Session::resync(ApplyMode mode) {
+  if (!routed_) {
+    throw std::logic_error("Session::resync: route() the board first");
+  }
+  ApplyOutcome outcome;
+  outcome.version_before = route_.version;
+  const std::span<const layout::LayoutDelta> pending =
+      layout_.deltas_since(route_.version);
+  outcome.deltas.assign(pending.begin(), pending.end());
+  outcome.edit_offsets.push_back(0);
+  outcome.edit_offsets.push_back(outcome.deltas.size());
+  outcome.version_after = layout_.version();
+  finish_reroute(outcome, mode);
+  last_partial_.reset();
+  return outcome;
+}
+
+void Session::finish_reroute(ApplyOutcome& outcome, ApplyMode mode) {
+  const auto t0 = Clock::now();
+  // The journal-suffix overload reroutes over *every* delta the route has
+  // not seen, not just this batch's: after a prior reroute-phase failure
+  // the suffix also carries the stranded deltas, so the commit self-heals.
+  route_ = mode == ApplyMode::Degraded ? degraded_router().reroute(layout_, route_)
+                                       : router_.reroute(layout_, route_);
+  outcome.reroute_s = std::chrono::duration<double>(Clock::now() - t0).count();
   outcome.rerouted_groups = route_.rerouted_groups;
   outcome.groups_total = layout_.groups().size();
   reindex_groups(outcome.rerouted_groups);
-  if (failed) std::rethrow_exception(failed);
-  return outcome;
+}
+
+Router Session::degraded_router() const {
+  RouterOptions opts = router_.options();
+  opts.drc_schedule = DrcSchedule::Barrier;
+  opts.threads = 1;
+  opts.pool = nullptr;
+  return Router(router_.rules(), std::move(opts));
 }
 
 std::pair<layout::Layout, BoardRoute> Session::release() {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -27,6 +28,17 @@
 #include "pipeline/router.hpp"
 
 namespace lmr::pipeline {
+
+/// How a (re-)route dispatched by the session runs. `Degraded` is the
+/// serving tier's last retry rung before quarantine: a temporary Router
+/// pinned to DrcSchedule::Barrier on one thread with no external pool — the
+/// most conservative schedule available. Results are schedule- and
+/// thread-invariant by construction, so a degraded reroute converges to the
+/// same geometry/violations as a normal one; only latency differs.
+enum class ApplyMode : std::uint8_t {
+  Normal,    ///< the session's own Router (configured schedule/threads)
+  Degraded,  ///< Barrier schedule, single thread, no shared pool
+};
 
 /// What one `apply()` did, for latency accounting and the
 /// strictly-fewer-groups proof in the bench/tests.
@@ -74,17 +86,62 @@ class Session {
 
   /// Initial full route of every group. Must be called once, before the
   /// first `apply`. Returns the whole-board route (also via `route_state`).
-  const BoardRoute& route();
+  const BoardRoute& route(ApplyMode mode = ApplyMode::Normal);
 
   /// Apply one user-level edit and incrementally re-route. Requires
   /// `route()` first (throws std::logic_error otherwise).
   ApplyOutcome apply(const layout::BoardEdit& edit);
   /// Apply a whole edit batch, then re-route once over the combined deltas
   /// — cheaper than per-edit apply when edits cluster on the same groups.
-  /// Exception-safe: if edit k fails to lower (bad index after an earlier
-  /// queued edit, say), the session still reroutes over the deltas of edits
-  /// [0, k) before rethrowing, so layout and route never fall out of sync.
-  ApplyOutcome apply(std::span<const layout::BoardEdit> edits);
+  ///
+  /// Prefix contract under mid-batch failure. Edits lower strictly in
+  /// order; the first edit that fails stops the batch, so the layout ends
+  /// at the state after the applied prefix [0, k) — layout::apply_edit
+  /// validates before mutating, so edit k itself leaves no partial deltas.
+  /// Two failure phases are distinguishable through
+  /// `last_partial_outcome()` (always populated on throw):
+  ///  * lowering failure (bad edit, injected session:apply fault): the
+  ///    session still reroutes over the prefix's deltas before rethrowing
+  ///    the original exception — layout and route stay in sync
+  ///    (`in_sync() == true`), and the recorded outcome has
+  ///    `edit_offsets.size() == k + 1`, `deltas` exactly the prefix's
+  ///    journal entries, and `version_after - version_before ==
+  ///    deltas.size()`.
+  ///  * reroute failure (injected extend/sweep fault, deadline timeout):
+  ///    the prefix's deltas are in the journal but Router::reroute's
+  ///    rollback restored the prior geometry, so `route_` is stale
+  ///    (`in_sync() == false`). The session is NOT wedged: `resync()`
+  ///    heals it by re-running reroute over `deltas_since(route version)`,
+  ///    and a subsequent `apply` also self-heals the same way (reroute
+  ///    always covers the full journal suffix).
+  /// In both phases the recorded outcome's version bracket matches the
+  /// applied prefix, which is what the serving tier uses to decide how
+  /// many queued edits were consumed.
+  ApplyOutcome apply(std::span<const layout::BoardEdit> edits,
+                     ApplyMode mode = ApplyMode::Normal);
+
+  /// Re-run the incremental reroute over every journal delta the current
+  /// route has not seen (`layout.version() > route version` after a
+  /// reroute-phase failure). No-op reroute when already in sync (affected
+  /// set is empty). Returns the catch-up outcome; `edit_offsets` carries a
+  /// single synthetic bracket since per-edit attribution lives in the
+  /// `last_partial_outcome()` of the failed apply. Clears the partial
+  /// record on success.
+  ApplyOutcome resync(ApplyMode mode = ApplyMode::Normal);
+
+  /// True when the last route/reroute committed every journal delta — the
+  /// invariant every successful route()/apply()/resync() re-establishes.
+  /// False only between a reroute-phase failure and the next resync.
+  [[nodiscard]] bool in_sync() const {
+    return routed_ && route_.version == layout_.version();
+  }
+
+  /// Outcome bracket of the most recent `apply` that threw (see the prefix
+  /// contract above); reset by the next successful apply/resync. Empty if
+  /// no apply has failed.
+  [[nodiscard]] const std::optional<ApplyOutcome>& last_partial_outcome() const {
+    return last_partial_;
+  }
 
   /// Dismantle the session into its compact snapshot — the layout (with
   /// journal) and the last whole-board route — for idle-session eviction.
@@ -112,10 +169,20 @@ class Session {
   /// drop members that no longer belong to any group.
   void reindex_groups(std::span<const std::size_t> groups);
 
+  /// Reroute over the full journal suffix (`deltas_since(route version)`),
+  /// fill the outcome's reroute fields, and re-index. Factored out so apply
+  /// and resync share the commit path; throws propagate with route_ stale.
+  void finish_reroute(ApplyOutcome& outcome, ApplyMode mode);
+
+  /// The Degraded rung's executor: same rules and options but pinned to
+  /// DrcSchedule::Barrier, one thread, no shared pool.
+  [[nodiscard]] Router degraded_router() const;
+
   Router router_;
   layout::Layout layout_;
   BoardRoute route_;
   bool routed_ = false;
+  std::optional<ApplyOutcome> last_partial_;
 
   /// Board-wide cross-member clearance state, maintained incrementally.
   layout::ClearanceIndex board_index_;

@@ -1,0 +1,164 @@
+#include "scenario/fault_storm.hpp"
+
+#include <cstddef>
+#include <initializer_list>
+#include <random>
+#include <string>
+#include <utility>
+
+namespace lmr::scenario {
+
+namespace {
+
+/// Seeded pick in [0, n). mt19937_64's output sequence is specified by the
+/// standard, so modulo reduction is portable (distribution objects are not).
+std::size_t pick(std::mt19937_64& rng, std::size_t n) {
+  return static_cast<std::size_t>(rng() % n);
+}
+
+/// A board slot distinct from every element of `taken`.
+std::size_t pick_other(std::mt19937_64& rng, std::size_t n,
+                       std::initializer_list<std::size_t> taken) {
+  for (;;) {
+    const std::size_t b = pick(rng, n);
+    bool clash = false;
+    for (const std::size_t t : taken) clash = clash || b == t;
+    if (!clash) return b;
+  }
+}
+
+ServiceStormCase fault_service_case(bool smoke, std::uint64_t salt) {
+  // Same slot recipe as the service storms but smaller: the fault plane,
+  // not throughput, is under test here. No mid-stream eviction — the
+  // quarantine machinery owns session teardown in these storms, and
+  // eviction-under-fault has its own dedicated tests.
+  ServiceStormCase c;
+  const std::size_t boards = smoke ? 4 : 6;
+  const int edits = smoke ? 4 : 6;
+  for (std::size_t b = 0; b < boards; ++b) {
+    const bool mixed = b % 2 == 1;
+    EditStormCase bc;
+    bc.base = family(mixed ? "mixed_se_diff" : "multi_group", /*smoke=*/true)
+                  .cases.at(0);
+    bc.base.seed += 101 * b;
+    bc.name = "b" + std::to_string(b) + "/" + (mixed ? "mixed_se_diff" : "multi_group");
+    bc.edits = edits;
+    bc.edit_seed = (smoke ? 9700 : 9800) + salt * 1000 + 17 * b;
+    c.boards.push_back(std::move(bc));
+  }
+  c.stream_seed = (smoke ? 7501 : 7601) + salt;
+  c.sync_every = smoke ? 10 : 12;
+  return c;
+}
+
+std::string size_tag(bool smoke) { return smoke ? "-4x4" : "-6x6"; }
+
+}  // namespace
+
+std::vector<FaultStormCase> fault_storm_cases(bool smoke,
+                                              std::uint64_t seed_override) {
+  std::vector<FaultStormCase> cases;
+
+  {
+    FaultStormCase c;
+    c.name = "fault_storm/transient" + size_tag(smoke);
+    c.service = fault_service_case(smoke, /*salt=*/0);
+    c.service.name = c.name;
+    c.fault_seed = 4242;
+    c.kind = FaultStormKind::Transient;
+    cases.push_back(std::move(c));
+  }
+  {
+    FaultStormCase c;
+    c.name = "fault_storm/timeout" + size_tag(smoke);
+    c.service = fault_service_case(smoke, /*salt=*/1);
+    c.service.name = c.name;
+    c.fault_seed = 4343;
+    c.kind = FaultStormKind::Timeout;
+    // The Delay must comfortably overshoot the budget, and the budget must
+    // comfortably cover a clean smoke-board route (milliseconds), so the
+    // ONLY attempt that times out is the one the Delay stalls.
+    c.deadline_s = 0.35;
+    c.delay_s = 0.9;
+    cases.push_back(std::move(c));
+  }
+  {
+    FaultStormCase c;
+    c.name = "fault_storm/quarantine" + size_tag(smoke);
+    c.service = fault_service_case(smoke, /*salt=*/2);
+    c.service.name = c.name;
+    c.fault_seed = 4444;
+    c.kind = FaultStormKind::Quarantine;
+    cases.push_back(std::move(c));
+  }
+
+  if (seed_override != 0) {
+    for (FaultStormCase& c : cases) c.fault_seed = seed_override;
+  }
+  return cases;
+}
+
+FaultStorm materialize_fault_storm(const FaultStormCase& c) {
+  FaultStorm s;
+  s.spec = c;
+  s.storm = materialize_service_storm(c.service);
+
+  const std::size_t boards = s.storm.boards.size();
+  const auto name_of = [&s](std::size_t b) -> const std::string& {
+    return s.storm.boards[b].spec.name;
+  };
+  const auto edits_of = [&s](std::size_t b) {
+    return s.storm.boards[b].edits.size();
+  };
+
+  std::mt19937_64 rng(c.fault_seed);
+  switch (c.kind) {
+    case FaultStormKind::Transient: {
+      // Two one-shot edit-lowering failures on distinct boards plus one
+      // one-shot initial-route failure on a third: every window is count=1,
+      // so the first retry rung absorbs each and nothing may quarantine.
+      const std::size_t a = pick(rng, boards);
+      const std::size_t b = pick_other(rng, boards, {a});
+      const std::size_t r = pick_other(rng, boards, {a, b});
+      s.rules.push_back({fault::apply_site(name_of(a)),
+                         /*nth=*/1 + static_cast<std::uint64_t>(pick(rng, edits_of(a))),
+                         /*count=*/1});
+      s.rules.push_back({fault::apply_site(name_of(b)),
+                         /*nth=*/1 + static_cast<std::uint64_t>(pick(rng, edits_of(b))),
+                         /*count=*/1});
+      s.rules.push_back({fault::extend_site(name_of(r), 0, 0), /*nth=*/1,
+                         /*count=*/1});
+      break;
+    }
+    case FaultStormKind::Timeout: {
+      // Stall one board's very first route past its deadline. Occurrence 1
+      // of extend:<board>/g0/m0 is always the initial route, so the stall —
+      // and therefore the RouteTimeout — lands on attempt 1 at every thread
+      // count; the retry runs with the Delay window already spent.
+      s.timeout_board = pick(rng, boards);
+      s.rules.push_back({fault::extend_site(name_of(s.timeout_board), 0, 0),
+                         /*nth=*/1, /*count=*/1, fault::FaultAction::Delay,
+                         c.delay_s});
+      break;
+    }
+    case FaultStormKind::Quarantine: {
+      // Board Q: its second edit-lowering attempt fails max_attempts times
+      // in a row — enough to walk the whole ladder (retry, degraded retry,
+      // quarantine) with exactly one edit committed to last-good. Board R:
+      // its initial route fails max_attempts times, so it quarantines
+      // without ever being routed. Both windows are exhausted by the time
+      // the storm runner resurrects, so the replayed suffix converges.
+      const std::size_t q = pick(rng, boards);
+      const std::size_t r = pick_other(rng, boards, {q});
+      s.quarantine_boards = {q, r};
+      s.rules.push_back({fault::apply_site(name_of(q)), /*nth=*/2,
+                         /*count=*/c.max_attempts});
+      s.rules.push_back({fault::extend_site(name_of(r), 0, 0), /*nth=*/1,
+                         /*count=*/c.max_attempts});
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace lmr::scenario

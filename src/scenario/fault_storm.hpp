@@ -1,0 +1,87 @@
+#pragma once
+/// \file fault_storm.hpp
+/// Fault-injected service storms — the robustness workload.
+///
+/// A fault storm is a service storm plus a seeded, synthesized `FaultPlan`
+/// rule set targeting it. The synthesis only arms sites whose visit order
+/// is serialized per rule regardless of service thread count, so every
+/// fire lands on the same logical operation in every replay:
+///
+///  * `session:apply:<board>` sites — one board's edit-lowering attempts
+///    are FIFO (the pump serializes the board), so occurrence k is the
+///    k-th lowering attempt no matter how edits coalesce into batches;
+///  * first-occurrence `extend:<board>/g0/m0` sites — occurrence 1 is
+///    always the board's initial route (reroutes only exist after it).
+///
+/// Three storm kinds, graded by blast radius:
+///  * `Transient` — point failures (one-shot windows) that the retry
+///    ladder must absorb: end state identical to a fault-free replay,
+///    zero quarantines.
+///  * `Timeout` — a Delay rule stalls one board's initial route past its
+///    `deadline_s` budget, forcing a deterministic RouteTimeout on the
+///    first attempt; the retry runs with the delay window spent.
+///  * `Quarantine` — windows sized to `max_attempts` exhaust the ladder
+///    on two boards (one mid-edit, one during its initial route); both
+///    must serve their last-good state, then recover via resurrect() +
+///    replay of the lost suffix.
+///
+/// Occurrence counters live in the plan, so every replay (each thread
+/// count) builds a FRESH FaultPlan from `FaultStorm::rules`.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "scenario/service_storm.hpp"
+
+namespace lmr::scenario {
+
+enum class FaultStormKind : std::uint8_t {
+  Transient,   ///< retries absorb everything; no board may quarantine
+  Timeout,     ///< a deadline must fire at least once and be recovered
+  Quarantine,  ///< two boards must quarantine, then resurrect + replay
+};
+
+struct FaultStormCase {
+  std::string name;
+  ServiceStormCase service;  ///< the underlying boards + event stream
+  std::uint64_t fault_seed = 0;
+  FaultStormKind kind = FaultStormKind::Transient;
+  /// Per-group route budget installed on the timeout board (Timeout kind).
+  double deadline_s = 0.0;
+  /// How long the Delay rule stalls the timeout board's first route.
+  double delay_s = 0.0;
+  /// Service retry-ladder depth the storm is tuned for (rule windows that
+  /// must exhaust the ladder use exactly this many occurrences).
+  std::uint32_t max_attempts = 3;
+};
+
+/// A materialized fault storm: the service storm plus the synthesized rule
+/// set and the synthesis' targeting decisions (which the gates check).
+struct FaultStorm {
+  FaultStormCase spec;
+  ServiceStorm storm;
+  /// Build a fresh fault::FaultPlan from these per replay — counters are
+  /// stateful, so sharing one plan across replays would shift every window.
+  std::vector<fault::FaultRule> rules;
+  /// Board index the deadline applies to (Timeout kind), else npos.
+  std::size_t timeout_board = std::numeric_limits<std::size_t>::max();
+  /// Board indices the synthesis aims to quarantine (Quarantine kind).
+  std::vector<std::size_t> quarantine_boards;
+};
+
+/// The standard fault-storm catalogue: one case per kind. Smoke: 4 boards
+/// × 4 edits each; full: 6 boards × 6 edits. `seed_override` (non-zero)
+/// replaces each case's fault_seed — the reproduction knob behind
+/// `bench_suite --fault-storm --seed N`.
+[[nodiscard]] std::vector<FaultStormCase> fault_storm_cases(
+    bool smoke, std::uint64_t seed_override = 0);
+
+/// Materialize the boards/stream and synthesize the seeded rule set.
+/// Deterministic: identical (case, seeds) produce identical storms.
+[[nodiscard]] FaultStorm materialize_fault_storm(const FaultStormCase& c);
+
+}  // namespace lmr::scenario

@@ -1,12 +1,42 @@
 #include "service/routing_service.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+#include <cmath>
+#include <span>
 #include <utility>
+
+#include "fault/cancel.hpp"
 
 namespace lmr::service {
 
-RoutingService::RoutingService(ServiceOptions opts) : opts_(opts) {
+namespace {
+
+std::string describe(const std::exception_ptr& err) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown error";
+  }
+}
+
+std::string format_failures(const std::vector<BoardFailure>& failures) {
+  std::string msg = std::to_string(failures.size()) + " board(s) failed:";
+  for (const BoardFailure& f : failures) {
+    msg += " [" + f.board + "] " + f.message + ";";
+  }
+  if (!failures.empty()) msg.pop_back();
+  return msg;
+}
+
+}  // namespace
+
+ServiceError::ServiceError(std::vector<BoardFailure> failures)
+    : std::runtime_error(format_failures(failures)), failures_(std::move(failures)) {}
+
+RoutingService::RoutingService(ServiceOptions opts) : opts_(std::move(opts)) {
+  if (opts_.max_attempts == 0) opts_.max_attempts = 1;
   if (opts_.pool != nullptr) {
     pool_ = opts_.pool;
     threads_ = pool_->parallelism();
@@ -53,6 +83,10 @@ void RoutingService::add_board(const BoardId& id, drc::DesignRules rules,
   // per-board pool would oversubscribe the machine N-fold.
   options.pool = pool_;
   options.threads = threads_;
+  // Fault sites carry the board id so one service-wide plan can target
+  // individual boards ("extend:<id>/g0/m0", "session:apply:<id>", …).
+  options.fault_scope = id;
+  if (options.fault_plan == nullptr) options.fault_plan = opts_.fault_plan;
   std::lock_guard<std::mutex> lk(mu_);
   auto [it, inserted] = boards_.try_emplace(id);
   if (!inserted) {
@@ -67,12 +101,16 @@ void RoutingService::add_board(const BoardId& id, drc::DesignRules rules,
   schedule_locked(id);
 }
 
-std::uint64_t RoutingService::submit(const BoardId& id, layout::BoardEdit edit) {
+SubmitResult RoutingService::submit(const BoardId& id, layout::BoardEdit edit) {
   std::lock_guard<std::mutex> lk(mu_);
   Board& b = board_at(id);
-  if (b.dead) {
-    throw std::logic_error("RoutingService: board '" + id +
-                           "' is dead (its initial route failed)");
+  if (b.quarantined) {
+    ++b.stats.shed;
+    return {SubmitStatus::Quarantined, 0};
+  }
+  if (opts_.queue_limit != 0 && b.queue.size() >= opts_.queue_limit) {
+    ++b.stats.shed;
+    return {SubmitStatus::QueueFull, 0};
   }
   ++b.stats.submitted;
   // is_frozen() is an atomic probe, safe to read while the pump routes;
@@ -87,20 +125,49 @@ std::uint64_t RoutingService::submit(const BoardId& id, layout::BoardEdit edit) 
     b.busy = true;
     schedule_locked(id);
   }
-  return b.stats.submitted;
+  return {SubmitStatus::Accepted, b.stats.submitted};
 }
 
 void RoutingService::schedule_locked(const BoardId& id) {
   group_->run([this, id] { pump(id); });
 }
 
+void RoutingService::quarantine_locked(Board& b, std::exception_ptr err) {
+  b.quarantined = true;
+  ++b.stats.quarantines;
+  if (b.error == nullptr) b.error = std::move(err);
+  b.stats.dropped_edits += b.inflight.size() + b.queue.size();
+  b.inflight.clear();
+  b.queue.clear();
+  b.lowered_pending = 0;
+  b.attempts = 0;
+  if (b.routed) {
+    // Revert to the last-good checkpoint: the live session may hold
+    // journaled-but-unrouted deltas from the failed work item, so the
+    // snapshot (not the session) becomes the board's serving state. A
+    // routed board always has one — it is refreshed on every success.
+    b.snapshot = std::move(b.last_good);
+    b.last_good.reset();
+    b.session.reset();
+  }
+  // An unrouted board keeps its pristine session: Router::run's rollback
+  // guarantees the layout is untouched by the failed initial route, so
+  // resurrect() can simply reschedule it.
+}
+
 void RoutingService::pump(const BoardId& id) {
   Board* b = nullptr;
   bool initial = false;
-  std::vector<layout::BoardEdit> batch;
+  bool degraded = false;
+  std::size_t pending0 = 0;
+  std::size_t n_inflight = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     b = &boards_.at(id);
+    if (b->quarantined) {  // defensive: nothing schedules a quarantined board
+      b->busy = false;
+      return;
+    }
     if (b->session == nullptr) {
       // Thaw-on-next-edit: rebuild the Session from the snapshot. Done
       // under the lock so the `session` pointer never changes while
@@ -112,67 +179,154 @@ void RoutingService::pump(const BoardId& id) {
       ++b->stats.thaws;
     }
     initial = !b->routed;
-    if (!initial) {
+    degraded = opts_.max_attempts > 1 && b->attempts + 1 >= opts_.max_attempts;
+    pending0 = b->lowered_pending;
+    if (!initial && b->inflight.empty()) {
       std::size_t n = b->queue.size();
       if (opts_.max_batch != 0) n = std::min(n, opts_.max_batch);
-      batch.reserve(n);
+      b->inflight.reserve(n);
       const auto now = Clock::now();
       for (std::size_t i = 0; i < n; ++i) {
         Pending& p = b->queue.front();
         const double waited = std::chrono::duration<double>(now - p.enqueued).count();
         b->stats.dispatch_wait_s += waited;
         b->stats.max_dispatch_wait_s = std::max(b->stats.max_dispatch_wait_s, waited);
-        batch.push_back(std::move(p.edit));
+        b->inflight.push_back(std::move(p.edit));
         b->queue.pop_front();
       }
     }
+    n_inflight = b->inflight.size();
   }
 
-  // The unlocked section: only this pump touches the Session (busy flag).
+  // The unlocked section: only this pump touches the Session and the
+  // inflight vector (busy flag). One attempt of the current work item.
+  const pipeline::ApplyMode mode =
+      degraded ? pipeline::ApplyMode::Degraded : pipeline::ApplyMode::Normal;
+  pipeline::Session& session = *b->session;
   const auto t0 = Clock::now();
   std::exception_ptr err;
   std::uint64_t violations = 0;
+  std::size_t committed_pending = 0;  // previously-lowered edits committed now
+  std::size_t lowered_now = 0;        // inflight edits lowered this attempt
+  std::size_t committed_now = 0;      // … of which the reroute committed
+  bool lowering_failure = false;      // err names inflight[lowered_now] itself
+  bool applying = false;
   try {
     if (initial) {
-      b->session->route();
+      session.route(mode);
     } else {
-      b->session->apply(std::span<const layout::BoardEdit>(batch));
+      if (!session.in_sync()) {
+        // A prior attempt journaled deltas whose reroute failed; catch up
+        // on them first so the batch below starts from a committed state.
+        session.resync(mode);
+        committed_pending = pending0;
+      }
+      if (n_inflight > 0) {
+        applying = true;
+        session.apply(std::span<const layout::BoardEdit>(b->inflight), mode);
+        applying = false;
+        lowered_now = n_inflight;
+        committed_now = n_inflight;
+      }
     }
     // One clearance re-sweep per dispatch, however many edits coalesced.
-    violations = b->session->board_clearance().size();
+    violations = session.board_clearance().size();
   } catch (...) {
     err = std::current_exception();
+    if (applying) {
+      // The prefix contract (see Session::apply): edit_offsets counts the
+      // lowered prefix; in_sync() distinguishes a lowering failure (prefix
+      // rerouted and committed, the *next* edit is the culprit) from a
+      // reroute-phase failure (prefix journaled but uncommitted).
+      const std::optional<pipeline::ApplyOutcome>& part = session.last_partial_outcome();
+      if (part.has_value()) lowered_now = part->edit_offsets.size() - 1;
+      if (session.in_sync()) {
+        lowering_failure = true;
+        committed_now = lowered_now;
+      }
+    }
   }
   const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
 
+  // Checkpoint outside the lock: copies of the routed layout + route are
+  // what quarantine later reverts to ("last good").
+  std::optional<BoardSnapshot> checkpoint;
+  if (err == nullptr) {
+    checkpoint.emplace(BoardSnapshot{session.layout(), session.route_state()});
+  }
+
   std::lock_guard<std::mutex> lk(mu_);
   BoardStats& s = b->stats;
-  if (err != nullptr) {
-    if (b->error == nullptr) b->error = err;
-    if (initial) {
-      // No valid whole-board route to edit against: the board is dead.
-      b->dead = true;
-      b->queue.clear();
-    }
-  }
-  if (initial) {
-    if (err == nullptr) {
-      b->routed = true;
-      s.route_s += elapsed;
-      s.clearance_violations = violations;
-    }
-  } else {
+  if (!initial) {
+    // Consume what this attempt disposed of: committed edits leave the
+    // work item; journaled-but-uncommitted ones stay accounted so the
+    // retry resync()s instead of re-lowering.
+    b->inflight.erase(b->inflight.begin(),
+                      b->inflight.begin() + static_cast<std::ptrdiff_t>(lowered_now));
+    b->lowered_pending = (pending0 - committed_pending) + (lowered_now - committed_now);
+    s.applied += committed_pending + committed_now;
     ++s.batches;
     ++s.reroutes;
-    if (batch.size() > 1) ++s.coalesced_batches;
-    s.max_batch = std::max<std::uint64_t>(s.max_batch, batch.size());
+    if (n_inflight > 1) ++s.coalesced_batches;
+    s.max_batch = std::max<std::uint64_t>(s.max_batch, n_inflight);
     s.apply_s += elapsed;
-    if (err == nullptr) {
-      s.applied += batch.size();
-      s.clearance_violations = violations;
+  }
+  if (err == nullptr) {
+    b->attempts = 0;
+    b->last_good = std::move(checkpoint);
+    s.clearance_violations = violations;
+    if (initial) {
+      b->routed = true;
+      s.route_s += elapsed;
+    }
+  } else {
+    // Classify: logic_error lineage (bad edit, contract breach) is not
+    // retryable — no rerun can make the same edit valid; runtime failures
+    // (injected faults, timeouts, cancellations) are.
+    bool retryable = true;
+    try {
+      std::rethrow_exception(err);
+    } catch (const fault::RouteTimeout&) {
+      ++s.timeouts;
+    } catch (const fault::InjectedFault&) {
+      ++s.injected_faults;
+    } catch (const std::logic_error&) {
+      retryable = false;
+    } catch (...) {
+    }
+    if (!retryable) {
+      if (!initial && lowering_failure && !b->inflight.empty()) {
+        // The edit itself is bad: drop it, surface the error at drain, and
+        // let the board continue with the rest of its work.
+        b->inflight.erase(b->inflight.begin());
+        ++s.dropped_edits;
+        b->attempts = 0;
+        if (b->error == nullptr) b->error = err;
+      } else {
+        // A non-retryable failure not pinned to a single edit: the board's
+        // state machine is in doubt — quarantine.
+        quarantine_locked(*b, err);
+      }
+    } else {
+      ++b->attempts;
+      if (b->attempts >= opts_.max_attempts) {
+        quarantine_locked(*b, err);
+      } else {
+        // Retry rung: exponential backoff on the virtual clock (never a
+        // wall-time sleep), demoting the final attempt to Degraded mode.
+        ++s.retries;
+        if (opts_.max_attempts > 1 && b->attempts + 1 >= opts_.max_attempts) {
+          ++s.degraded_retries;
+        }
+        s.backoff_virtual_s += std::min(
+            opts_.backoff_base_s * std::exp2(static_cast<double>(b->attempts - 1)),
+            opts_.backoff_cap_s);
+        schedule_locked(id);  // stay busy: the retry owns the board
+        return;
+      }
     }
   }
-  if (!b->dead && !b->queue.empty()) {
+  if (!b->quarantined && (!b->inflight.empty() || !b->queue.empty())) {
     schedule_locked(id);  // stay busy: more edits arrived meanwhile
   } else {
     b->busy = false;
@@ -184,17 +338,23 @@ void RoutingService::drain() {
   // pump (including the ones pumps reschedule) has finished — which is
   // also what executes everything on a 0-worker serial service.
   group_->wait();
-  std::exception_ptr first;
-  std::lock_guard<std::mutex> lk(mu_);
-  for (auto& [id, b] : boards_) {
-    if (first == nullptr && b.error != nullptr) first = b.error;
-    b.error = nullptr;
+  std::vector<BoardFailure> failures;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [id, b] : boards_) {
+      if (b.error != nullptr) {
+        failures.push_back({id, describe(b.error)});
+        b.error = nullptr;
+      }
+    }
   }
-  if (first != nullptr) std::rethrow_exception(first);
+  if (!failures.empty()) throw ServiceError(std::move(failures));
 }
 
 bool RoutingService::evict_locked(Board& b) {
-  if (b.busy || b.dead || !b.routed || !b.queue.empty() || b.session == nullptr) {
+  if (b.busy || b.quarantined || !b.routed || !b.queue.empty() ||
+      !b.inflight.empty() || b.lowered_pending != 0 || b.session == nullptr ||
+      !b.session->in_sync()) {
     return false;
   }
   auto [board, route] = b.session->release();
@@ -218,6 +378,22 @@ std::size_t RoutingService::evict_idle() {
   return evicted;
 }
 
+bool RoutingService::resurrect(const BoardId& id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Board& b = board_at(id);
+  if (!b.quarantined) return false;
+  b.quarantined = false;
+  ++b.stats.resurrections;
+  if (!b.routed) {
+    // Quarantined during the initial route: the pristine session is still
+    // alive — reschedule the route it never completed.
+    b.busy = true;
+    schedule_locked(id);
+  }
+  // A routed board thaws from its last-good snapshot on the next submit.
+  return true;
+}
+
 const layout::Layout& RoutingService::board_layout(const BoardId& id) const {
   std::lock_guard<std::mutex> lk(mu_);
   const Board& b = idle_board_at(id);
@@ -232,7 +408,18 @@ const pipeline::BoardRoute& RoutingService::board_route(const BoardId& id) const
 
 bool RoutingService::is_evicted(const BoardId& id) const {
   std::lock_guard<std::mutex> lk(mu_);
-  return board_at(id).session == nullptr;
+  const Board& b = board_at(id);
+  return b.session == nullptr && !b.quarantined;
+}
+
+bool RoutingService::is_quarantined(const BoardId& id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return board_at(id).quarantined;
+}
+
+bool RoutingService::is_routed(const BoardId& id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return board_at(id).routed;
 }
 
 std::size_t RoutingService::queue_depth(const BoardId& id) const {
@@ -267,6 +454,13 @@ ServiceTotals RoutingService::totals() const {
     t.evictions += s.evictions;
     t.thaws += s.thaws;
     t.queued_while_frozen += s.queued_while_frozen;
+    t.retries += s.retries;
+    t.timeouts += s.timeouts;
+    t.injected_faults += s.injected_faults;
+    t.quarantines += s.quarantines;
+    t.resurrections += s.resurrections;
+    t.shed += s.shed;
+    t.dropped_edits += s.dropped_edits;
   }
   return t;
 }

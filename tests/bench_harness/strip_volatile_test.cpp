@@ -98,5 +98,35 @@ TEST(StripVolatile, ServiceSectionIsVolatile) {
   EXPECT_NE(stripped.find("groups"), nullptr);
 }
 
+TEST(StripVolatile, FaultStormSectionIsVolatile) {
+  // Fault-storm payloads are retry/timeout/backoff counters and replay
+  // timings; the dropped-vs-shed split even depends on dispatch timing.
+  // The hard gates (end-state equivalence, fault gates) are enforced by
+  // bench_suite's exit code, not by document comparison — strip it whole.
+  Json doc = Json::object();
+  doc["schema"] = "test";
+  Json storm = Json::object();
+  storm["name"] = "fault_storm/quarantine-4x4";
+  storm["kind"] = "quarantine";
+  storm["all_ok"] = true;
+  Json point = Json::object();
+  point["threads"] = 4;
+  point["retries"] = 4;
+  point["quarantines"] = 2;
+  point["backoff_virtual_s"] = 0.07;
+  Json points = Json::array();
+  points.push_back(std::move(point));
+  storm["points"] = std::move(points);
+  Json section = Json::array();
+  section.push_back(std::move(storm));
+  doc["fault_storm"] = std::move(section);
+  doc["groups"] = 7;
+
+  const Json stripped = strip_volatile(doc);
+  EXPECT_EQ(stripped.find("fault_storm"), nullptr);
+  EXPECT_NE(stripped.find("schema"), nullptr);
+  EXPECT_NE(stripped.find("groups"), nullptr);
+}
+
 }  // namespace
 }  // namespace lmr::bench

@@ -1,0 +1,148 @@
+/// FaultPlan / CancelToken unit tests: the deterministic fault plane the
+/// serving-tier storms are built on. Occurrence windows, prefix matching,
+/// delay fall-through, counter observability under concurrent visits, and
+/// the cancellation token's cancel/deadline/parent-chain semantics.
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/cancel.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace lmr::fault {
+namespace {
+
+TEST(FaultPlan, FiresExactlyOnTheOccurrenceWindow) {
+  FaultPlan plan;
+  plan.add({"extend:b0/g0/m0", /*nth=*/2, /*count=*/2});
+
+  EXPECT_NO_THROW(plan.at_site("extend:b0/g0/m0"));  // occurrence 1
+  EXPECT_THROW(plan.at_site("extend:b0/g0/m0"), InjectedFault);   // 2
+  EXPECT_THROW(plan.at_site("extend:b0/g0/m0"), InjectedFault);   // 3
+  EXPECT_NO_THROW(plan.at_site("extend:b0/g0/m0"));  // 4: window spent
+  EXPECT_EQ(plan.hits(0), 4u);
+  EXPECT_EQ(plan.fires(0), 2u);
+  EXPECT_EQ(plan.total_fires(), 2u);
+}
+
+TEST(FaultPlan, NonMatchingSitesDoNotCount) {
+  FaultPlan plan;
+  plan.add({"sweep:b0/g1", /*nth=*/1, /*count=*/1});
+  EXPECT_NO_THROW(plan.at_site("sweep:b0/g0"));
+  EXPECT_NO_THROW(plan.at_site("extend:b0/g1/m0"));
+  EXPECT_EQ(plan.hits(0), 0u);
+  EXPECT_THROW(plan.at_site("sweep:b0/g1"), InjectedFault);
+}
+
+TEST(FaultPlan, PrefixWildcardMatchesEverySiteUnderIt) {
+  FaultPlan plan;
+  plan.add({"session:apply:*", /*nth=*/1, /*count=*/2});
+  EXPECT_THROW(plan.at_site("session:apply:boardA"), InjectedFault);
+  EXPECT_THROW(plan.at_site("session:apply:boardB"), InjectedFault);
+  EXPECT_NO_THROW(plan.at_site("session:apply:boardA"));
+  EXPECT_EQ(plan.hits(0), 3u);
+  EXPECT_EQ(plan.fires(0), 2u);
+}
+
+TEST(FaultPlan, InjectedFaultCarriesSiteAndOccurrence) {
+  FaultPlan plan;
+  plan.add({"extend:b7/g2/m1", /*nth=*/3, /*count=*/1});
+  plan.at_site("extend:b7/g2/m1");
+  plan.at_site("extend:b7/g2/m1");
+  try {
+    plan.at_site("extend:b7/g2/m1");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.site(), "extend:b7/g2/m1");
+    EXPECT_EQ(e.occurrence(), 3u);
+    EXPECT_NE(std::string(e.what()).find("extend:b7/g2/m1"), std::string::npos);
+  }
+}
+
+TEST(FaultPlan, DelayRuleStallsAndFallsThrough) {
+  FaultPlan plan;
+  plan.add({"sweep:b0/g0", /*nth=*/1, /*count=*/1, FaultAction::Delay,
+            /*delay_s=*/0.002});
+  // A delay fires (counted) but does not abort the stage.
+  EXPECT_NO_THROW(plan.at_site("sweep:b0/g0"));
+  EXPECT_EQ(plan.fires(0), 1u);
+}
+
+TEST(FaultPlan, SiteKeyBuildersComposeTheDocumentedShapes) {
+  EXPECT_EQ(extend_site("board-3", 2, 5), "extend:board-3/g2/m5");
+  EXPECT_EQ(sweep_site("board-3", 7), "sweep:board-3/g7");
+  EXPECT_EQ(apply_site("board-3"), "session:apply:board-3");
+}
+
+TEST(FaultPlan, ConcurrentVisitsNeverLoseCounts) {
+  // Many threads hammering two sites; the windows land on exact totals
+  // because the counters are atomic (which threads *observe* the fires is
+  // scheduling, but the counts are not).
+  FaultPlan plan;
+  plan.add({"extend:race/g0/m0", /*nth=*/50, /*count=*/10});
+  constexpr int kThreads = 8;
+  constexpr int kVisitsPerThread = 100;
+  std::atomic<int> faults{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&plan, &faults] {
+      for (int i = 0; i < kVisitsPerThread; ++i) {
+        try {
+          plan.at_site("extend:race/g0/m0");
+        } catch (const InjectedFault&) {
+          faults.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(plan.hits(0), static_cast<std::uint64_t>(kThreads * kVisitsPerThread));
+  EXPECT_EQ(plan.fires(0), 10u);
+  EXPECT_EQ(faults.load(), 10);
+}
+
+TEST(CancelToken, EmptyTokenIsFreeAndNeverFires) {
+  const CancelToken token;
+  EXPECT_FALSE(token.armed());
+  EXPECT_FALSE(token.expired());
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(CancelToken, CancelFiresRouteCancelled) {
+  const CancelToken token = CancelToken::source();
+  EXPECT_TRUE(token.armed());
+  EXPECT_NO_THROW(token.check());
+  token.cancel();
+  EXPECT_TRUE(token.expired());
+  EXPECT_THROW(token.check(), RouteCancelled);
+}
+
+TEST(CancelToken, ZeroDeadlineExpiresImmediatelyWithBudgetInMessage) {
+  const CancelToken token = CancelToken{}.with_deadline(0.0);
+  EXPECT_TRUE(token.armed());
+  try {
+    token.check();
+    FAIL() << "expected RouteTimeout";
+  } catch (const RouteTimeout& e) {
+    EXPECT_EQ(e.budget_s(), 0.0);
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+}
+
+TEST(CancelToken, DeadlineChildStillHonoursParentCancel) {
+  const CancelToken parent = CancelToken::source();
+  const CancelToken child = parent.with_deadline(3600.0);  // far future
+  EXPECT_NO_THROW(child.check());
+  parent.cancel();
+  EXPECT_TRUE(child.expired());
+  EXPECT_THROW(child.check(), RouteCancelled);
+}
+
+}  // namespace
+}  // namespace lmr::fault

@@ -10,6 +10,8 @@
 /// route in flight, and routing never bumps the board version.
 
 #include <atomic>
+#include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <thread>
@@ -18,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault_plan.hpp"
 #include "layout/board_edit.hpp"
 #include "pipeline/session.hpp"
 #include "scenario/edit_storm.hpp"
@@ -367,6 +370,106 @@ TEST(Reroute, BoardEditsCannotInterleaveWithARouteInFlight) {
   (void)sc.layout.add_obstacle(
       {geom::Polygon::rect({{1.0, 1.0}, {1.5, 1.5}}), "post-route"});
   EXPECT_EQ(sc.layout.obstacle_count(), obstacles + 1);
+}
+
+TEST(Session, MidBatchApplyFaultKeepsThePrefixContract) {
+  // Lowering of the second edit in a batch of three dies (injected
+  // session:apply fault). The prefix contract: exactly one edit lowered
+  // AND committed (the session reroutes the prefix before rethrowing),
+  // last_partial_outcome's offsets/version bracket match that prefix, the
+  // session stays in sync, and its state equals a fresh route of the
+  // one-edit board. The batch's survivors then replay to the full state.
+  const scenario::EditStormCase c = scenario::edit_storm_cases(true).at(0);
+  scenario::EditStorm storm = scenario::materialize_storm(c);
+  ASSERT_GE(storm.edits.size(), 3u);
+  RouterOptions opts = storm_options(storm.scenario, DrcSchedule::Overlapped, 1);
+  opts.fault_scope = "sess";
+  opts.fault_plan = std::make_shared<fault::FaultPlan>();
+  opts.fault_plan->add({fault::apply_site("sess"), /*nth=*/2, /*count=*/1});
+
+  Session session(storm.scenario.rules, opts, storm.scenario.layout);
+  session.route();
+  const std::uint64_t v0 = session.version();
+
+  const std::span<const layout::BoardEdit> batch(storm.edits.data(), 3);
+  EXPECT_THROW((void)session.apply(batch), fault::InjectedFault);
+
+  const std::optional<ApplyOutcome>& part = session.last_partial_outcome();
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(part->edit_offsets.size(), 2u);  // one edit lowered
+  EXPECT_EQ(part->version_before, v0);
+  EXPECT_EQ(part->version_after, session.version());
+  EXPECT_EQ(part->version_after - part->version_before, part->deltas.size());
+  EXPECT_TRUE(session.in_sync()) << "prefix reroute must have committed";
+
+  scenario::Scenario prefix = scenario::materialize(c.base);
+  layout::apply_edit(prefix.layout, storm.edits.at(0));
+  const Router router(prefix.rules,
+                      storm_options(prefix, DrcSchedule::Overlapped, 1));
+  const BoardRoute prefix_route = router.route_board(prefix.layout);
+  std::string why;
+  EXPECT_TRUE(routes_equivalent(session.layout(), session.route_state(),
+                                prefix.layout, prefix_route, &why))
+      << why;
+
+  // Window spent: replaying the rest converges to the full edited board,
+  // and the success clears the partial record.
+  (void)session.apply(std::span<const layout::BoardEdit>(storm.edits.data() + 1, 2));
+  EXPECT_FALSE(session.last_partial_outcome().has_value());
+  scenario::Scenario full = scenario::materialize(c.base);
+  for (std::size_t k = 0; k < 3; ++k) layout::apply_edit(full.layout, storm.edits.at(k));
+  const BoardRoute full_route = router.route_board(full.layout);
+  EXPECT_TRUE(routes_equivalent(session.layout(), session.route_state(),
+                                full.layout, full_route, &why))
+      << why;
+}
+
+TEST(Session, RerouteFaultLeavesSessionOutOfSyncAndResyncHeals) {
+  // The other failure phase: the edit lowers fine but the *reroute* dies
+  // (first extend site visited after the initial route). The deltas are
+  // journaled, the Router's rollback restored the geometry, so the session
+  // reports out-of-sync — and resync() must converge it to the fresh
+  // oracle without re-lowering anything.
+  const scenario::EditStormCase c = scenario::edit_storm_cases(true).at(0);
+  scenario::EditStorm storm = scenario::materialize_storm(c);
+  RouterOptions opts = storm_options(storm.scenario, DrcSchedule::Overlapped, 1);
+
+  // Count the members the initial route extends: the fault window starts
+  // right after them, so the reroute's first member extension dies.
+  std::size_t members = 0;
+  for (const layout::MatchGroup& g : storm.scenario.layout.groups()) {
+    members += g.members.size();
+  }
+  opts.fault_scope = "sess";
+  opts.fault_plan = std::make_shared<fault::FaultPlan>();
+  opts.fault_plan->add({"extend:sess/*", /*nth=*/members + 1, /*count=*/1});
+
+  Session session(storm.scenario.rules, opts, storm.scenario.layout);
+  session.route();
+  const std::uint64_t v0 = session.version();
+
+  EXPECT_THROW((void)session.apply(storm.edits.at(0)), fault::InjectedFault);
+  const std::optional<ApplyOutcome>& part = session.last_partial_outcome();
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ(part->edit_offsets.size(), 2u);  // the edit *did* lower
+  EXPECT_FALSE(session.in_sync()) << "reroute failed: route must lag the journal";
+  EXPECT_GT(session.version(), v0);
+
+  const ApplyOutcome healed = session.resync();
+  EXPECT_TRUE(session.in_sync());
+  EXPECT_FALSE(session.last_partial_outcome().has_value());
+  EXPECT_EQ(healed.version_after, session.version());
+  EXPECT_FALSE(healed.rerouted_groups.empty());
+
+  scenario::Scenario fresh = scenario::materialize(c.base);
+  layout::apply_edit(fresh.layout, storm.edits.at(0));
+  const Router router(fresh.rules,
+                      storm_options(fresh, DrcSchedule::Overlapped, 1));
+  const BoardRoute full = router.route_board(fresh.layout);
+  std::string why;
+  EXPECT_TRUE(routes_equivalent(session.layout(), session.route_state(),
+                                fresh.layout, full, &why))
+      << why;
 }
 
 }  // namespace

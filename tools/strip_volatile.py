@@ -25,6 +25,7 @@ VOLATILE_KEYS = {
     "drc_overlap",
     "edit_storm",
     "service",
+    "fault_storm",
     "threads_used",
     "pool_policy",
 }
