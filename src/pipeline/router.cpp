@@ -267,8 +267,19 @@ std::vector<RouteResult> Router::route_all(layout::Layout& layout) const {
   const std::size_t n_groups = layout.groups().size();
   const std::size_t threads = exec::resolve_threads(options_.threads);
   std::vector<RouteResult> results(n_groups);
+  // Board-level rollback snapshot. Unconditional — not gated on an armed
+  // fault plan / cancel / deadline — because extension can throw with
+  // nothing armed (no routable area, a meander target below the current
+  // length, pair-restore misalignment): run() restores only the group that
+  // threw, and the strong guarantee callers rely on (Session retry and the
+  // service's drop-bad-edit recovery) covers earlier groups' write-backs
+  // too. Seed paths are short pre-extension geometry, so the copy is tiny
+  // next to routing itself; bench_micro_fault tracks the disarmed overhead.
   std::set<layout::TraceId> seen;
   std::vector<SavedPath> saved;
+  std::size_t n_members = 0;
+  for (std::size_t g = 0; g < n_groups; ++g) n_members += layout.groups()[g].members.size();
+  saved.reserve(n_members);
   for (std::size_t g = 0; g < n_groups; ++g) {
     for (const layout::GroupMember& m : layout.groups()[g].members) {
       save_path(layout, m.id, m.kind, seen, saved);
@@ -712,8 +723,18 @@ BoardRoute Router::reroute(layout::Layout& layout, const BoardRoute& prior,
   // Snapshot every member the seed-restore below or the group re-runs may
   // touch (the seed restore is itself a layout mutation): on failure the
   // caller gets its pre-call geometry back, not a half-restored mix.
+  // Unconditional even with no fault source armed — a bad edit can make a
+  // rerouted member throw from extension itself (see route_all) and the
+  // seed restore has already mutated the layout by then. Cost is bounded
+  // by the affected groups, i.e. the geometry being rerouted anyway.
   std::set<layout::TraceId> seen;
   std::vector<SavedPath> saved;
+  std::size_t n_save = 0;
+  for (const std::size_t g : next.rerouted_groups) {
+    if (g < prior.results.size()) n_save += prior.results[g].group.members.size();
+    n_save += layout.groups()[g].members.size();
+  }
+  saved.reserve(n_save);
   for (const std::size_t g : next.rerouted_groups) {
     if (g < prior.results.size()) {
       for (const MemberReport& m : prior.results[g].group.members) {

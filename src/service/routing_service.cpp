@@ -141,11 +141,16 @@ void RoutingService::quarantine_locked(Board& b, std::exception_ptr err) {
   b.queue.clear();
   b.lowered_pending = 0;
   b.attempts = 0;
-  if (b.routed) {
+  if (b.routed && b.last_good.has_value()) {
     // Revert to the last-good checkpoint: the live session may hold
     // journaled-but-unrouted deltas from the failed work item, so the
     // snapshot (not the session) becomes the board's serving state. A
-    // routed board always has one — it is refreshed on every success.
+    // routed board with a live session always has a checkpoint — it is
+    // refreshed on every success and replenished at thaw, so a
+    // resurrected board that fails again before any success still has
+    // one to revert to. The has_value() guard is defensive: if the
+    // invariant ever broke, keeping the current session/snapshot beats
+    // clobbering it with an empty optional.
     b.snapshot = std::move(b.last_good);
     b.last_good.reset();
     b.session.reset();
@@ -171,7 +176,12 @@ void RoutingService::pump(const BoardId& id) {
     if (b->session == nullptr) {
       // Thaw-on-next-edit: rebuild the Session from the snapshot. Done
       // under the lock so the `session` pointer never changes while
-      // another thread may probe it.
+      // another thread may probe it. The snapshot also replenishes the
+      // last-good checkpoint before being consumed: a routed board with a
+      // live session must always hold one, or a quarantine that strikes
+      // before the next success (a resurrected board failing straight
+      // through the ladder again) would have nothing to revert to.
+      b->last_good = *b->snapshot;
       BoardSnapshot snap = std::move(*b->snapshot);
       b->snapshot.reset();
       b->session = std::make_unique<pipeline::Session>(

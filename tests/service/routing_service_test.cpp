@@ -461,6 +461,79 @@ TEST(RoutingService, QuarantineRevertsToLastGoodAndResurrectReplays) {
       << why;
 }
 
+// Regression: a resurrected board that fails straight through the ladder
+// again — zero successful dispatches between the two quarantines — must
+// still hold its last-good checkpoint. The thaw replenishes it; before
+// that, the second quarantine moved an already-moved-from last_good and
+// the next state read dereferenced an empty optional.
+TEST(RoutingService, RequarantineAfterResurrectKeepsLastGoodSnapshot) {
+  const scenario::ServiceStormCase c = scenario::service_storm_cases(true).at(0);
+  scenario::ServiceStorm storm = scenario::materialize_service_storm(c);
+  const scenario::EditStorm& bs = storm.boards.at(0);
+  ASSERT_GE(bs.edits.size(), 2u);
+  const std::string id = bs.spec.name;
+
+  // Lowering of the second accepted edit fails on every rung of the ladder
+  // twice over (count == 2 * max_attempts): quarantine, resurrect, replay,
+  // quarantine again without a single success in between.
+  auto plan = std::make_shared<fault::FaultPlan>();
+  plan->add({fault::apply_site(id), /*nth=*/2, /*count=*/6});
+
+  ServiceOptions sopts;
+  sopts.threads = 1;
+  sopts.max_attempts = 3;
+  sopts.fault_plan = plan;
+  RoutingService svc(sopts);
+  svc.add_board(id, bs.scenario.rules,
+                storm_options(bs.scenario, pipeline::DrcSchedule::Overlapped),
+                bs.scenario.layout);
+  svc.drain();
+  svc.submit(id, bs.edits.at(0));
+  svc.drain();  // success: the last-good checkpoint is the board after edit 0
+
+  svc.submit(id, bs.edits.at(1));
+  EXPECT_THROW(svc.drain(), ServiceError);  // quarantine #1
+  ASSERT_TRUE(svc.resurrect(id));
+  EXPECT_TRUE(svc.submit(id, bs.edits.at(1)).accepted());
+  EXPECT_THROW(svc.drain(), ServiceError);  // quarantine #2
+
+  EXPECT_TRUE(svc.is_quarantined(id));
+  {
+    const BoardStats st = svc.stats(id);
+    EXPECT_EQ(st.quarantines, 2u);
+    EXPECT_EQ(st.thaws, 1u);
+    EXPECT_EQ(st.injected_faults, 6u);
+    EXPECT_EQ(st.dropped_edits, 2u);
+    EXPECT_EQ(st.applied, 1u);
+  }
+
+  // The serving state is still the after-edit-0 checkpoint.
+  scenario::Scenario prefix = scenario::materialize(bs.spec.base);
+  layout::apply_edit(prefix.layout, bs.edits.at(0));
+  const pipeline::Router router(
+      prefix.rules, storm_options(prefix, pipeline::DrcSchedule::Overlapped));
+  const pipeline::BoardRoute prefix_route = router.route_board(prefix.layout);
+  std::string why;
+  EXPECT_TRUE(pipeline::routes_equivalent(svc.board_layout(id), svc.board_route(id),
+                                          prefix.layout, prefix_route, &why))
+      << why;
+
+  // The rule's window is spent: the second resurrect's replay converges.
+  EXPECT_TRUE(svc.resurrect(id));
+  EXPECT_TRUE(svc.submit(id, bs.edits.at(1)).accepted());
+  EXPECT_NO_THROW(svc.drain());
+  EXPECT_EQ(svc.stats(id).resurrections, 2u);
+  EXPECT_EQ(svc.stats(id).thaws, 2u);
+
+  scenario::Scenario f = scenario::materialize(bs.spec.base);
+  layout::apply_edit(f.layout, bs.edits.at(0));
+  layout::apply_edit(f.layout, bs.edits.at(1));
+  const pipeline::BoardRoute full = router.route_board(f.layout);
+  EXPECT_TRUE(pipeline::routes_equivalent(svc.board_layout(id), svc.board_route(id),
+                                          f.layout, full, &why))
+      << why;
+}
+
 TEST(RoutingService, InitialRouteFaultQuarantinesAndResurrectRecovers) {
   const scenario::ServiceStormCase c = scenario::service_storm_cases(true).at(0);
   scenario::ServiceStorm storm = scenario::materialize_service_storm(c);
