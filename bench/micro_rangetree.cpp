@@ -1,12 +1,17 @@
 /// \file micro_rangetree.cpp
-/// Microbenchmark for the range tree of §IV-D: O(N log N) build and
-/// O(log^2 N + k) window queries, the accelerator behind Alg. 2's P_check.
+/// Microbenchmarks for the two clearance broadphases: the range tree of
+/// §IV-D (O(N log N) build, O(log^2 N + k) window queries — Alg. 2's
+/// P_check accelerator) and the uniform segment grid (O(1) insert/remove,
+/// O(cells + k) window visits) that replaces it on dense boards. The
+/// backend-captured ClearanceSweep trio is the head-to-head: the same board
+/// swept cold / warm / one-dirty under each forced backend.
 
 #include <benchmark/benchmark.h>
 
 #include <random>
 
 #include "index/range_tree.hpp"
+#include "index/seg_grid.hpp"
 #include "layout/clearance_index.hpp"
 
 namespace {
@@ -20,6 +25,21 @@ std::vector<lmr::index::RangeTree2D::Entry> random_entries(std::size_t n) {
     entries.push_back({{u(rng), u(rng)}, i});
   }
   return entries;
+}
+
+/// Short random segments in the same 1000x1000 arena the point entries use
+/// (10-30 long: the scale of one meander leg against a ~20 cell).
+std::vector<lmr::geom::Segment> random_segments(std::size_t n) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> u(0.0, 970.0);
+  std::uniform_real_distribution<double> d(10.0, 30.0);
+  std::vector<lmr::geom::Segment> segs;
+  segs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const lmr::geom::Point a{u(rng), u(rng)};
+    segs.push_back({a, {a.x + d(rng), a.y + d(rng)}});
+  }
+  return segs;
 }
 
 void BM_RangeTreeBuild(benchmark::State& state) {
@@ -53,16 +73,56 @@ BENCHMARK(BM_RangeTreeQuerySmallWindow)
     ->Range(256, 65536)
     ->Complexity();
 
-/// ClearanceIndex sweep cache: a board of parallel traces, swept repeatedly.
-/// Three regimes — cold (every sweep re-indexes everything, the pre-cache
-/// behaviour), warm (nothing changed; cached violations returned verbatim),
-/// and one-dirty (a single trace re-inserted per sweep; only its overlay
-/// tree is rebuilt).
+void BM_SegGridBuild(benchmark::State& state) {
+  const auto segs = random_segments(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    lmr::index::SegGrid grid(20.0);
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      grid.insert(segs[i], static_cast<std::uint64_t>(i));
+    }
+    benchmark::DoNotOptimize(grid.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SegGridBuild)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+
+void BM_SegGridQuerySmallWindow(benchmark::State& state) {
+  const auto segs = random_segments(static_cast<std::size_t>(state.range(0)));
+  lmr::index::SegGrid grid(20.0);
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    grid.insert(segs[i], static_cast<std::uint64_t>(i));
+  }
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(0.0, 980.0);
+  for (auto _ : state) {
+    const double x = u(rng), y = u(rng);
+    std::size_t count = 0;
+    grid.visit({{x, y}, {x + 20.0, y + 20.0}}, [&](const auto&) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SegGridQuerySmallWindow)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity();
+
+/// ClearanceIndex sweep cache: a board of parallel traces, swept repeatedly
+/// under a forced broadphase backend. Three regimes — cold (every sweep
+/// re-indexes everything, the pre-cache behaviour), warm (nothing changed;
+/// cached violations returned verbatim), and one-dirty (a single trace
+/// re-inserted per sweep; the tree rebuilds one overlay, the grid re-registers
+/// one slot's segments). The 16/256/4096 sizes bracket the Auto flip point
+/// (ClearanceIndex::kGridAutoSlots = 64).
 struct SweepFixture {
   lmr::drc::DesignRules rules;
   std::vector<lmr::layout::Trace> traces;
+  lmr::layout::ClearanceBackend backend;
 
-  explicit SweepFixture(std::size_t n) {
+  SweepFixture(std::size_t n, lmr::layout::ClearanceBackend b) : backend(b) {
     rules.gap = 1.0;
     traces.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -75,7 +135,7 @@ struct SweepFixture {
   }
 
   [[nodiscard]] lmr::layout::ClearanceIndex make_index() const {
-    lmr::layout::ClearanceIndex index(rules);
+    lmr::layout::ClearanceIndex index(rules, {}, backend);
     for (std::size_t i = 0; i < traces.size(); ++i) {
       index.add_slot(traces[i].width, static_cast<std::uint32_t>(i));
     }
@@ -86,20 +146,29 @@ struct SweepFixture {
   }
 };
 
-void BM_ClearanceSweepCold(benchmark::State& state) {
-  const SweepFixture fx(static_cast<std::size_t>(state.range(0)));
+void BM_ClearanceSweepCold(benchmark::State& state,
+                           lmr::layout::ClearanceBackend backend) {
+  const SweepFixture fx(static_cast<std::size_t>(state.range(0)), backend);
   for (auto _ : state) {
-    // Re-inserting every slot dirties them all, forcing a full tree rebuild
-    // — equivalent to the pre-cache sweep() cost.
+    // Re-inserting every slot dirties them all, forcing a full broadphase
+    // rebuild — equivalent to the pre-cache sweep() cost.
     auto index = fx.make_index();
     benchmark::DoNotOptimize(index.sweep().size());
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_ClearanceSweepCold)->RangeMultiplier(4)->Range(16, 256)->Complexity();
+BENCHMARK_CAPTURE(BM_ClearanceSweepCold, tree, lmr::layout::ClearanceBackend::RangeTree)
+    ->RangeMultiplier(16)
+    ->Range(16, 4096)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_ClearanceSweepCold, grid, lmr::layout::ClearanceBackend::Grid)
+    ->RangeMultiplier(16)
+    ->Range(16, 4096)
+    ->Complexity();
 
-void BM_ClearanceSweepWarm(benchmark::State& state) {
-  const SweepFixture fx(static_cast<std::size_t>(state.range(0)));
+void BM_ClearanceSweepWarm(benchmark::State& state,
+                           lmr::layout::ClearanceBackend backend) {
+  const SweepFixture fx(static_cast<std::size_t>(state.range(0)), backend);
   auto index = fx.make_index();
   benchmark::DoNotOptimize(index.sweep().size());
   for (auto _ : state) {
@@ -107,10 +176,18 @@ void BM_ClearanceSweepWarm(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_ClearanceSweepWarm)->RangeMultiplier(4)->Range(16, 256)->Complexity();
+BENCHMARK_CAPTURE(BM_ClearanceSweepWarm, tree, lmr::layout::ClearanceBackend::RangeTree)
+    ->RangeMultiplier(16)
+    ->Range(16, 4096)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_ClearanceSweepWarm, grid, lmr::layout::ClearanceBackend::Grid)
+    ->RangeMultiplier(16)
+    ->Range(16, 4096)
+    ->Complexity();
 
-void BM_ClearanceSweepOneDirty(benchmark::State& state) {
-  const SweepFixture fx(static_cast<std::size_t>(state.range(0)));
+void BM_ClearanceSweepOneDirty(benchmark::State& state,
+                               lmr::layout::ClearanceBackend backend) {
+  const SweepFixture fx(static_cast<std::size_t>(state.range(0)), backend);
   auto index = fx.make_index();
   benchmark::DoNotOptimize(index.sweep().size());
   for (auto _ : state) {
@@ -119,9 +196,14 @@ void BM_ClearanceSweepOneDirty(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_ClearanceSweepOneDirty)
-    ->RangeMultiplier(4)
-    ->Range(16, 256)
+BENCHMARK_CAPTURE(BM_ClearanceSweepOneDirty, tree,
+                  lmr::layout::ClearanceBackend::RangeTree)
+    ->RangeMultiplier(16)
+    ->Range(16, 4096)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_ClearanceSweepOneDirty, grid, lmr::layout::ClearanceBackend::Grid)
+    ->RangeMultiplier(16)
+    ->Range(16, 4096)
     ->Complexity();
 
 }  // namespace

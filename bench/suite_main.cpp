@@ -7,8 +7,10 @@
 ///
 /// Exit code 0 when every case is ok (matched where expected, DRC-clean).
 /// `--scaling` additionally sweeps thread counts over the parallelism
-/// workloads (`large_group`, `multi_group`) and attaches the speedup curve
-/// to the result document under `"scaling"` (volatile: timing-only);
+/// workloads (`large_group`, `multi_group`, `mega_board`) and attaches the
+/// speedup curve to the result document under `"scaling"` (volatile:
+/// timing-only), then diffs the forced range-tree clearance backend against
+/// the forced uniform grid on the dense families under `"backend"`;
 /// `--drc-overlap` diffs the staged extend/DRC pipeline against the legacy
 /// barrier schedule on the same families under `"drc_overlap"`;
 /// `--edit-storm` replays the seeded edit scripts on live sessions under
@@ -45,8 +47,9 @@ void usage(const char* argv0) {
       "  --family NAME  run only this family (repeatable; default all)\n"
       "  --threads N    pool parallelism across cases/groups/members (0 = hardware)\n"
       "  --no-drc       skip the final oracle sweep\n"
-      "  --scaling      also sweep thread counts on large_group/multi_group and\n"
-      "                 attach the speedup curve to the results file\n"
+      "  --scaling      also sweep thread counts on large_group/multi_group/\n"
+      "                 mega_board (speedup curve) and diff the range-tree vs\n"
+      "                 uniform-grid clearance backends on the dense families\n"
       "  --drc-overlap  also diff the overlapped extend/DRC pipeline against the\n"
       "                 barrier schedule on large_group/multi_group\n"
       "  --edit-storm   also replay seeded edit scripts on live sessions; fails\n"
@@ -149,7 +152,8 @@ int main(int argc, char** argv) {
     const std::vector<std::size_t> counts = lmr::bench::Suite::default_scaling_threads();
     std::vector<lmr::bench::ScalingCurve> curves;
     try {
-      curves = lmr::bench::Suite::run_scaling(opts, {"large_group", "multi_group"}, counts);
+      curves = lmr::bench::Suite::run_scaling(
+          opts, {"large_group", "multi_group", "mega_board"}, counts);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "scaling sweep failed: %s\n", e.what());
       return 2;
@@ -163,6 +167,22 @@ int main(int argc, char** argv) {
       }
     }
     doc["scaling"] = lmr::bench::Suite::scaling_json(curves);
+
+    std::vector<lmr::bench::BackendComparison> backends;
+    try {
+      backends = lmr::bench::Suite::run_backend_compare(
+          opts, {"mega_board", "large_group"});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "backend sweep failed: %s\n", e.what());
+      return 2;
+    }
+    std::printf("\nclearance backend sweep (board-level sweep, tree vs grid):\n");
+    std::printf("%-16s %-12s %-12s %-8s\n", "family", "tree[s]", "grid[s]", "speedup");
+    for (const lmr::bench::BackendComparison& c : backends) {
+      std::printf("%-16s %-12.3f %-12.3f %-8.2f\n", c.family.c_str(),
+                  c.range_tree_sweep_s, c.grid_sweep_s, c.speedup);
+    }
+    doc["backend"] = lmr::bench::Suite::backend_json(backends);
   }
 
   if (drc_overlap) {

@@ -67,7 +67,8 @@ Json strip_volatile(const Json& doc) {
     Json out = Json::object();
     for (const auto& [key, value] : doc.members()) {
       if (key == "run" || key == "scaling" || key == "drc_overlap" ||
-          key == "edit_storm" || key == "service" || key == "fault_storm") {
+          key == "backend" || key == "edit_storm" || key == "service" ||
+          key == "fault_storm") {
         continue;
       }
       if (key == "threads_used" || key == "pool_policy") continue;

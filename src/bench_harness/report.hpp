@@ -8,8 +8,8 @@
 ///    object (host, OS, compiler, thread count, timestamp);
 ///  * every volatile measurement key ends in `"_s"` (seconds);
 ///  * parallelism context (`threads_used`, `pool_policy`) and the
-///    timing-only `"scaling"` / `"drc_overlap"` / `"edit_storm"` /
-///    `"service"` sweep sections are volatile wherever they appear: routed
+///    timing-only `"scaling"` / `"drc_overlap"` / `"backend"` /
+///    `"edit_storm"` / `"service"` sweep sections are volatile wherever they appear: routed
 ///    metrics are thread-count- and schedule-invariant by construction, so
 ///    the executor configuration must never change the stripped bytes.
 /// `strip_volatile` removes exactly those, so two runs with the same seeds
@@ -39,7 +39,8 @@ struct RunInfo {
 [[nodiscard]] Json run_info_json(const RunInfo& info);
 
 /// Deep copy with the volatile members removed — the `"run"` object, the
-/// `"scaling"`, `"drc_overlap"`, `"edit_storm"` and `"service"` sections,
+/// `"scaling"`, `"drc_overlap"`, `"backend"`, `"edit_storm"` and
+/// `"service"` sections,
 /// `threads_used`/`pool_policy`,
 /// and every `*_s`-suffixed key — the deterministic view of a result
 /// document. `tools/strip_volatile.py` is the script-side twin; a unit test

@@ -30,6 +30,7 @@
 
 #include "drc/rules.hpp"
 #include "dtw/msdtw.hpp"
+#include "layout/drc_checker.hpp"
 #include "layout/layout.hpp"
 #include "layout/routable_area.hpp"
 #include "layout/trace.hpp"
@@ -120,5 +121,15 @@ struct RestoreSpec {
 double compensate_skew(layout::DiffPair& pair, const drc::DesignRules& sub_rules,
                        const layout::RoutableArea* area = nullptr,
                        const std::vector<layout::Obstacle>* obstacles = nullptr);
+
+/// Tile-aware variant: obstacle clearance goes through the selector, which
+/// serves the tile-local obstacle subset when the spliced candidate stays
+/// inside the tile's coverage and transparently falls back to the full board
+/// list when the hat pokes past it — verdicts (and therefore host choice)
+/// are independent of how the board was tiled. Null behaves like the
+/// obstacle-less overload.
+double compensate_skew(layout::DiffPair& pair, const drc::DesignRules& sub_rules,
+                       const layout::RoutableArea* area,
+                       const layout::ObstacleSelector* obstacles);
 
 }  // namespace lmr::dtw

@@ -7,8 +7,9 @@
 
 namespace lmr::layout {
 
-ClearanceIndex::ClearanceIndex(const drc::DesignRules& rules, DrcCheckOptions opts)
-    : rules_(rules), opts_(opts) {}
+ClearanceIndex::ClearanceIndex(const drc::DesignRules& rules, DrcCheckOptions opts,
+                               ClearanceBackend backend)
+    : rules_(rules), opts_(opts), backend_(backend) {}
 
 std::uint32_t ClearanceIndex::add_slot(double width, std::uint32_t net) {
   Slot s;
@@ -26,6 +27,11 @@ void ClearanceIndex::insert(std::uint32_t slot, const Trace& trace) {
   s.samples.clear();
   s.sample_seg.clear();
   ++slot_epoch_[slot];
+  // The grid backend stores whole segments straight from the trace at sweep
+  // time — no samples, making insert O(1). (If Auto later flips a tree-mode
+  // index to grid, the already-computed samples of earlier slots simply go
+  // unused.)
+  if (use_grid()) return;
   // Sample points along every segment. A segment within distance d of
   // another has a sample of it within d + pitch/2 of the closest approach,
   // so the sweep's query window inflated by gap_max + pitch/2 (+ tolerance)
@@ -125,6 +131,35 @@ void ClearanceIndex::refresh_cache() const {
             [](const Overlay& a, const Overlay& b) { return a.slot < b.slot; });
 }
 
+void ClearanceIndex::refresh_grid() const {
+  if (grid_built_epoch_.empty()) {
+    // First grid build: size cells to the worst-case interaction reach, so a
+    // query window (segment bbox + gap_max) spans O(1) cells for segments of
+    // typical (pattern-scale) length.
+    const double cell = std::max(rules_.effective_gap() + max_width_, rules_.protect);
+    grid_.reset(cell);
+  }
+  if (grid_built_epoch_.size() != slots_.size()) {
+    grid_built_epoch_.resize(slots_.size(), 0);  // epoch 0 = never built
+    grid_ids_.resize(slots_.size());
+  }
+  for (std::uint32_t t = 0; t < slots_.size(); ++t) {
+    if (slot_epoch_[t] == grid_built_epoch_[t]) continue;
+    for (const std::uint32_t id : grid_ids_[t]) grid_.remove(id);
+    grid_ids_[t].clear();
+    const Slot& s = slots_[t];
+    if (s.trace != nullptr) {
+      const geom::Polyline& path = s.trace->path;
+      grid_ids_[t].reserve(path.segment_count());
+      for (std::uint32_t seg_idx = 0; seg_idx < path.segment_count(); ++seg_idx) {
+        const std::uint64_t payload = (static_cast<std::uint64_t>(t) << 32) | seg_idx;
+        grid_ids_[t].push_back(grid_.insert(path.segment(seg_idx), payload));
+      }
+    }
+    grid_built_epoch_[t] = slot_epoch_[t];
+  }
+}
+
 std::vector<Violation> ClearanceIndex::sweep() const {
   // Nothing changed since the last sweep: the cached violations are exact.
   if (slot_epoch_ == result_epochs_) return result_;
@@ -137,10 +172,14 @@ std::vector<Violation> ClearanceIndex::sweep() const {
     return result_;
   }
 
-  refresh_cache();
+  const bool grid = use_grid();
+  if (grid) {
+    refresh_grid();
+  } else {
+    refresh_cache();
+  }
 
   const double gap_max = rules_.gap + max_width_;
-  const double pitch = std::max(gap_max, rules_.protect);
 
   // Collect candidate pairs: each segment window-queries the main tree and
   // every higher-slot overlay; the pair is keyed on the lower slot index so
@@ -160,29 +199,54 @@ std::vector<Violation> ClearanceIndex::sweep() const {
     }
   };
   std::vector<Candidate> candidates;
-  const double inflate = gap_max + pitch / 2.0 + opts_.tolerance + 1e-9;
-  for (std::uint32_t t = 0; t < slots_.size(); ++t) {
-    const Slot& s = slots_[t];
-    if (s.trace == nullptr) continue;
-    const geom::Polyline& path = s.trace->path;
-    for (std::uint32_t seg_idx = 0; seg_idx < path.segment_count(); ++seg_idx) {
-      const geom::Box window = path.segment(seg_idx).bbox().inflated(inflate);
-      cache_tree_.visit(window, [&](const index::RangeTree2D::Entry& e) {
-        const SegRef& other = cache_segs_[e.payload];
-        // Same slot or same net: not a cross check. The lower slot owns the
-        // pair (they see each other's windows symmetrically).
-        if (other.slot <= t) return true;
-        if (slot_epoch_[other.slot] != cache_built_epoch_[other.slot]) return true;
-        if (slots_[other.slot].net == s.net) return true;
-        candidates.push_back({t, other.slot, seg_idx, other.seg});
-        return true;
-      });
-      for (const Overlay& ov : overlays_) {
-        if (ov.slot <= t || slots_[ov.slot].net == s.net) continue;
-        ov.tree.visit(window, [&](const index::RangeTree2D::Entry& e) {
-          candidates.push_back({t, ov.slot, seg_idx, e.payload});
+  if (grid) {
+    // The grid stores whole segments, so the window needs no pitch slack:
+    // if two segments are closer than gap (<= gap_max), the other segment
+    // itself has a point inside this one's bbox inflated by gap_max.
+    const double inflate = gap_max + opts_.tolerance + 1e-9;
+    for (std::uint32_t t = 0; t < slots_.size(); ++t) {
+      const Slot& s = slots_[t];
+      if (s.trace == nullptr) continue;
+      const geom::Polyline& path = s.trace->path;
+      const std::uint64_t floor = (static_cast<std::uint64_t>(t) + 1) << 32;
+      for (std::uint32_t seg_idx = 0; seg_idx < path.segment_count(); ++seg_idx) {
+        const geom::Box window = path.segment(seg_idx).bbox().inflated(inflate);
+        grid_.visit_above(window, floor, [&](const index::SegGrid::Entry& e) {
+          // payload floor already guarantees other.slot > t.
+          const auto slot_b = static_cast<std::uint32_t>(e.payload >> 32);
+          if (slots_[slot_b].net == s.net) return true;
+          candidates.push_back(
+              {t, slot_b, seg_idx, static_cast<std::uint32_t>(e.payload & 0xffffffffu)});
           return true;
         });
+      }
+    }
+  } else {
+    const double pitch = std::max(gap_max, rules_.protect);
+    const double inflate = gap_max + pitch / 2.0 + opts_.tolerance + 1e-9;
+    for (std::uint32_t t = 0; t < slots_.size(); ++t) {
+      const Slot& s = slots_[t];
+      if (s.trace == nullptr) continue;
+      const geom::Polyline& path = s.trace->path;
+      for (std::uint32_t seg_idx = 0; seg_idx < path.segment_count(); ++seg_idx) {
+        const geom::Box window = path.segment(seg_idx).bbox().inflated(inflate);
+        cache_tree_.visit(window, [&](const index::RangeTree2D::Entry& e) {
+          const SegRef& other = cache_segs_[e.payload];
+          // Same slot or same net: not a cross check. The lower slot owns
+          // the pair (they see each other's windows symmetrically).
+          if (other.slot <= t) return true;
+          if (slot_epoch_[other.slot] != cache_built_epoch_[other.slot]) return true;
+          if (slots_[other.slot].net == s.net) return true;
+          candidates.push_back({t, other.slot, seg_idx, other.seg});
+          return true;
+        });
+        for (const Overlay& ov : overlays_) {
+          if (ov.slot <= t || slots_[ov.slot].net == s.net) continue;
+          ov.tree.visit(window, [&](const index::RangeTree2D::Entry& e) {
+            candidates.push_back({t, ov.slot, seg_idx, e.payload});
+            return true;
+          });
+        }
       }
     }
   }

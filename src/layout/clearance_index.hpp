@@ -42,10 +42,23 @@
 #include "drc/rules.hpp"
 #include "geom/vec2.hpp"
 #include "index/range_tree.hpp"
+#include "index/seg_grid.hpp"
 #include "layout/drc_checker.hpp"
 #include "layout/trace.hpp"
 
 namespace lmr::layout {
+
+/// Broadphase backing the candidate-collection pass of `sweep()`.
+///
+/// Both backends feed the same sorted/unique/exact-check funnel, so they
+/// produce bit-identical violations; they differ only in how candidates are
+/// found. `RangeTree` samples every trace into one range tree (cheap per
+/// query on small boards, O(n log n) rebuilds). `Grid` drops whole segments
+/// into a uniform segment-collider grid (no sampling at all — insert is
+/// O(1), updates are in-place per slot) and wins once boards carry hundreds
+/// of slots. `Auto` picks per index: grid when the index has declared at
+/// least `ClearanceIndex::kGridAutoSlots` slots, range tree below that.
+enum class ClearanceBackend : std::uint8_t { Auto, RangeTree, Grid };
 
 /// The incremental form of the cross-net clearance sweep. Not copyable (the
 /// cache is cheap to rebuild but pointless to duplicate) but movable, so
@@ -54,7 +67,14 @@ namespace lmr::layout {
 /// it can be rebuilt from `add_slot` up.
 class ClearanceIndex {
  public:
-  explicit ClearanceIndex(const drc::DesignRules& rules, DrcCheckOptions opts = {});
+  /// `Auto` flips to the grid backend at this many declared slots. Small
+  /// groups stay on the range tree (tiny trees, negligible rebuilds); a
+  /// board-wide index over a mega board crosses the threshold and gets the
+  /// O(1)-update grid.
+  static constexpr std::size_t kGridAutoSlots = 64;
+
+  explicit ClearanceIndex(const drc::DesignRules& rules, DrcCheckOptions opts = {},
+                          ClearanceBackend backend = ClearanceBackend::Auto);
 
   ClearanceIndex(const ClearanceIndex&) = delete;
   ClearanceIndex& operator=(const ClearanceIndex&) = delete;
@@ -96,6 +116,15 @@ class ClearanceIndex {
     return slots_.at(slot).trace != nullptr;
   }
 
+  /// The backend the next `sweep()` will use. For `Auto` this is a pure
+  /// function of the current slot count, so it can flip RangeTree -> Grid as
+  /// a session declares more slots (never back — slots are never undeclared);
+  /// the grid needs no samples, so a flip just means the next sweep rebuilds
+  /// its store from the traces' live segments.
+  [[nodiscard]] ClearanceBackend backend() const {
+    return use_grid() ? ClearanceBackend::Grid : ClearanceBackend::RangeTree;
+  }
+
  private:
   struct Slot {
     const Trace* trace = nullptr;  ///< null until insert() / after remove()
@@ -122,9 +151,18 @@ class ClearanceIndex {
 
   /// Bring the cached main tree + overlays up to date with the slot epochs.
   void refresh_cache() const;
+  /// Grid twin of refresh_cache(): re-inserts only the slots whose epoch
+  /// moved (O(segments of dirty slots), no overlays needed — the grid
+  /// updates in place).
+  void refresh_grid() const;
+  [[nodiscard]] bool use_grid() const {
+    if (backend_ != ClearanceBackend::Auto) return backend_ == ClearanceBackend::Grid;
+    return slots_.size() >= kGridAutoSlots;
+  }
 
   drc::DesignRules rules_;
   DrcCheckOptions opts_;
+  ClearanceBackend backend_ = ClearanceBackend::Auto;
   double max_width_ = 0.0;  ///< over declared widths; frozen by first insert
   std::vector<Slot> slots_;
   /// Per-slot mutation counter: bumped by insert()/remove(). Epoch
@@ -137,6 +175,10 @@ class ClearanceIndex {
   mutable std::vector<SegRef> cache_segs_;             ///< main payload -> (slot, seg)
   mutable std::vector<std::uint64_t> cache_built_epoch_;  ///< per slot, at build
   mutable std::vector<Overlay> overlays_;
+  // --- grid backend state (also only touched inside sweep()) ---
+  mutable index::SegGrid grid_;  ///< payload packs (slot << 32) | segment
+  mutable std::vector<std::vector<std::uint32_t>> grid_ids_;  ///< per slot: entry ids
+  mutable std::vector<std::uint64_t> grid_built_epoch_;       ///< per slot, at build
   mutable std::vector<Violation> result_;              ///< last sweep's output
   mutable std::vector<std::uint64_t> result_epochs_;   ///< epochs it was valid at
 };

@@ -114,18 +114,29 @@ std::vector<Violation> DrcChecker::check_trace(const Trace& t,
 std::vector<Violation> DrcChecker::check_obstacles(
     const Trace& t, const drc::DesignRules& rules,
     const std::vector<Obstacle>& obstacles) const {
+  std::vector<ObstacleRef> refs;
+  refs.reserve(obstacles.size());
+  for (std::size_t oi = 0; oi < obstacles.size(); ++oi) {
+    refs.push_back({&obstacles[oi], static_cast<std::uint32_t>(oi)});
+  }
+  return check_obstacles(t, rules, std::span<const ObstacleRef>(refs));
+}
+
+std::vector<Violation> DrcChecker::check_obstacles(
+    const Trace& t, const drc::DesignRules& rules,
+    std::span<const ObstacleRef> obstacles) const {
   std::vector<Violation> out;
   const double clear = rules.effective_obs();
-  for (std::size_t oi = 0; oi < obstacles.size(); ++oi) {
-    const geom::Polygon& poly = obstacles[oi].shape;
+  for (const ObstacleRef& ref : obstacles) {
+    const geom::Polygon& poly = ref.obstacle->shape;
     const geom::Box grown = poly.bbox().inflated(clear + opts_.tolerance);
     for (std::size_t i = 0; i < t.path.segment_count(); ++i) {
       const Segment s = t.path.segment(i);
       if (!grown.intersects(s.bbox())) continue;
       const double d = geom::dist_segment_polygon(s, poly);
       if (d + opts_.tolerance < clear) {
-        out.push_back({ViolationKind::ObstacleClearance, t.id, 0, i, oi, d, clear,
-                       "trace too close to obstacle " + obstacles[oi].name});
+        out.push_back({ViolationKind::ObstacleClearance, t.id, 0, i, ref.index, d,
+                       clear, "trace too close to obstacle " + ref.obstacle->name});
       }
     }
   }

@@ -157,6 +157,33 @@ Family table1(bool smoke) {
   return f;
 }
 
+Family mega_board(bool smoke) {
+  Family f;
+  f.name = "mega_board";
+  f.description =
+      "backplane-scale board: 1k+ nets across many groups in a dense via "
+      "field (tile-sharding + grid-broadphase workload)";
+  // 16 groups x 64 members = 1024 nets (full). 64 members puts each
+  // per-group clearance index exactly at ClearanceIndex::kGridAutoSlots, so
+  // the mega rows exercise the grid backend end to end; 16 groups gives the
+  // auto tile planner a 4-tile split. A modest target fraction keeps the
+  // per-member extension cheap — this family scales breadth, not meander
+  // depth. The band is taller than the default 5.0: with a low target
+  // fraction most members start straight, and in a 5-tall band the straight
+  // path's via keep-out (~1.9 each side) covers the whole placement window —
+  // 7.0 leaves free strips above and below so the via field actually gets
+  // dense.
+  ScenarioSpec s = base_spec(smoke ? "mega_board/256" : "mega_board/1k");
+  s.groups = smoke ? 8 : 16;
+  s.members_per_group = smoke ? 32 : 64;
+  s.vias_per_band = smoke ? 6 : 12;
+  s.band_height = 7.0;
+  s.corridor_length = smoke ? 48.0 : 80.0;
+  s.target_fraction = 1.1;
+  f.cases.push_back({s, 7901});
+  return f;
+}
+
 }  // namespace
 
 Scenario materialize(const FamilyCase& fc) {
@@ -191,9 +218,9 @@ ScenarioSpec saturated_corridor_spec() {
 }
 
 std::vector<Family> standard_families(bool smoke) {
-  return {multi_group(smoke),    large_group(smoke), mixed_se_diff(smoke),
+  return {multi_group(smoke),    large_group(smoke),    mixed_se_diff(smoke),
           pair_corridors(smoke), obstacle_sweep(smoke), any_direction(smoke),
-          saturated(smoke),      table1(smoke)};
+          saturated(smoke),      table1(smoke),         mega_board(smoke)};
 }
 
 std::vector<std::string> family_names() {

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "geom/distance.hpp"
+#include "index/seg_grid.hpp"
 #include "workload/synth.hpp"
 
 namespace lmr::scenario {
@@ -44,22 +45,42 @@ void sprinkle_vias(layout::Layout& l, layout::RoutableArea& area, std::mt19937_6
   const double clear = spec.rules.effective_obs() + r +
                        0.55 * spec.rules.effective_gap() + keep_clear_extra;
   if (y_hi - r <= y_lo + r || x1 - 2.0 <= x0 + 2.0) return;
+  // Seg-grid broadphase over the member's path and the vias placed so far,
+  // replacing the quadratic every-candidate-vs-everything scan (the old
+  // bottleneck of mega-board generation). The grid only filters candidates;
+  // the exact predicates below are byte-for-byte the old ones and the RNG
+  // stream is consumed identically, so generated boards are unchanged.
+  const double probe = std::max(3.0 * r, clear);
+  index::SegGrid grid(probe);
+  std::vector<Point> centers;  // hole centroids, indexed by grid payload
+  constexpr std::uint64_t kHoleBit = std::uint64_t{1} << 32;
+  const auto add_center = [&](const Point& c) {
+    grid.insert({c, c}, kHoleBit | centers.size());
+    centers.push_back(c);
+  };
+  for (const auto& h : area.holes) add_center(h.centroid());
+  for (std::size_t s = 0; s < path.segment_count(); ++s) {
+    grid.insert(path.segment(s), s);
+  }
   int placed = 0, attempts = 0;
   while (placed < spec.vias_per_band && attempts < spec.vias_per_band * 40) {
     ++attempts;
     const Point c{workload::uniform_real(rng, x0 + 2.0, x1 - 2.0),
                   workload::uniform_real(rng, y_lo + r, y_hi - r)};
     bool clash = false;
-    for (const auto& h : area.holes) {
-      if (geom::dist(h.centroid(), c) < 3.0 * r) clash = true;
-    }
-    for (std::size_t s = 0; !clash && s < path.segment_count(); ++s) {
-      if (geom::dist_point_segment(c, path.segment(s)) < clear) clash = true;
-    }
+    grid.visit(geom::Box{c, c}.inflated(probe), [&](const index::SegGrid::Entry& e) {
+      if ((e.payload & kHoleBit) != 0) {
+        if (geom::dist(centers[e.payload & 0xffffffffu], c) < 3.0 * r) clash = true;
+      } else if (geom::dist_point_segment(c, e.seg) < clear) {
+        clash = true;
+      }
+      return !clash;
+    });
     if (clash) continue;
     const Polygon via = Polygon::regular(c, r, 8, M_PI / 8.0);
     area.holes.push_back(via);
     l.add_obstacle({via, "via"});
+    add_center(via.centroid());
     ++placed;
   }
 }
