@@ -16,24 +16,20 @@
 /// `bench_suite --drc-overlap` attaches to BENCH_results.json.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/clock.hpp"
 #include "bench_harness/report.hpp"
 #include "pipeline/router.hpp"
 #include "scenario/scenario_families.hpp"
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
+using lmr::core::seconds_since;
 
 double median(std::vector<double> xs) {
   std::sort(xs.begin(), xs.end());
@@ -115,7 +111,7 @@ int main(int argc, char** argv) {
         times.reserve(static_cast<std::size_t>(repeats));
         for (int r = 0; r < repeats; ++r) {
           lmr::layout::Layout board = sc.layout;  // fresh geometry per repeat
-          const auto t0 = Clock::now();
+          const auto t0 = lmr::core::now();
           const std::vector<lmr::pipeline::RouteResult> results = router.route_all(board);
           times.push_back(seconds_since(t0));
           timing[which].drc_runtime_s = 0.0;

@@ -24,12 +24,12 @@
 /// --fault-storm` attaches to BENCH_results.json.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "core/clock.hpp"
 #include "bench_harness/report.hpp"
 #include "fault/cancel.hpp"
 #include "fault/fault_plan.hpp"
@@ -38,11 +38,7 @@
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
+using lmr::core::seconds_since;
 
 double median(std::vector<double> xs) {
   std::sort(xs.begin(), xs.end());
@@ -58,7 +54,7 @@ void do_not_optimize(const T& value) {
 
 template <typename Fn>
 double ns_per_op(std::size_t iters, Fn&& fn) {
-  const auto t0 = Clock::now();
+  const auto t0 = lmr::core::now();
   for (std::size_t i = 0; i < iters; ++i) fn();
   return seconds_since(t0) * 1e9 / static_cast<double>(iters);
 }
@@ -168,7 +164,7 @@ int main(int argc, char** argv) {
       times.reserve(static_cast<std::size_t>(repeats));
       for (int r = 0; r < repeats; ++r) {
         lmr::layout::Layout board = sc.layout;
-        const auto t0 = Clock::now();
+        const auto t0 = lmr::core::now();
         (void)router.route_board(board);
         times.push_back(seconds_since(t0));
       }

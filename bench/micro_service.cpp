@@ -21,24 +21,20 @@
 /// --service` attaches to BENCH_results.json.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/clock.hpp"
 #include "bench_harness/report.hpp"
 #include "scenario/scenario_families.hpp"
 #include "service/routing_service.hpp"
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
+using lmr::core::seconds_since;
 
 double median(std::vector<double> xs) {
   std::sort(xs.begin(), xs.end());
@@ -156,7 +152,7 @@ int main(int argc, char** argv) {
     RetargetScript script(sc.layout);
     std::vector<double> per_edit;
     for (int r = 0; r < repeats; ++r) {
-      const auto t0 = Clock::now();
+      const auto t0 = lmr::core::now();
       for (std::size_t k = 0; k < burst; ++k) svc.submit("b0", script.next());
       svc.drain();
       per_edit.push_back(seconds_since(t0) / static_cast<double>(burst));
@@ -195,7 +191,7 @@ int main(int argc, char** argv) {
     RetargetScript s0(sc.layout);
     RetargetScript s1(sc.layout);
     const std::size_t edits_per_board = static_cast<std::size_t>(repeats) * 4;
-    const auto t0 = Clock::now();
+    const auto t0 = lmr::core::now();
     for (std::size_t k = 0; k < edits_per_board; ++k) {
       svc.submit("b0", s0.next());
       svc.submit("b1", s1.next());

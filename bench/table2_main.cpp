@@ -5,11 +5,11 @@
 ///
 ///   bench_table2 [--json PATH]     (default BENCH_table2.json)
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "core/clock.hpp"
 #include "baseline/fixed_track.hpp"
 #include "bench_harness/report.hpp"
 #include "core/trace_extender.hpp"
@@ -46,9 +46,9 @@ int main(int argc, char** argv) {
       lmr::core::TraceExtender ext(c.rules, c.area);
       lmr::core::ExtenderConfig cfg;
       cfg.max_width_steps = 24;
-      const auto t0 = std::chrono::steady_clock::now();
+      const auto t0 = lmr::core::now();
       ext.maximize(c.trace, cfg);
-      t_with = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      t_with = lmr::core::seconds_since(t0);
       with_dp = lmr::workload::extension_upper_bound_pct(c.l_original,
                                                          c.trace.path.length());
     }
@@ -59,10 +59,10 @@ int main(int argc, char** argv) {
       // Gridded safety tracks at the d_protect grid (the paper's "fixed
       // routing tracks"); pattern width stays at the constant default.
       cfg.track_pitch = c.rules.protect;
-      const auto t0 = std::chrono::steady_clock::now();
+      const auto t0 = lmr::core::now();
       base.maximize(c.trace, cfg);
       t_without =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+          lmr::core::seconds_since(t0);
       without_dp = lmr::workload::extension_upper_bound_pct(c.l_original,
                                                             c.trace.path.length());
     }

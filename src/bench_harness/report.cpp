@@ -1,8 +1,6 @@
 #include "bench_harness/report.hpp"
 
-#include <chrono>
 #include <cstdio>
-#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -11,6 +9,8 @@
 #ifdef __unix__
 #include <sys/utsname.h>
 #include <unistd.h>
+
+#include "core/clock.hpp"
 #endif
 
 namespace lmr::bench {
@@ -37,12 +37,7 @@ RunInfo collect_run_info() {
 #endif
   info.hardware_threads = static_cast<int>(std::thread::hardware_concurrency());
 
-  const std::time_t now = std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
-  std::tm tm{};
-  gmtime_r(&now, &tm);
-  char buf[32];
-  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
-  info.timestamp_utc = buf;
+  info.timestamp_utc = core::utc_timestamp();
   return info;
 }
 

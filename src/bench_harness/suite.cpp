@@ -1,9 +1,9 @@
 #include "bench_harness/suite.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "bench_harness/report.hpp"
+#include "core/clock.hpp"
 #include "fault/fault_plan.hpp"
 #include "pipeline/session.hpp"
 #include "scenario/edit_storm.hpp"
@@ -15,11 +15,7 @@ namespace lmr::bench {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
+using core::seconds_since;
 
 Json spec_json(const scenario::ScenarioSpec& s) {
   Json j = Json::object();
@@ -121,7 +117,7 @@ pipeline::RouterOptions Suite::router_options_for(const scenario::Scenario& sc) 
 
 CaseOutcome Suite::run_case(const scenario::Family& fam,
                             const scenario::FamilyCase& fc) const {
-  const auto t_case = Clock::now();
+  const auto t_case = core::now();
   scenario::Scenario sc = scenario::materialize(fc);
 
   CaseOutcome outcome;
@@ -165,7 +161,7 @@ CaseOutcome Suite::run_case(const scenario::Family& fam,
 
 SuiteResult Suite::run() const {
   SuiteResult result;
-  const auto t_suite = Clock::now();
+  const auto t_suite = core::now();
 
   // Flatten (family, case) so independent boards become one task batch;
   // every outcome is written at its flat index, which keeps the report
@@ -301,7 +297,7 @@ std::vector<BackendComparison> Suite::run_backend_compare(
          {layout::ClearanceBackend::RangeTree, layout::ClearanceBackend::Grid}) {
       double best = 0.0;
       for (int rep = 0; rep < kRepeats; ++rep) {
-        const auto t0 = Clock::now();
+        const auto t0 = core::now();
         for (const scenario::Scenario& sc : boards) {
           layout::ClearanceIndex index(sc.rules, opts.router.drc, backend);
           // Slot per sub-trace, pair halves sharing a net: the
@@ -362,7 +358,7 @@ std::vector<EditStormOutcome> Suite::run_edit_storm() const {
 
     const pipeline::RouterOptions ropts = router_options_for(storm.scenario);
     pipeline::Session session(storm.scenario.rules, ropts, storm.scenario.layout);
-    auto t0 = Clock::now();
+    auto t0 = core::now();
     session.route();
     out.initial_route_s = seconds_since(t0);
 
@@ -387,7 +383,7 @@ std::vector<EditStormOutcome> Suite::run_edit_storm() const {
       layout::apply_edit(fresh.layout, edit);
     }
     const pipeline::Router router(fresh.rules, ropts);
-    t0 = Clock::now();
+    t0 = core::now();
     const pipeline::BoardRoute full = router.route_board(fresh.layout);
     out.full_route_s = seconds_since(t0);
     out.equivalent = pipeline::routes_equivalent(session.layout(), session.route_state(),
@@ -477,7 +473,7 @@ std::vector<ServiceStormOutcome> Suite::run_service(
       }
       svc.drain();  // initial routes settle before the replay clock starts
 
-      const auto t0 = Clock::now();
+      const auto t0 = core::now();
       for (const scenario::ServiceStormEvent& ev : storm.stream) {
         svc.submit(storm.boards[ev.board].spec.name, ev.edit);
         if (ev.sync_after) svc.drain();
@@ -652,7 +648,7 @@ std::vector<FaultStormOutcome> Suite::run_fault_storm(
       };
 
       drain();  // initial routes settle; initial-route kills surface here
-      const auto t0 = Clock::now();
+      const auto t0 = core::now();
       for (const scenario::ServiceStormEvent& ev : storm.storm.stream) {
         (void)svc.submit(storm.storm.boards[ev.board].spec.name, ev.edit);
         if (ev.sync_after) drain();

@@ -1,0 +1,61 @@
+#pragma once
+/// \file clock.hpp
+/// The single whitelisted timing shim.
+///
+/// Every clock read in the tree goes through this file — `tools/lmr_lint.py`
+/// bans the std::chrono clock names (and the C wall-clock APIs) everywhere
+/// else, which is what makes "the deterministic paths never read a clock"
+/// a machine-checked property instead of a review convention: any new
+/// timing site has to either route through here or show up as a lint
+/// failure.
+///
+/// Monotonic time (`now()` / `seconds_since`) feeds the volatile `*_s`
+/// timing fields of the bench JSON and the CancelToken deadline checks;
+/// neither influences tracked result bytes. The one wall-clock read in the
+/// project (`utc_timestamp`, bench run metadata) also lives here, inside
+/// the stripped-away "run" section.
+
+#include <chrono>
+#include <ctime>
+#include <string>
+
+namespace lmr::core {
+
+/// The project's monotonic clock.
+// lmr-lint: allow(clock) — this file IS the shim.
+using Clock = std::chrono::steady_clock;
+
+/// Monotonic now(): the only sanctioned way to start a timing measurement.
+[[nodiscard]] inline Clock::time_point now() { return Clock::now(); }
+
+/// Seconds from `t0` to now, as the double the bench JSON records.
+[[nodiscard]] inline double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(now() - t0).count();
+}
+
+/// Seconds between two monotonic time points (`b - a`).
+[[nodiscard]] inline double seconds_between(Clock::time_point a,
+                                            Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// A fractional-seconds budget as a Clock duration (deadline arithmetic).
+[[nodiscard]] inline Clock::duration duration_from_seconds(double seconds) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+/// The project's sole wall-clock read: an ISO-8601 UTC stamp for the bench
+/// run metadata (the volatile "run" section, stripped before comparison).
+[[nodiscard]] inline std::string utc_timestamp() {
+  // lmr-lint: allow(clock) — the shim's one wall-clock read.
+  const std::time_t t = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+}  // namespace lmr::core

@@ -1,0 +1,124 @@
+#pragma once
+/// \file contract.hpp
+/// Machine-checked contracts for the routing stack.
+///
+/// Three macros, all compiled to *nothing* unless the build defines
+/// `LMR_CHECKED` (CMake: `-DLMR_CHECKED=ON`):
+///
+///   LMR_ASSERT(cond [, msg])   — internal invariant: state this code alone
+///                                is responsible for keeping true.
+///   LMR_REQUIRE(cond [, msg])  — precondition on the caller: argument or
+///                                call-ordering contract of a function.
+///   LMR_UNREACHABLE([msg])     — control flow that must be dead. In checked
+///                                builds it throws; in release builds it is
+///                                `__builtin_unreachable()` (so it still
+///                                silences -Wreturn-type on exhaustive
+///                                switches without emitting code).
+///
+/// In checked builds a failed contract throws `ContractViolation`, which
+/// derives from std::logic_error on purpose: the serving tier already
+/// classifies logic_error as *non-retryable* (a broken invariant is a bug,
+/// not a transient fault — retrying would replay it), and test code can
+/// EXPECT_THROW on the precise type.
+///
+/// In default (unchecked) builds the condition expression is type-checked
+/// but never evaluated (it sits under an unevaluated `sizeof`), so contract
+/// checks can live on the hottest paths at zero cost, may call non-const
+/// helpers, and the default `lmr` library contains no ContractViolation
+/// symbol at all — the Release-no-op property tests/core/contract_release_
+/// test.cpp and the CI symbol probe both pin down.
+///
+/// Unlike <cassert>, the checked form is active in *any* build type once
+/// LMR_CHECKED is on (the checked CI job runs RelWithDebInfo), and a failure
+/// unwinds instead of aborting — the storms exercise the same rollback paths
+/// a real invariant break would have to survive.
+
+#include <stdexcept>
+#include <string>
+
+namespace lmr::core {
+
+/// Thrown by a failed LMR_ASSERT / LMR_REQUIRE / LMR_UNREACHABLE in checked
+/// builds. Carries the structured context alongside the formatted what().
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expression, const char* file,
+                    int line, const std::string& message)
+      : std::logic_error(format(kind, expression, file, line, message)),
+        kind_(kind),
+        expression_(expression),
+        file_(file),
+        line_(line) {}
+
+  /// "LMR_ASSERT", "LMR_REQUIRE" or "LMR_UNREACHABLE".
+  [[nodiscard]] const char* kind() const noexcept { return kind_; }
+  /// The stringized condition (or "unreachable").
+  [[nodiscard]] const char* expression() const noexcept { return expression_; }
+  [[nodiscard]] const char* file() const noexcept { return file_; }
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  static std::string format(const char* kind, const char* expression,
+                            const char* file, int line,
+                            const std::string& message) {
+    std::string out(kind);
+    out += " failed: ";
+    out += expression;
+    if (!message.empty()) {
+      out += " — ";
+      out += message;
+    }
+    out += " [";
+    out += file;
+    out += ":";
+    out += std::to_string(line);
+    out += "]";
+    return out;
+  }
+
+  const char* kind_;
+  const char* expression_;
+  const char* file_;
+  int line_;
+};
+
+#if defined(LMR_CHECKED)
+
+/// 1 when contract checks are compiled in (the checked CI job); 0 in the
+/// default build. Tests use this to pick the semantics they assert on.
+#define LMR_CONTRACT_CHECKS_ENABLED 1
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expression,
+                                       const char* file, int line,
+                                       const std::string& message = {}) {
+  throw ContractViolation(kind, expression, file, line, message);
+}
+
+#define LMR_CONTRACT_CHECK_(kind, cond, ...)                            \
+  ((cond) ? (void)0                                                    \
+          : ::lmr::core::contract_fail(kind, #cond, __FILE__, __LINE__ \
+                                           __VA_OPT__(, ) __VA_ARGS__))
+
+#define LMR_ASSERT(...) LMR_CONTRACT_CHECK_("LMR_ASSERT", __VA_ARGS__)
+#define LMR_REQUIRE(...) LMR_CONTRACT_CHECK_("LMR_REQUIRE", __VA_ARGS__)
+#define LMR_UNREACHABLE(...)                                              \
+  ::lmr::core::contract_fail("LMR_UNREACHABLE", "unreachable", __FILE__, \
+                             __LINE__ __VA_OPT__(, ) __VA_ARGS__)
+
+#else  // !LMR_CHECKED
+
+#define LMR_CONTRACT_CHECKS_ENABLED 0
+
+/// Unevaluated in release: `sizeof` type-checks the condition (so a checked
+/// and an unchecked build always compile the same set of expressions, and
+/// variables used only in contracts don't trip -Wunused under -Werror) but
+/// generates no code and evaluates no side effects.
+#define LMR_CONTRACT_DISCARD_(cond, ...) ((void)sizeof(!(cond)))
+
+#define LMR_ASSERT(...) LMR_CONTRACT_DISCARD_(__VA_ARGS__)
+#define LMR_REQUIRE(...) LMR_CONTRACT_DISCARD_(__VA_ARGS__)
+#define LMR_UNREACHABLE(...) __builtin_unreachable()
+
+#endif  // LMR_CHECKED
+
+}  // namespace lmr::core

@@ -1,8 +1,8 @@
 #include "core/pattern.hpp"
 
-#include <cassert>
 #include <cmath>
 
+#include "core/contract.hpp"
 #include "geom/chamfer.hpp"
 
 namespace lmr::core {
@@ -36,8 +36,8 @@ std::vector<geom::Point> realize_patterns(const std::vector<Pattern>& patterns, 
   };
   push(0.0, 0.0);
   for (const Pattern& p : patterns) {
-    assert(p.foot_lo < p.foot_hi);
-    assert(p.height > 0.0);
+    LMR_REQUIRE(p.foot_lo < p.foot_hi, "a pattern foot must span at least one step");
+    LMR_REQUIRE(p.height > 0.0, "a realized pattern always has positive height");
     const double x0 = p.foot_lo * step;
     const double x1 = p.foot_hi * step;
     const double y = p.dir * p.height;

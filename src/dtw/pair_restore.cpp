@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/contract.hpp"
 #include "core/pattern.hpp"
 #include "dtw/median_trace.hpp"
 #include "geom/chamfer.hpp"
@@ -83,6 +84,11 @@ geom::Polyline offset_piecewise(const geom::Polyline& pl, std::span<const double
                                 double side) {
   const std::size_t n = pl.size();
   if (n < 2) return pl;
+  // The pitch span is indexed in lockstep with the vertices below; a short
+  // span would read past its end, a non-finite side/pitch would smear NaN
+  // through every miter vertex.
+  LMR_REQUIRE(pitch.size() >= n, "one pitch entry per polyline vertex");
+  LMR_REQUIRE(std::isfinite(side), "offset side must be a real sign/scale");
   std::vector<geom::Vec2> normals(n - 1);
   for (std::size_t i = 0; i + 1 < n; ++i) {
     const geom::Segment s = pl.segment(i);

@@ -18,7 +18,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 #include <vector>
+
+#include "core/contract.hpp"
 
 // ThreadSanitizer does not model std::atomic_thread_fence (GCC warns under
 // -Wtsan and the runtime reports false races through fence-ordered code), so
@@ -54,8 +57,18 @@ class StealDeque {
   StealDeque(const StealDeque&) = delete;
   StealDeque& operator=(const StealDeque&) = delete;
 
+  /// Checked builds only: bind the owner role to the calling thread. The
+  /// pool's worker calls this on startup; otherwise the first push/pop
+  /// claims ownership. A release no-op.
+  void adopt_owner() {
+#if LMR_CONTRACT_CHECKS_ENABLED
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+  }
+
   /// Owner only: append at the bottom, growing the ring when full.
   void push(T* item) {
+    assert_owner();
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_acquire);
     Array* a = array_.load(std::memory_order_relaxed);
@@ -71,6 +84,7 @@ class StealDeque {
 
   /// Owner only: take the most recently pushed item; nullptr when empty.
   T* pop() {
+    assert_owner();
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Array* a = array_.load(std::memory_order_relaxed);
 #ifdef LMR_TSAN_BUILD
@@ -129,6 +143,22 @@ class StealDeque {
   }
 
  private:
+  /// Ownership contract: push/pop are single-owner. In checked builds the
+  /// first push/pop (or an explicit adopt_owner) binds the owner thread and
+  /// every later call must come from it; release builds carry no owner
+  /// state at all.
+  void assert_owner() {
+#if LMR_CONTRACT_CHECKS_ENABLED
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (owner_.compare_exchange_strong(expected, self, std::memory_order_relaxed)) {
+      return;  // first owner-side call claims the role
+    }
+    LMR_REQUIRE(expected == self,
+                "push/pop are owner-only; other threads must steal()");
+#endif
+  }
+
   struct Array {
     explicit Array(std::int64_t n)
         : size(n), mask(n - 1), slots(new std::atomic<T*>[static_cast<std::size_t>(n)]) {}
@@ -153,6 +183,9 @@ class StealDeque {
   std::atomic<std::int64_t> bottom_{0};
   std::atomic<Array*> array_{nullptr};
   std::vector<Array*> retired_;  ///< owner-only; reclaimed at destruction
+#if LMR_CONTRACT_CHECKS_ENABLED
+  std::atomic<std::thread::id> owner_{};  ///< checked builds: bound owner
+#endif
 };
 
 }  // namespace lmr::exec

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "core/contract.hpp"
+
 namespace lmr::exec {
 
 namespace {
@@ -40,10 +42,12 @@ TaskPool::~TaskPool() {
   cv_.notify_all();
   for (std::thread& w : workers_) w.join();
   // By contract every TaskGroup is waited on before its pool dies, so these
-  // drains only matter after a contract violation — still, don't leak.
+  // drains only matter after a contract violation — still, don't leak. The
+  // destructing thread is not the deques' owner, so it steals (any-thread
+  // safe) rather than pops; the workers are already joined.
   for (Task* t : injection_) delete t;
   for (auto& d : deques_) {
-    while (Task* t = d->pop()) delete t;
+    while (Task* t = d->steal()) delete t;
   }
 }
 
@@ -131,8 +135,12 @@ bool TaskPool::try_run_one() {
 }
 
 void TaskPool::worker_loop(std::size_t index) {
+  // A thread serves at most one pool for its whole life; re-binding would
+  // silently corrupt the submit fast path of whichever pool loses.
+  LMR_ASSERT(tl_pool == nullptr, "worker thread already bound to a pool");
   tl_pool = this;
   tl_index = index;
+  deques_[index]->adopt_owner();
   for (;;) {
     // Record the epoch *before* scanning: any submission after this load
     // bumps signal_ past `epoch`, so the sleep predicate below cannot miss
@@ -154,6 +162,7 @@ void TaskPool::worker_loop(std::size_t index) {
 }
 
 void TaskGroup::run(std::function<void()> fn) {
+  LMR_REQUIRE(static_cast<bool>(fn), "a task must be callable");
   pending_.fetch_add(1, std::memory_order_acq_rel);
   pool_.submit(new TaskPool::Task{std::move(fn), this});
 }
@@ -238,6 +247,8 @@ void TaskGroup::finish_one(std::exception_ptr error) {
   // race-free, since its predicate also runs under mu_).
   const std::lock_guard<std::mutex> lock(mu_);
   if (error && !error_) error_ = std::move(error);
+  LMR_ASSERT(pending_.load(std::memory_order_relaxed) > 0,
+             "finish_one without a matching run()");
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     cv_.notify_all();
   }

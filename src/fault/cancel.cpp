@@ -1,10 +1,8 @@
 #include "fault/cancel.hpp"
 
-namespace lmr::fault {
+#include "core/clock.hpp"
 
-namespace {
-using Clock = std::chrono::steady_clock;
-}
+namespace lmr::fault {
 
 CancelToken CancelToken::source() {
   return CancelToken(std::make_shared<State>());
@@ -13,8 +11,7 @@ CancelToken CancelToken::source() {
 CancelToken CancelToken::with_deadline(double budget_s) const {
   auto s = std::make_shared<State>();
   s->has_deadline = true;
-  s->deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                   std::chrono::duration<double>(budget_s));
+  s->deadline = core::now() + core::duration_from_seconds(budget_s);
   s->budget_s = budget_s;
   s->parent = state_;
   return CancelToken(std::move(s));
@@ -27,7 +24,7 @@ void CancelToken::cancel() const {
 bool CancelToken::expired() const {
   for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
     if (s->cancelled.load(std::memory_order_acquire)) return true;
-    if (s->has_deadline && Clock::now() > s->deadline) return true;
+    if (s->has_deadline && core::now() > s->deadline) return true;
   }
   return false;
 }
@@ -35,7 +32,7 @@ bool CancelToken::expired() const {
 void CancelToken::check_armed() const {
   for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
     if (s->cancelled.load(std::memory_order_acquire)) throw RouteCancelled();
-    if (s->has_deadline && Clock::now() > s->deadline) {
+    if (s->has_deadline && core::now() > s->deadline) {
       throw RouteTimeout(s->budget_s);
     }
   }

@@ -17,10 +17,11 @@
 /// leaves the layout untouched.
 
 #include <atomic>
-#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <string>
+
+#include "core/clock.hpp"
 
 namespace lmr::fault {
 
@@ -79,7 +80,7 @@ class CancelToken {
   struct State {
     std::atomic<bool> cancelled{false};
     bool has_deadline = false;
-    std::chrono::steady_clock::time_point deadline{};
+    core::Clock::time_point deadline{};
     double budget_s = 0.0;
     std::shared_ptr<State> parent;
   };

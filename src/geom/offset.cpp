@@ -1,15 +1,17 @@
 #include "geom/offset.hpp"
 
-#include <cassert>
+#include <cmath>
 
+#include "core/contract.hpp"
 #include "geom/intersect.hpp"
 
 namespace lmr::geom {
 
 Polygon offset_convex(const Polygon& poly, double margin) {
   const std::size_t n = poly.size();
+  LMR_REQUIRE(std::isfinite(margin), "offset margin must be a real length");
   if (n < 3 || margin <= 0.0) return poly;
-  assert(poly.is_ccw());
+  LMR_REQUIRE(poly.is_ccw(), "offset_convex expects a CCW loop");
   // Shift each edge outward (right-hand normal of a CCW loop points outward
   // ... actually outward of CCW is the *clockwise* perpendicular).
   std::vector<Segment> shifted;
@@ -40,6 +42,7 @@ Polygon offset_convex(const Polygon& poly, double margin) {
 }
 
 Polygon inflate_polygon(const Polygon& poly, double margin) {
+  LMR_REQUIRE(std::isfinite(margin), "inflate margin must be a real length");
   if (margin <= 0.0 || poly.size() < 3) return poly;
   Polygon p = poly;
   p.make_ccw();
@@ -48,6 +51,9 @@ Polygon inflate_polygon(const Polygon& poly, double margin) {
 }
 
 Polyline offset_polyline(const Polyline& pl, double d) {
+  // A NaN offset would poison every miter-join division below and surface
+  // only much later as a DRC violation on a garbage trace.
+  LMR_REQUIRE(std::isfinite(d), "offset distance must be a real length");
   if (pl.size() < 2 || d == 0.0) return pl;
   const std::size_t n = pl.segment_count();
   std::vector<Segment> shifted;

@@ -1,8 +1,8 @@
 #include "geom/polyline.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "core/contract.hpp"
 #include "geom/intersect.hpp"
 
 namespace lmr::geom {
@@ -61,8 +61,8 @@ void Polyline::simplify(double tol) {
 }
 
 void Polyline::splice(std::size_t i, std::size_t j, std::span<const Point> repl) {
-  assert(i < j && j < pts_.size());
-  assert(!repl.empty());
+  LMR_REQUIRE(i < j && j < pts_.size(), "splice window [i, j] must be in range");
+  LMR_REQUIRE(!repl.empty(), "splice replacement must keep the chain connected");
   std::vector<Point> out;
   out.reserve(pts_.size() - (j - i + 1) + repl.size());
   out.insert(out.end(), pts_.begin(), pts_.begin() + static_cast<std::ptrdiff_t>(i));

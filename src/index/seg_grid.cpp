@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "core/contract.hpp"
+
 namespace lmr::index {
 namespace {
 
@@ -15,6 +17,7 @@ constexpr std::uint64_t kBboxCellCap = 64;
 }  // namespace
 
 void SegGrid::reset(double cell) {
+  LMR_REQUIRE(std::isfinite(cell), "cell size must be a real length");
   cell_ = std::max(cell, 1e-9);
   cells_.clear();
   records_.clear();
@@ -76,6 +79,12 @@ std::uint32_t SegGrid::insert(const geom::Segment& seg, std::uint64_t payload) {
   rec.entry = Entry{seg, payload};
   rec.live = true;
   covered_cells(seg, scratch_cells_);
+  // Registration contract: every entry lands in at least one cell (even a
+  // degenerate point-segment covers its own cell), and the stamp vector the
+  // query-time dedupe indexes by id always spans every record.
+  LMR_ASSERT(!scratch_cells_.empty(), "a segment always covers its own cell");
+  LMR_ASSERT(stamps_.size() == records_.size(),
+             "dedupe stamps cover every record");
   rec.cells = scratch_cells_;
   for (const std::uint64_t k : rec.cells) {
     Cell& cell = cells_[k];
@@ -88,6 +97,10 @@ std::uint32_t SegGrid::insert(const geom::Segment& seg, std::uint64_t payload) {
 }
 
 void SegGrid::remove(std::uint32_t id) {
+  // Double-remove (or a stale id) is a client bookkeeping bug even though
+  // the release build tolerates it silently.
+  LMR_REQUIRE(id < records_.size() && records_[id].live,
+              "remove() of an id that is not live");
   if (id >= records_.size() || !records_[id].live) return;
   Record& rec = records_[id];
   for (const std::uint64_t k : rec.cells) {

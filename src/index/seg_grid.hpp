@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/contract.hpp"
 #include "geom/box.hpp"
 #include "geom/segment.hpp"
 
@@ -78,7 +79,15 @@ class SegGrid {
     window.hi.x = std::min(window.hi.x, extent_.hi.x + cell_);
     window.hi.y = std::min(window.hi.y, extent_.hi.y + cell_);
     if (window.lo.x > window.hi.x || window.lo.y > window.hi.y) return;
+    // The per-query dedupe stamp must cover every record and be fresh: a
+    // stamp equal to the new query id before we start would mean a previous
+    // query's marks leak into this one (exactly the bug concurrent queries
+    // would produce — see the class comment's single-querier contract).
+    LMR_ASSERT(stamps_.size() == records_.size(),
+               "dedupe stamps cover every record");
     const std::uint64_t q = ++query_;
+    LMR_ASSERT(std::find(stamps_.begin(), stamps_.end(), q) == stamps_.end(),
+               "fresh query id never collides with an existing stamp");
     const std::int64_t x0 = coord(window.lo.x);
     const std::int64_t x1 = coord(window.hi.x);
     const std::int64_t y0 = coord(window.lo.y);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/contract.hpp"
 #include "geom/distance.hpp"
 
 namespace lmr::layout {
@@ -12,16 +13,21 @@ ClearanceIndex::ClearanceIndex(const drc::DesignRules& rules, DrcCheckOptions op
     : rules_(rules), opts_(opts), backend_(backend) {}
 
 std::uint32_t ClearanceIndex::add_slot(double width, std::uint32_t net) {
+  LMR_REQUIRE(std::isfinite(width) && width >= 0.0,
+              "slot width sizes the sampling pitch and query windows");
   Slot s;
   s.net = net;
   s.width = width;
   max_width_ = std::max(max_width_, width);
   slots_.push_back(std::move(s));
   slot_epoch_.push_back(1);
+  LMR_ASSERT(slot_epoch_.size() == slots_.size(),
+             "slot/epoch vectors march in lockstep");
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
 void ClearanceIndex::insert(std::uint32_t slot, const Trace& trace) {
+  LMR_REQUIRE(slot < slots_.size(), "insert() into an undeclared slot");
   Slot& s = slots_[slot];
   s.trace = &trace;
   s.samples.clear();
@@ -54,6 +60,7 @@ void ClearanceIndex::insert(std::uint32_t slot, const Trace& trace) {
 }
 
 void ClearanceIndex::remove(std::uint32_t slot) {
+  LMR_REQUIRE(slot < slots_.size(), "remove() of an undeclared slot");
   Slot& s = slots_.at(slot);
   s.trace = nullptr;
   s.samples.clear();
@@ -129,6 +136,19 @@ void ClearanceIndex::refresh_cache() const {
   // Deterministic overlay scan order (erase/append above can permute).
   std::sort(overlays_.begin(), overlays_.end(),
             [](const Overlay& a, const Overlay& b) { return a.slot < b.slot; });
+
+  // Epoch agreement: every surviving overlay answers for an inserted slot at
+  // exactly that slot's current epoch — the property the stale-in-main skip
+  // in sweep() leans on.
+  LMR_ASSERT(cache_built_epoch_.size() == slots_.size(),
+             "main tree built-epoch vector covers every slot");
+  LMR_ASSERT(std::all_of(overlays_.begin(), overlays_.end(),
+                         [&](const Overlay& ov) {
+                           return ov.slot < slots_.size() &&
+                                  slots_[ov.slot].trace != nullptr &&
+                                  ov.epoch == slot_epoch_[ov.slot];
+                         }),
+             "every overlay is current for an inserted slot");
 }
 
 void ClearanceIndex::refresh_grid() const {
@@ -158,9 +178,17 @@ void ClearanceIndex::refresh_grid() const {
     }
     grid_built_epoch_[t] = slot_epoch_[t];
   }
+  LMR_ASSERT(std::equal(grid_built_epoch_.begin(), grid_built_epoch_.end(),
+                        slot_epoch_.begin(), slot_epoch_.end()),
+             "grid store agrees with every slot epoch after refresh");
 }
 
 std::vector<Violation> ClearanceIndex::sweep() const {
+  // A cached result is only comparable to the live epochs when it was taken
+  // over the same slot universe (slots are never undeclared, so a shorter
+  // result_epochs_ just means new slots arrived since).
+  LMR_ASSERT(result_epochs_.empty() || result_epochs_.size() <= slot_epoch_.size(),
+             "result epochs never outnumber declared slots");
   // Nothing changed since the last sweep: the cached violations are exact.
   if (slot_epoch_ == result_epochs_) return result_;
 

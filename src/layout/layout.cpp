@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/contract.hpp"
+
 namespace lmr::layout {
 namespace {
 
@@ -55,6 +57,14 @@ void Layout::check_mutable() const {
 }
 
 LayoutDelta Layout::record(LayoutDelta d) {
+  // Versioning contract: the journal is exactly the versions 1..N in order,
+  // and nothing records into a frozen board (every recorded mutator calls
+  // check_mutable() before touching state — by the time we get here the
+  // mutation already happened, so a frozen board would mean a mutator
+  // skipped its check).
+  LMR_ASSERT(!frozen(), "recorded mutation slipped past check_mutable()");
+  LMR_ASSERT(journal_.empty() || journal_.back().version == journal_.size(),
+             "journal versions must be contiguous 1..N");
   d.version = journal_.size() + 1;
   journal_.push_back(d);
   return d;
@@ -176,6 +186,8 @@ LayoutDelta Layout::add_group_member(std::size_t group, GroupMember member,
     g.member_targets.push_back(target);
   }
   g.members.push_back(member);
+  LMR_ASSERT(g.member_targets.empty() || g.member_targets.size() == g.members.size(),
+             "member_targets is all-or-nothing per group");
   return record(d);
 }
 
@@ -194,6 +206,8 @@ LayoutDelta Layout::remove_group_member(std::size_t group, std::size_t member_in
     g.member_targets.erase(g.member_targets.begin() +
                            static_cast<std::ptrdiff_t>(member_index));
   }
+  LMR_ASSERT(g.member_targets.empty() || g.member_targets.size() == g.members.size(),
+             "member_targets is all-or-nothing per group");
   return record(d);
 }
 

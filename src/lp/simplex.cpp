@@ -1,9 +1,10 @@
 #include "lp/simplex.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "core/contract.hpp"
 
 namespace lmr::lp {
 
@@ -25,7 +26,7 @@ struct Tableau {
 
   void pivot(std::size_t pr, std::size_t pc) {
     const double pv = a[pr][pc];
-    assert(std::abs(pv) > kTol);
+    LMR_ASSERT(std::abs(pv) > kTol, "pivot element chosen by the ratio test is nonzero");
     for (double& v : a[pr]) v /= pv;
     for (std::size_t r = 0; r < rows; ++r) {
       if (r == pr) continue;
@@ -98,12 +99,12 @@ LpStatus run_simplex(Tableau& t, const std::vector<double>& c_full) {
 }  // namespace
 
 void SimplexSolver::set_objective(std::vector<double> c) {
-  assert(c.size() == n_);
+  LMR_REQUIRE(c.size() == n_, "objective has one coefficient per variable");
   c_ = std::move(c);
 }
 
 void SimplexSolver::add_constraint(Constraint c) {
-  assert(c.coeffs.size() == n_);
+  LMR_REQUIRE(c.coeffs.size() == n_, "constraint has one coefficient per variable");
   cons_.push_back(std::move(c));
 }
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
-#include <chrono>
 #include <cmath>
 #include <functional>
 #include <map>
@@ -15,6 +14,7 @@
 #include <utility>
 
 #include "baseline/aidt_style.hpp"
+#include "core/clock.hpp"
 #include "dtw/dtw.hpp"
 #include "dtw/median_trace.hpp"
 #include "dtw/pair_restore.hpp"
@@ -24,11 +24,7 @@ namespace lmr::pipeline {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
+using core::seconds_since;
 
 /// One net's inputs, copied out of the layout so that workers never touch
 /// shared state: extension runs entirely on this private copy.
@@ -177,7 +173,7 @@ MemberReport route_member(const drc::DesignRules& rules, const RouterOptions& op
   mr.id = w.member.id;
   mr.kind = w.member.kind;
   mr.target = w.target;
-  const auto t0 = Clock::now();
+  const auto t0 = core::now();
   if (w.member.kind == layout::MemberKind::SingleEnded) {
     route_single_ended(rules, opts, w, mr);
   } else {
@@ -523,7 +519,7 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
     obstacles = &own_sel;
   }
   const layout::MatchGroup& group = layout.groups()[group_index];
-  const auto t_run = Clock::now();
+  const auto t_run = core::now();
   const bool drc = options_.run_drc;
 
   // Fault plane + cancellation. The deadline budget is per run() call (one
@@ -614,7 +610,7 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
   const auto drc_stage = [&](std::size_t i) {
     if (!drc) return;
     token.check();
-    const auto t0 = Clock::now();
+    const auto t0 = core::now();
     const MemberWork& w = work[i];
     std::vector<layout::Violation>& out = net_violations[i];
     const auto check_one = [&](const layout::Trace& t, std::uint32_t slot) {
@@ -765,7 +761,7 @@ RouteResult Router::run(layout::Layout& layout, std::size_t group_index,
       result.nets.push_back({result.group.members[i], std::move(net_violations[i])});
       result.drc_overlap_runtime_s += drc_stage_s[i];
     }
-    const auto t_barrier = Clock::now();
+    const auto t_barrier = core::now();
     result.cross_violations = index.sweep();
     result.drc_barrier_runtime_s = seconds_since(t_barrier);
     result.drc_runtime_s = result.drc_overlap_runtime_s + result.drc_barrier_runtime_s;

@@ -1,15 +1,14 @@
 #include "pipeline/session.hpp"
 
-#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <utility>
 
+#include "core/clock.hpp"
+
 namespace lmr::pipeline {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 bool same_violation(const layout::Violation& a, const layout::Violation& b) {
   return a.kind == b.kind && a.trace == b.trace && a.other_trace == b.other_trace &&
@@ -133,13 +132,13 @@ ApplyOutcome Session::resync(ApplyMode mode) {
 }
 
 void Session::finish_reroute(ApplyOutcome& outcome, ApplyMode mode) {
-  const auto t0 = Clock::now();
+  const auto t0 = core::now();
   // The journal-suffix overload reroutes over *every* delta the route has
   // not seen, not just this batch's: after a prior reroute-phase failure
   // the suffix also carries the stranded deltas, so the commit self-heals.
   route_ = mode == ApplyMode::Degraded ? degraded_router().reroute(layout_, route_)
                                        : router_.reroute(layout_, route_);
-  outcome.reroute_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  outcome.reroute_s = core::seconds_since(t0);
   outcome.rerouted_groups = route_.rerouted_groups;
   outcome.groups_total = layout_.groups().size();
   reindex_groups(outcome.rerouted_groups);

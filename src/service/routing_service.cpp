@@ -5,6 +5,7 @@
 #include <span>
 #include <utility>
 
+#include "core/contract.hpp"
 #include "fault/cancel.hpp"
 
 namespace lmr::service {
@@ -118,7 +119,7 @@ SubmitResult RoutingService::submit(const BoardId& id, layout::BoardEdit edit) {
   if (b.busy && b.session != nullptr && b.session->layout().is_frozen()) {
     ++b.stats.queued_while_frozen;
   }
-  b.queue.push_back(Pending{std::move(edit), Clock::now()});
+  b.queue.push_back(Pending{std::move(edit), core::now()});
   b.stats.max_queue_depth =
       std::max<std::uint64_t>(b.stats.max_queue_depth, b.queue.size());
   if (!b.busy) {
@@ -129,10 +130,16 @@ SubmitResult RoutingService::submit(const BoardId& id, layout::BoardEdit edit) {
 }
 
 void RoutingService::schedule_locked(const BoardId& id) {
+  // The busy flag is the board's serialization token: exactly one pump may
+  // be in flight, and it is scheduled only after the flag is raised.
+  LMR_ASSERT(boards_.at(id).busy, "only a busy board may be scheduled");
   group_->run([this, id] { pump(id); });
 }
 
 void RoutingService::quarantine_locked(Board& b, std::exception_ptr err) {
+  LMR_ASSERT(err != nullptr, "quarantine always records the failure that caused it");
+  LMR_ASSERT(!b.quarantined,
+             "quarantine is edge-triggered: a quarantined board is never pumped");
   b.quarantined = true;
   ++b.stats.quarantines;
   if (b.error == nullptr) b.error = std::move(err);
@@ -169,11 +176,17 @@ void RoutingService::pump(const BoardId& id) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     b = &boards_.at(id);
+    // Busy is the pump's exclusive ownership of the board: raised before
+    // every schedule_locked, cleared only by the pump itself. Two pumps on
+    // one board would race the Session outside the lock below.
+    LMR_ASSERT(b->busy, "pump runs only while it owns the board's busy flag");
     if (b->quarantined) {  // defensive: nothing schedules a quarantined board
       b->busy = false;
       return;
     }
     if (b->session == nullptr) {
+      LMR_ASSERT(b->snapshot.has_value(),
+                 "a board without a live session always holds a snapshot");
       // Thaw-on-next-edit: rebuild the Session from the snapshot. Done
       // under the lock so the `session` pointer never changes while
       // another thread may probe it. The snapshot also replenishes the
@@ -195,10 +208,10 @@ void RoutingService::pump(const BoardId& id) {
       std::size_t n = b->queue.size();
       if (opts_.max_batch != 0) n = std::min(n, opts_.max_batch);
       b->inflight.reserve(n);
-      const auto now = Clock::now();
+      const auto now = core::now();
       for (std::size_t i = 0; i < n; ++i) {
         Pending& p = b->queue.front();
-        const double waited = std::chrono::duration<double>(now - p.enqueued).count();
+        const double waited = core::seconds_between(p.enqueued, now);
         b->stats.dispatch_wait_s += waited;
         b->stats.max_dispatch_wait_s = std::max(b->stats.max_dispatch_wait_s, waited);
         b->inflight.push_back(std::move(p.edit));
@@ -213,7 +226,7 @@ void RoutingService::pump(const BoardId& id) {
   const pipeline::ApplyMode mode =
       degraded ? pipeline::ApplyMode::Degraded : pipeline::ApplyMode::Normal;
   pipeline::Session& session = *b->session;
-  const auto t0 = Clock::now();
+  const auto t0 = core::now();
   std::exception_ptr err;
   std::uint64_t violations = 0;
   std::size_t committed_pending = 0;  // previously-lowered edits committed now
@@ -256,7 +269,7 @@ void RoutingService::pump(const BoardId& id) {
       }
     }
   }
-  const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  const double elapsed = core::seconds_since(t0);
 
   // Checkpoint outside the lock: copies of the routed layout + route are
   // what quarantine later reverts to ("last good").
@@ -271,6 +284,8 @@ void RoutingService::pump(const BoardId& id) {
     // Consume what this attempt disposed of: committed edits leave the
     // work item; journaled-but-uncommitted ones stay accounted so the
     // retry resync()s instead of re-lowering.
+    LMR_ASSERT(lowered_now <= b->inflight.size() && committed_now <= lowered_now,
+               "the lowered prefix never exceeds the dispatched work item");
     b->inflight.erase(b->inflight.begin(),
                       b->inflight.begin() + static_cast<std::ptrdiff_t>(lowered_now));
     b->lowered_pending = (pending0 - committed_pending) + (lowered_now - committed_now);

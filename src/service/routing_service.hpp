@@ -46,7 +46,6 @@
 /// checked bit-identical to fresh routes by the service_storm and
 /// fault_storm benches/tests, evictions, faults and quarantines included.
 
-#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -59,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "core/clock.hpp"
 #include "exec/task_pool.hpp"
 #include "fault/fault_plan.hpp"
 #include "layout/board_edit.hpp"
@@ -265,7 +265,7 @@ class RoutingService {
   [[nodiscard]] std::size_t threads() const { return threads_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
+  using Clock = core::Clock;
 
   struct Pending {
     layout::BoardEdit edit;

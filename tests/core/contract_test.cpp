@@ -1,0 +1,91 @@
+/// \file contract_test.cpp
+/// Checked-build semantics of LMR_ASSERT / LMR_REQUIRE / LMR_UNREACHABLE.
+///
+/// The contract layer is a per-translation-unit macro switch, so this test
+/// forces LMR_CHECKED *before its only contract.hpp include* and therefore
+/// exercises the throwing semantics in every build configuration — including
+/// the default one where the library itself compiled the checks away. The
+/// mirror file (contract_release_test.cpp) does the opposite.
+
+#ifndef LMR_CHECKED
+#define LMR_CHECKED 1
+#endif
+
+#include "core/contract.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using lmr::core::ContractViolation;
+
+static_assert(LMR_CONTRACT_CHECKS_ENABLED == 1,
+              "this TU must see the checked contract layer");
+
+TEST(Contract, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(LMR_ASSERT(1 + 1 == 2));
+  EXPECT_NO_THROW(LMR_REQUIRE(true, "never printed"));
+}
+
+TEST(Contract, FailedAssertThrowsTypedViolation) {
+  try {
+    LMR_ASSERT(2 < 1, "two is not less than one");
+    FAIL() << "LMR_ASSERT(false) must throw in checked builds";
+  } catch (const ContractViolation& v) {
+    EXPECT_STREQ(v.kind(), "LMR_ASSERT");
+    EXPECT_STREQ(v.expression(), "2 < 1");
+    EXPECT_NE(std::string(v.what()).find("two is not less than one"),
+              std::string::npos);
+    EXPECT_NE(std::string(v.file()).find("contract_test.cpp"), std::string::npos);
+    EXPECT_GT(v.line(), 0);
+  }
+}
+
+TEST(Contract, RequireReportsItsOwnKind) {
+  try {
+    LMR_REQUIRE(false);
+    FAIL() << "LMR_REQUIRE(false) must throw in checked builds";
+  } catch (const ContractViolation& v) {
+    EXPECT_STREQ(v.kind(), "LMR_REQUIRE");
+    EXPECT_STREQ(v.expression(), "false");
+  }
+}
+
+TEST(Contract, UnreachableThrows) {
+  EXPECT_THROW(LMR_UNREACHABLE("fell off an exhaustive switch"),
+               ContractViolation);
+  EXPECT_THROW(LMR_UNREACHABLE(), ContractViolation);
+}
+
+TEST(Contract, ViolationIsLogicError) {
+  // The serving tier classifies std::logic_error as non-retryable; a broken
+  // invariant must ride that path (quarantine, not retry).
+  EXPECT_THROW(LMR_ASSERT(false, "bug, not a transient fault"),
+               std::logic_error);
+}
+
+TEST(Contract, ConditionEvaluatedExactlyOnce) {
+  int evals = 0;
+  const auto probe = [&evals] {
+    ++evals;
+    return true;
+  };
+  LMR_ASSERT(probe());
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(Contract, MessageIsOptional) {
+  try {
+    LMR_ASSERT(false);
+    FAIL() << "must throw";
+  } catch (const ContractViolation& v) {
+    // No message: the formatted what() still names the kind and expression.
+    const std::string what = v.what();
+    EXPECT_NE(what.find("LMR_ASSERT failed: false"), std::string::npos);
+  }
+}
+
+}  // namespace

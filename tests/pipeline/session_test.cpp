@@ -279,7 +279,12 @@ TEST(Session, ReleaseAndThawErrorPaths) {
   // release() while a route is (apparently) in flight: the freeze makes
   // try_freeze fail, so dismantling is refused.
   {
+    // White-box: grab a freeze on the session's own (non-const-owned) layout
+    // to simulate an in-flight route. freeze_for_routing only bumps the
+    // atomic freeze counter — no journaled state is touched, so the
+    // recorded-mutator discipline is preserved.
     const layout::Layout::RoutingFreeze freeze =
+        // lmr-lint: allow(cast, layout-state)
         const_cast<layout::Layout&>(session.layout()).freeze_for_routing();
     EXPECT_THROW((void)session.release(), std::logic_error);
   }

@@ -1,0 +1,11 @@
+// Lint fixture: unannotated reinterpret_cast / const_cast — the `cast` rule
+// must flag both. Never compiled.
+#include <cstdint>
+
+std::uint64_t bits_of(double d) {
+  return *reinterpret_cast<std::uint64_t*>(&d);
+}
+
+int* strip_const(const int* p) {
+  return const_cast<int*>(p);
+}

@@ -1,0 +1,15 @@
+// Lint fixture: every timing read here bypasses src/core/clock.hpp and must
+// be flagged by the `clock` rule. Never compiled.
+#include <chrono>
+#include <cstdlib>
+
+double naughty_timer() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto wall = std::chrono::system_clock::now();
+  (void)wall;
+  std::srand(42);
+  const int jitter = std::rand();
+  (void)jitter;
+  return std::chrono::duration<double>(std::chrono::high_resolution_clock::now() - t0)
+      .count();
+}

@@ -1,0 +1,18 @@
+// Lint fixture: malformed fault-plan site keys — the `fault-sites` rule must
+// flag every literal here. Never compiled.
+#include <string>
+
+void seed_bad_sites() {
+  // Wrong shape: extend sites need /g<N>/m<N>.
+  const std::string a = "extend:board0/group0/member0";
+  // Typo'd group marker.
+  const std::string b = "sweep:board0/q1";
+  // session sites are session:apply:<scope>, nothing else.
+  const std::string c = "session:board0";
+  // Bare builder prefix outside the registry.
+  const std::string d = "extend:";
+  (void)a;
+  (void)b;
+  (void)c;
+  (void)d;
+}

@@ -1,0 +1,11 @@
+// Lint fixture for the `layout-state` rule: a const_cast on a Layout, and a
+// file named layout.cpp would additionally gate member writes — the cast
+// half fires from any path. Never compiled.
+namespace lmr::layout {
+class Layout;
+}
+
+void sneak(const lmr::layout::Layout& frozen) {
+  auto& mutable_board = const_cast<lmr::layout::Layout&>(frozen);
+  (void)mutable_board;
+}

@@ -1,0 +1,20 @@
+// Lint fixture: an out-of-class Layout member definition that writes a
+// journaled container without going through record()/check_mutable() — the
+// `layout-state` rule must flag it. Never compiled.
+namespace lmr::layout {
+
+struct Trace {};
+class Layout {
+ public:
+  void rogue_add(int id, Trace t);
+
+ private:
+  int traces_[8];
+};
+
+void Layout::rogue_add(int id, Trace t) {
+  traces_[id] = 0;  // journaled state, no record() in sight
+  (void)t;
+}
+
+}  // namespace lmr::layout

@@ -1,0 +1,14 @@
+// Lint fixture for the `atomic-order` rule. Lives under an exec/ path
+// segment because the rule only applies to the lock-free executor sources.
+// Never compiled.
+#include <atomic>
+
+std::atomic<int> pending{0};
+
+int naked_ops() {
+  pending.store(1);        // missing memory_order
+  int v = pending.load();  // missing memory_order
+  pending++;               // operator sugar hides the order entirely
+  pending += 2;
+  return v;
+}

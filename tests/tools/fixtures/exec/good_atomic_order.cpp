@@ -1,0 +1,15 @@
+// Lint fixture: explicit orderings everywhere — the `atomic-order` rule must
+// stay quiet. Never compiled.
+#include <atomic>
+
+std::atomic<int> pending{0};
+
+int disciplined_ops() {
+  pending.store(1, std::memory_order_release);
+  int v = pending.load(std::memory_order_acquire);
+  pending.fetch_add(1, std::memory_order_acq_rel);
+  int expected = 2;
+  pending.compare_exchange_strong(expected, 3, std::memory_order_seq_cst,
+                                  std::memory_order_relaxed);
+  return v;
+}

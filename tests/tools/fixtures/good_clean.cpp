@@ -1,0 +1,27 @@
+// Lint fixture: a well-behaved file — no rule may fire. It reads time via
+// the shim, annotates its one cast, and uses grammatical fault sites.
+// Never compiled.
+#include <string>
+
+namespace lmr::core {
+struct Clock {};
+Clock now();
+}  // namespace lmr::core
+
+void well_behaved() {
+  const auto t0 = lmr::core::now();
+  (void)t0;
+  const std::string site = "extend:b0/g0/m0";
+  const std::string swept = "sweep:b0/g2";
+  const std::string applied = "session:apply:b0";
+  const std::string glob = "extend:b0/*";
+  (void)site;
+  (void)swept;
+  (void)applied;
+  (void)glob;
+  int x = 5;
+  // The pointee is a mutable lvalue by construction here; the cast only
+  // restores what the const reference dropped. lmr-lint: allow(cast)
+  int* px = const_cast<int*>(static_cast<const int*>(&x));
+  (void)px;
+}
